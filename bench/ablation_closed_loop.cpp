@@ -1,0 +1,59 @@
+// Ablation: open-loop vs closed-loop replay (DESIGN.md §4).
+//
+// Keddah's basic replay is open-loop: synthetic flows start at their
+// scheduled times no matter how slow the fabric is, which over-congests
+// underprovisioned networks. Closed-loop replay gates shuffle fetches per
+// destination like real reducers do. Expected shape: identical on a fabric
+// that keeps up; on a starved fabric the closed loop stretches the makespan
+// but keeps in-flight counts (and hence per-flow times) bounded.
+#include <iostream>
+
+#include "bench_common.h"
+#include "keddah/toolchain.h"
+
+int main() {
+  using namespace keddah;
+  using bench::kGiB;
+
+  bench::banner("Ablation: closed loop", "open vs closed-loop replay across fabrics (Sort 8 GB)");
+  const auto cfg = bench::default_config();
+  const std::vector<std::uint64_t> sizes = {8 * kGiB};
+  const auto runs = core::capture_runs(cfg, workloads::Workload::kSort, sizes, 2, 22000);
+  const auto model = core::train("sort", runs, cfg);
+  gen::Scenario scenario;
+  scenario.input_bytes = static_cast<double>(8 * kGiB);
+  scenario.num_maps = runs[0].num_maps;
+  scenario.num_reducers = runs[0].num_reducers;
+  scenario.num_hosts = cfg.num_workers();
+  gen::TrafficGenerator generator(model, util::Rng(9));
+  const auto schedule = generator.generate(scenario);
+
+  struct Fabric {
+    std::string name;
+    net::Topology topo;
+  };
+  std::vector<Fabric> fabrics;
+  fabrics.push_back({"1G access (adequate)", net::make_rack_tree(4, 4, 1e9, 10e9, 100e-6)});
+  fabrics.push_back({"100M access (starved)", net::make_rack_tree(4, 4, 1e8, 1e9, 100e-6)});
+
+  util::TextTable table(
+      {"fabric", "mode", "makespan_s", "mean_fct_s", "p99_fct_s"});
+  for (auto& fabric : fabrics) {
+    const auto open = gen::replay(schedule, fabric.topo);
+    gen::ClosedLoopOptions options;
+    options.shuffle_fetch_slots = cfg.shuffle_parallel_copies;
+    const auto closed = gen::replay_closed_loop(schedule, fabric.topo, options);
+    table.add_row({fabric.name, "open", util::format("%.1f", open.makespan),
+                   util::format("%.3f", open.mean_fct()),
+                   util::format("%.3f", open.p99_fct())});
+    table.add_row({"", "closed", util::format("%.1f", closed.makespan),
+                   util::format("%.3f", closed.mean_fct()),
+                   util::format("%.3f", closed.p99_fct())});
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: equal on the adequate fabric; on the starved fabric the\n"
+               "closed loop self-paces the shuffle — mean flow completion several times\n"
+               "lower than the open loop's unbounded pile-up at a similar makespan (the\n"
+               "tail is governed by the ungated bulk writes).\n";
+  return 0;
+}

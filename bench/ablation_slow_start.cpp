@@ -1,0 +1,64 @@
+// Ablation: fluid TCP model vs slow-start-aware model (DESIGN.md §4).
+//
+// The replay substrate substitution (flow-level fluid model instead of
+// packet-level ns-3) is most visible on short flows. This quantifies it:
+// with the slow-start approximation on, small control/shuffle flows become
+// latency-bound while bulk transfer times barely move.
+#include <iostream>
+
+#include "bench_common.h"
+#include "keddah/toolchain.h"
+#include "stats/summary.h"
+
+int main() {
+  using namespace keddah;
+  using bench::kGiB;
+
+  bench::banner("Ablation: slow start", "fluid vs slow-start-aware replay (Sort, 8 GB)");
+  const auto cfg = bench::default_config();
+  const std::vector<std::uint64_t> sizes = {8 * kGiB};
+  const auto runs = core::capture_runs(cfg, workloads::Workload::kSort, sizes, 2, 19000);
+  const auto model = core::train("sort", runs, cfg);
+  gen::Scenario scenario;
+  scenario.input_bytes = static_cast<double>(8 * kGiB);
+  scenario.num_maps = runs[0].num_maps;
+  scenario.num_reducers = runs[0].num_reducers;
+  scenario.num_hosts = cfg.num_workers();
+  gen::TrafficGenerator generator(model, util::Rng(5));
+  const auto schedule = generator.generate(scenario);
+
+  util::TextTable table({"model", "class", "median_fct_ms", "p99_fct_ms"});
+  for (const bool slow_start : {false, true}) {
+    // replay() builds its own Network; emulate both modes by going through
+    // a local copy of the replay loop with the option set.
+    sim::Simulator sim;
+    net::NetworkOptions options;
+    options.model_slow_start = slow_start;
+    net::Network network(sim, cfg.build_topology(), options);
+    capture::FlowCollector collector(network);
+    const auto hosts = network.topology().hosts();
+    for (const auto& f : schedule.flows) {
+      const auto src = hosts[f.src_host % hosts.size()];
+      auto dst = hosts[f.dst_host % hosts.size()];
+      if (dst == src) dst = hosts[(f.dst_host + 1) % hosts.size()];
+      sim.schedule_at(f.start, [&network, src, dst, f] {
+        network.start_flow(src, dst, f.bytes, gen::meta_for_kind(f.kind), nullptr);
+      });
+    }
+    sim.run();
+    const auto trace = collector.take();
+    for (const auto kind : {net::FlowKind::kControl, net::FlowKind::kShuffle,
+                            net::FlowKind::kHdfsWrite}) {
+      const auto class_trace = trace.filter_kind(kind);
+      if (class_trace.empty()) continue;
+      const auto durations = class_trace.durations();
+      table.add_row({slow_start ? "slow-start" : "fluid", net::flow_kind_name(kind),
+                     util::format("%.2f", 1e3 * stats::quantile(durations, 0.5)),
+                     util::format("%.2f", 1e3 * stats::quantile(durations, 0.99))});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: slow start multiplies sub-ms control-flow durations (they\n"
+               "become RTT-bound) but moves multi-second bulk transfers by < a few %.\n";
+  return 0;
+}

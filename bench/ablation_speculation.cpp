@@ -1,0 +1,48 @@
+// Ablation: speculative execution under stragglers (extension experiment).
+//
+// Expected shape: with slow outliers, speculation trades duplicate input
+// reads (extra HDFS-read traffic) for a much shorter map phase; without
+// stragglers it is traffic-neutral.
+#include <iostream>
+
+#include "bench_common.h"
+#include "hadoop/cluster.h"
+#include "workloads/profiles.h"
+
+namespace {
+
+void run_row(keddah::util::TextTable& table, const std::string& label, double straggler_frac,
+             bool speculative, std::uint64_t seed) {
+  using namespace keddah;
+  using bench::kGiB;
+  hadoop::ClusterConfig cfg = bench::default_config();
+  cfg.straggler_fraction = straggler_frac;
+  cfg.straggler_slowdown = 12.0;
+  cfg.speculative_execution = speculative;
+  hadoop::HadoopCluster cluster(cfg, seed);
+  const auto input = cluster.ensure_input(8 * kGiB);
+  const auto result =
+      cluster.run_job(workloads::make_spec(workloads::Workload::kSort, input, 16));
+  table.add_row({label,
+                 util::human_bytes(bench::class_bytes(cluster.trace(), net::FlowKind::kHdfsRead)),
+                 util::format("%.1f", result.map_phase_end - result.submit_time),
+                 util::format("%.1f", result.duration()),
+                 std::to_string(cluster.runner().speculative_attempts())});
+}
+
+}  // namespace
+
+int main() {
+  using namespace keddah;
+  bench::banner("Ablation: speculation", "backup attempts vs stragglers (Sort, 8 GB)");
+  util::TextTable table({"scenario", "hdfs_read", "map_phase_s", "job_s", "backups"});
+  run_row(table, "clean, spec off", 0.0, false, 17001);
+  run_row(table, "clean, spec on", 0.0, true, 17001);
+  run_row(table, "15% stragglers, spec off", 0.15, false, 17002);
+  run_row(table, "15% stragglers, spec on", 0.15, true, 17002);
+  table.print(std::cout);
+  std::cout << "\nShape check: under stragglers, speculation shortens the map phase and the\n"
+               "job at the cost of duplicate-read traffic (backups can straggle too, so\n"
+               "the win is bounded); on clean runs it is near-neutral.\n";
+  return 0;
+}

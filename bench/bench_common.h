@@ -1,0 +1,58 @@
+// Shared scenario defaults and helpers for the Keddah bench harness.
+//
+// Every bench binary reproduces one table or figure of the paper's
+// evaluation (our canonical numbering; see DESIGN.md §4) and prints its
+// rows/series as aligned text on stdout. The default testbed matches
+// DESIGN.md: 16 workers in 4 racks, 1 GbE access / 10 GbE core, 128 MB
+// blocks, replication 3, 4 containers per node (paper-era slot counts —
+// slot contention is what produces realistic ~85% map locality and hence
+// non-zero HDFS-read traffic).
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "capture/trace.h"
+#include "hadoop/config.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace keddah::bench {
+
+inline constexpr std::uint64_t kGiB = 1ull << 30;
+inline constexpr std::uint64_t kMiB = 1ull << 20;
+
+/// The paper-style default cluster.
+inline hadoop::ClusterConfig default_config() {
+  hadoop::ClusterConfig cfg;
+  cfg.racks = 4;
+  cfg.hosts_per_rack = 4;
+  cfg.access_bps = 1.0e9;
+  cfg.core_bps = 10.0e9;
+  cfg.block_size = 128ull << 20;
+  cfg.replication = 3;
+  cfg.containers_per_node = 4;
+  // ~92-97% node-local maps across input sizes; the residual misses are
+  // what the paper's HDFS-read class is made of.
+  cfg.locality_delay_s = 2.0;
+  return cfg;
+}
+
+/// Classified per-class byte total of a trace.
+inline double class_bytes(const capture::Trace& trace, net::FlowKind kind) {
+  return trace.class_stats()[static_cast<std::size_t>(kind)].bytes;
+}
+
+/// Classified per-class flow count of a trace.
+inline std::size_t class_flows(const capture::Trace& trace, net::FlowKind kind) {
+  return trace.class_stats()[static_cast<std::size_t>(kind)].flows;
+}
+
+/// Standard bench banner.
+inline void banner(const std::string& experiment_id, const std::string& description) {
+  std::cout << "# Keddah reproduction — " << experiment_id << "\n"
+            << "# " << description << "\n";
+}
+
+}  // namespace keddah::bench

@@ -1,0 +1,58 @@
+// Figure 11: fabric link utilization during a Sort job (extension view).
+//
+// Expected shape: access links of reduce-heavy hosts run hot during shuffle
+// and write; ToR uplinks carry ~cross-rack share of traffic; a 10G core is
+// nearly idle relative to 1G access links (why the 1G star equals the tree
+// in Fig 8).
+#include <iostream>
+
+#include "bench_common.h"
+#include "capture/collector.h"
+#include "hadoop/cluster.h"
+#include "workloads/profiles.h"
+
+int main() {
+  using namespace keddah;
+  using bench::kGiB;
+
+  bench::banner("Figure 11", "per-link traffic and utilization, Sort 8 GB on 4x4 tree");
+  hadoop::HadoopCluster cluster(bench::default_config(), 18000);
+  const auto input = cluster.ensure_input(8 * kGiB);
+  const auto result =
+      cluster.run_job(workloads::make_spec(workloads::Workload::kSort, input, 16));
+  const auto& net = cluster.network();
+  const auto& topo = net.topology();
+  const double span = result.duration();
+
+  util::TextTable table({"link", "capacity", "bytes(a->b)", "bytes(b->a)", "util(a->b)",
+                         "util(b->a)"});
+  for (net::LinkId l = 0; l < topo.num_links(); ++l) {
+    const auto& link = topo.link(l);
+    const double fwd = net.arc_bytes(net::Arc{l, 0});
+    const double rev = net.arc_bytes(net::Arc{l, 1});
+    // Utilization over the job's span (the simulator clock stops at end).
+    const double denom = link.capacity_bps / 8.0 * span;
+    table.add_row({topo.node(link.a).name + "-" + topo.node(link.b).name,
+                   util::format("%.0fG", link.capacity_bps / 1e9), util::human_bytes(fwd),
+                   util::human_bytes(rev), util::format("%.1f%%", 100.0 * fwd / denom),
+                   util::format("%.1f%%", 100.0 * rev / denom)});
+  }
+  table.print(std::cout);
+
+  // Aggregate by tier.
+  double access_bytes = 0.0;
+  double core_bytes = 0.0;
+  for (net::LinkId l = 0; l < topo.num_links(); ++l) {
+    const auto& link = topo.link(l);
+    const bool is_uplink = topo.node(link.a).is_switch && topo.node(link.b).is_switch;
+    (is_uplink ? core_bytes : access_bytes) += net.link_bytes(l);
+  }
+  std::cout << util::format(
+      "\naccess-tier bytes: %s   core-tier bytes: %s   core share: %.1f%%\n",
+      util::human_bytes(access_bytes).c_str(), util::human_bytes(core_bytes).c_str(),
+      100.0 * core_bytes / (access_bytes + core_bytes));
+  std::cout << "Shape check: every byte crosses >= 2 access arcs; cross-rack bytes add\n"
+               "core hops (~80% of shuffle, ~50% of writes); 10G uplinks stay < 20%\n"
+               "utilized while hot access links approach saturation during the shuffle.\n";
+  return 0;
+}

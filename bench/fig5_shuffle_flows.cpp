@@ -1,0 +1,43 @@
+// Figure 5: shuffle flow count vs maps x reducers.
+//
+// Paper shape: every reducer fetches from every map, so network shuffle
+// flows grow as (1 - 1/N) x M x R (host-local fetches never hit the wire).
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "stats/regression.h"
+#include "workloads/suite.h"
+
+int main() {
+  using namespace keddah;
+  using bench::kGiB;
+
+  bench::banner("Figure 5", "shuffle flow count vs maps x reducers (Sort)");
+  const auto cfg = bench::default_config();
+  util::TextTable table({"input_gb", "maps", "reducers", "MxR", "shuffle_flows", "flows/MxR"});
+  std::vector<double> xs;
+  std::vector<double> ys;
+  std::uint64_t seed = 4000;
+  for (const std::uint64_t gb : {2ull, 4ull, 8ull}) {
+    for (const std::size_t reducers : {4u, 8u, 16u, 32u, 64u}) {
+      const auto outcome =
+          workloads::run_single(cfg, workloads::Workload::kSort, gb * kGiB, reducers, seed++);
+      const auto flows = bench::class_flows(outcome.trace, net::FlowKind::kShuffle);
+      const double mxr =
+          static_cast<double>(outcome.result.num_maps) * static_cast<double>(reducers);
+      xs.push_back(mxr);
+      ys.push_back(static_cast<double>(flows));
+      table.add_row({std::to_string(gb), std::to_string(outcome.result.num_maps),
+                     std::to_string(reducers), util::format("%.0f", mxr), std::to_string(flows),
+                     util::format("%.3f", static_cast<double>(flows) / mxr)});
+    }
+  }
+  table.print(std::cout);
+  const auto fit = stats::fit_linear_through_origin(xs, ys);
+  const double expected = 1.0 - 1.0 / static_cast<double>(cfg.num_workers());
+  std::cout << util::format(
+      "\nstructural law: flows = %.3f x (M x R)   [expected ~ 1 - 1/N = %.3f]   R^2 = %.4f\n",
+      fit.slope, expected, fit.r2);
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Micro-benchmarks (google-benchmark): simulator event throughput, max-min
+// fair-share recomputation cost, MLE fitting, KS statistics, and a full
+// capture->model->replay pipeline iteration. These quantify the substrate
+// costs behind the experiment harness.
+#include <benchmark/benchmark.h>
+
+#include "gen/replay.h"
+#include "keddah/toolchain.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "stats/fitting.h"
+#include "stats/kstest.h"
+#include "util/rng.h"
+#include "workloads/suite.h"
+
+namespace {
+
+using namespace keddah;
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      sim.schedule_at(static_cast<double>(i % 97), [] {});
+    }
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorEventThroughput)->Arg(1000)->Arg(100000);
+
+void BM_MaxMinFairShare(benchmark::State& state) {
+  const auto flows = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::NetworkOptions opts;
+    opts.model_latency = false;
+    net::Network net(sim, net::make_rack_tree(4, 8, 1e9, 10e9, 0.0), opts);
+    const auto hosts = net.topology().hosts();
+    util::Rng rng(1);
+    for (std::size_t i = 0; i < flows; ++i) {
+      const auto src = hosts[i % hosts.size()];
+      auto dst = hosts[(i * 7 + 5) % hosts.size()];
+      if (dst == src) dst = hosts[(i + 1) % hosts.size()];
+      net.start_flow(src, dst, 1e6 + rng.uniform(0, 1e6), {}, nullptr);
+    }
+    sim.run();
+    benchmark::DoNotOptimize(net.recomputations());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MaxMinFairShare)->Arg(100)->Arg(1000);
+
+void BM_FitLognormalMle(benchmark::State& state) {
+  util::Rng rng(2);
+  std::vector<double> xs(static_cast<std::size_t>(state.range(0)));
+  for (auto& x : xs) x = rng.lognormal(12.0, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::fit_family(stats::DistFamily::kLognormal, xs));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FitLognormalMle)->Arg(1000)->Arg(10000);
+
+void BM_FitAllFamilies(benchmark::State& state) {
+  util::Rng rng(3);
+  std::vector<double> xs(static_cast<std::size_t>(state.range(0)));
+  for (auto& x : xs) x = rng.weibull(1.4, 5e7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::fit_all(xs));
+  }
+}
+BENCHMARK(BM_FitAllFamilies)->Arg(1000)->Arg(5000);
+
+void BM_TwoSampleKs(benchmark::State& state) {
+  util::Rng rng(4);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> a(n);
+  std::vector<double> b(n);
+  for (auto& x : a) x = rng.lognormal(10, 1);
+  for (auto& x : b) x = rng.lognormal(10.1, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::ks_statistic_two_sample(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TwoSampleKs)->Arg(1000)->Arg(100000);
+
+void BM_EmulateSortJob(benchmark::State& state) {
+  hadoop::ClusterConfig cfg;
+  cfg.racks = 4;
+  cfg.hosts_per_rack = 4;
+  const std::uint64_t input = static_cast<std::uint64_t>(state.range(0)) << 30;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const auto outcome =
+        workloads::run_single(cfg, workloads::Workload::kSort, input, 0, seed++);
+    benchmark::DoNotOptimize(outcome.trace.size());
+  }
+  state.SetLabel("input GiB");
+}
+BENCHMARK(BM_EmulateSortJob)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_FullToolchainIteration(benchmark::State& state) {
+  hadoop::ClusterConfig cfg;
+  cfg.racks = 2;
+  cfg.hosts_per_rack = 4;
+  cfg.block_size = 64ull << 20;
+  const std::vector<std::uint64_t> sizes = {512ull << 20};
+  std::uint64_t seed = 100;
+  for (auto _ : state) {
+    const auto runs = core::capture_runs(cfg, workloads::Workload::kSort, sizes, 1, seed++);
+    const auto model = core::train("sort", runs, cfg);
+    gen::Scenario scenario;
+    scenario.input_bytes = static_cast<double>(sizes[0]);
+    scenario.num_hosts = 8;
+    const auto result = core::generate_and_replay(model, scenario, cfg.build_topology(), seed);
+    benchmark::DoNotOptimize(result.replay.makespan);
+  }
+}
+BENCHMARK(BM_FullToolchainIteration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

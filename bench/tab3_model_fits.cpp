@@ -1,0 +1,42 @@
+// Table 3: fitted flow-size distribution per (job, traffic class).
+//
+// Paper shape: a per-class winning family with its parameters and KS
+// distance; block-sized HDFS flows fit degenerate/narrow families, shuffle
+// flows fit heavy-tailed families; poor fits fall back to the empirical CDF.
+#include <iostream>
+
+#include "bench_common.h"
+#include "keddah/toolchain.h"
+
+int main() {
+  using namespace keddah;
+  using bench::kGiB;
+
+  bench::banner("Table 3", "best-fit size distribution per (job, class), 8 GB, 2 runs");
+  util::TextTable table(
+      {"job", "class", "flows", "best fit", "KS", "p", "representation", "count law (R^2)"});
+  const auto cfg = bench::default_config();
+  const std::vector<std::uint64_t> sizes = {8 * kGiB};
+  std::uint64_t seed = 6000;
+  for (const auto w : workloads::all_workloads()) {
+    const auto runs = core::capture_runs(cfg, w, sizes, /*repetitions=*/2, seed);
+    seed += 10;
+    const auto model = core::train(workloads::workload_name(w), runs, cfg);
+    for (const auto kind : model::kModelledClasses) {
+      const auto& cm = model.class_model(kind);
+      if (cm.training_flows == 0) continue;
+      table.add_row(
+          {workloads::workload_name(w), net::flow_kind_name(kind),
+           std::to_string(cm.training_flows),
+           cm.size.parametric ? cm.size.parametric->describe() : "(none)",
+           util::format("%.3f", cm.size.ks), util::format("%.3f", cm.size.ks_pvalue),
+           cm.size.kind == model::SizeModelKind::kParametric ? "parametric" : "empirical",
+           util::format("%.3g x %s (%.3f)", cm.count.fit.slope, cm.count.regressor.c_str(),
+                        cm.count.fit.r2)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: count laws have R^2 ~ 1 against their structural regressors;\n"
+               "high-KS classes are served empirically.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Table 5: model generalization — train on small inputs {1, 2, 4} GB,
+// extrapolate to 16 GB, compare against a fresh 16 GB capture.
+//
+// Paper shape: linear scaling laws extrapolate well for volume and counts;
+// duration extrapolation is rougher (stragglers, queueing).
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.h"
+#include "keddah/toolchain.h"
+
+int main() {
+  using namespace keddah;
+  using bench::kGiB;
+
+  bench::banner("Table 5", "train on {1,2,4} GB, predict 16 GB (WordCount, Sort)");
+  const auto cfg = bench::default_config();
+  const std::vector<std::uint64_t> train_sizes = {1 * kGiB, 2 * kGiB, 4 * kGiB};
+  const std::vector<std::uint64_t> test_sizes = {16 * kGiB};
+  std::uint64_t seed = 11000;
+  util::TextTable table({"job", "quantity", "measured@16GB", "predicted@16GB", "error"});
+  for (const auto job : {workloads::Workload::kWordCount, workloads::Workload::kSort}) {
+    const auto train_runs = core::capture_runs(cfg, job, train_sizes, 2, seed);
+    seed += 20;
+    const auto test_runs = core::capture_runs(cfg, job, test_sizes, 1, seed);
+    seed += 20;
+    const auto model = core::train(workloads::workload_name(job), train_runs, cfg);
+    const auto& reference = test_runs[0];
+
+    auto row = [&](const std::string& what, double measured, double predicted,
+                   bool human_bytes) {
+      const double err = measured != 0.0 ? (predicted - measured) / measured : 0.0;
+      table.add_row({workloads::workload_name(job), what,
+                     human_bytes ? util::human_bytes(measured) : util::format("%.1f", measured),
+                     human_bytes ? util::human_bytes(predicted)
+                                 : util::format("%.1f", predicted),
+                     util::format("%+.1f%%", 100.0 * err)});
+    };
+
+    for (const auto kind :
+         {net::FlowKind::kShuffle, net::FlowKind::kHdfsWrite, net::FlowKind::kHdfsRead}) {
+      const auto measured = reference.trace.filter_kind(kind);
+      const double predicted_volume =
+          model.predict_volume(kind, static_cast<double>(16 * kGiB));
+      if (measured.empty() && predicted_volume <= 0.0) continue;
+      row(std::string(net::flow_kind_name(kind)) + " bytes", measured.total_bytes(),
+          predicted_volume, true);
+      model::TrainingRun pseudo;
+      pseudo.input_bytes = static_cast<double>(16 * kGiB);
+      pseudo.num_maps = reference.num_maps;
+      pseudo.num_reducers = reference.num_reducers;
+      pseudo.job_start = 0.0;
+      pseudo.job_end = model.predict_duration(pseudo.input_bytes);
+      const double predicted_count = static_cast<double>(
+          model.class_model(kind).count.predict(model::class_regressor(kind, pseudo)));
+      row(std::string(net::flow_kind_name(kind)) + " flows",
+          static_cast<double>(measured.size()), predicted_count, false);
+    }
+    row("job duration (s)", reference.duration(),
+        model.predict_duration(static_cast<double>(16 * kGiB)), false);
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: shuffle/write volumes and counts extrapolate within a few\n"
+               "percent (structural laws). HDFS reads do NOT extrapolate: small training\n"
+               "jobs fit in one container wave and read 100% locally, so the model sees\n"
+               "no read flows — a genuine scope limit of per-config empirical models.\n"
+               "Duration extrapolates to within ~25%.\n";
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Cluster dimensioning: a downstream use case the paper's abstract points
+// at ("reproducible Hadoop research in more realistic scenarios").
+//
+// Question: which fabric is enough for an hour of production-like load?
+// Method: train a bank of per-job Keddah models once, sample a Poisson job
+// mix, compose the synthetic traffic, replay it on candidate fabrics, and
+// compare flow-completion SLOs — no Hadoop runs needed after training.
+//
+// Run:  ./build/examples/cluster_dimensioning
+#include <iostream>
+
+#include "keddah/toolchain.h"
+#include "model/model_bank.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace keddah;
+  constexpr std::uint64_t kGiB = 1ull << 30;
+
+  hadoop::ClusterConfig config;
+  config.racks = 4;
+  config.hosts_per_rack = 4;
+  config.containers_per_node = 4;
+
+  // --- train the model bank (once; in practice persisted with save()) ---
+  std::cout << "Training model bank (sort, wordcount, grep @ 2 GB)...\n";
+  model::ModelBank bank;
+  std::uint64_t seed = 400;
+  const std::vector<std::uint64_t> train_sizes = {2 * kGiB};
+  for (const auto w :
+       {workloads::Workload::kSort, workloads::Workload::kWordCount, workloads::Workload::kGrep}) {
+    const auto runs = core::capture_runs(config, w, train_sizes, 2, seed);
+    seed += 10;
+    bank.add(core::train(workloads::workload_name(w), runs, config));
+  }
+
+  // --- sample an hour of load: ~1 job every 40 s, mixed families --------
+  workloads::PoissonMixSpec load;
+  load.workloads = {workloads::Workload::kSort, workloads::Workload::kWordCount,
+                    workloads::Workload::kGrep};
+  load.input_sizes = {1 * kGiB, 2 * kGiB, 4 * kGiB};
+  load.arrival_rate = 1.0 / 40.0;
+  load.horizon_s = 3600.0;
+  util::Rng rng(777);
+  const auto jobs = workloads::sample_poisson_mix(load, rng);
+  std::cout << "Sampled " << jobs.size() << " job arrivals over 1 h\n";
+
+  // --- compose the synthetic traffic for the whole hour -----------------
+  std::vector<gen::MixEntry> entries;
+  for (const auto& job : jobs) {
+    gen::MixEntry entry;
+    entry.model = bank.select(workloads::workload_name(job.workload), config.block_size,
+                              config.replication, config.num_workers());
+    entry.scenario.input_bytes = static_cast<double>(job.input_bytes);
+    entry.scenario.num_hosts = config.num_workers();
+    entry.submit_at = job.submit_at;
+    entries.push_back(entry);
+  }
+  const auto schedule = gen::generate_mix(entries, util::Rng(778));
+  std::cout << "Composed " << schedule.flows.size() << " flows, "
+            << util::human_bytes(schedule.total_bytes()) << " over "
+            << util::human_seconds(schedule.predicted_duration) << "\n\n";
+
+  // --- replay on candidate fabrics and check the SLO ---------------------
+  struct Candidate {
+    const char* name;
+    net::Topology topo;
+  };
+  std::vector<Candidate> candidates;
+  candidates.push_back({"16x1G star", net::make_star(16, 1e9, 100e-6)});
+  candidates.push_back(
+      {"4x4 tree, 1G access / 2G uplinks", net::make_rack_tree(4, 4, 1e9, 2e9, 100e-6)});
+  candidates.push_back(
+      {"4x4 tree, 1G access / 10G uplinks", net::make_rack_tree(4, 4, 1e9, 10e9, 100e-6)});
+  candidates.push_back({"fat-tree k=4, 10G", net::make_fat_tree(4, 10e9, 100e-6)});
+
+  const double slo_p99_s = 5.0;
+  util::TextTable table({"fabric", "mean_fct_s", "p99_fct_s", "meets p99<5s"});
+  for (auto& candidate : candidates) {
+    const auto result = gen::replay(schedule, candidate.topo);
+    table.add_row({candidate.name, util::format("%.3f", result.mean_fct()),
+                   util::format("%.3f", result.p99_fct()),
+                   result.p99_fct() < slo_p99_s ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: the cheapest fabric whose p99 flow-completion time meets the\n"
+               "SLO is the dimensioning answer; everything above it is headroom.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// ns-3 export tool: train (or load) a Keddah model and emit artefacts a
+// stock ns-3 build can replay — the paper's "for use with network
+// simulators" integration.
+//
+// Run:  ./build/examples/ns3_export_tool [model.json] [input_gb] [out_basename]
+//   - with no arguments, trains a Sort model on the fly and writes
+//     /tmp/keddah-replay.{cc,csv}
+//   - with a model.json (as written by quickstart), skips training.
+#include <iostream>
+#include <string>
+
+#include "gen/ns3_export.h"
+#include "keddah/toolchain.h"
+#include "util/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace keddah;
+  constexpr std::uint64_t kGiB = 1ull << 30;
+
+  const std::string model_path = argc > 1 ? argv[1] : "";
+  const double input_gb = argc > 2 ? std::stod(argv[2]) : 8.0;
+  const std::string basename = argc > 3 ? argv[3] : "/tmp/keddah-replay";
+
+  model::KeddahModel model;
+  if (!model_path.empty()) {
+    std::cout << "Loading model " << model_path << "\n";
+    model = model::KeddahModel::load(model_path);
+  } else {
+    std::cout << "No model given; training Sort on the emulated testbed...\n";
+    hadoop::ClusterConfig config;
+    config.racks = 4;
+    config.hosts_per_rack = 4;
+    config.containers_per_node = 4;
+    const std::vector<std::uint64_t> sizes = {2 * kGiB, 4 * kGiB};
+    const auto runs = core::capture_runs(config, workloads::Workload::kSort, sizes, 2, 3);
+    model = core::train("sort", runs, config);
+  }
+
+  gen::Scenario scenario;
+  scenario.input_bytes = input_gb * static_cast<double>(kGiB);
+  scenario.num_hosts = 16;
+  gen::TrafficGenerator generator(model, util::Rng(1));
+  const auto schedule = generator.generate(scenario);
+
+  gen::Ns3ExportOptions options;
+  options.num_hosts = 16;
+  options.link_rate = "1Gbps";
+  gen::export_ns3(schedule, basename, options);
+
+  std::cout << "Wrote " << basename << ".csv (" << schedule.flows.size() << " flows, "
+            << util::human_bytes(schedule.total_bytes()) << ")\n"
+            << "Wrote " << basename << ".cc  (drop into ns-3's scratch/ and run:\n"
+            << "  ./ns3 run \"scratch/keddah-replay --schedule=" << basename << ".csv\")\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Workload study: the paper's measurement campaign in miniature.
+//
+// Runs every workload family across input sizes on the emulated testbed and
+// reports how the traffic mix changes — the kind of exploratory measurement
+// that motivated Keddah's per-job empirical models. Writes each capture to
+// /tmp/keddah_traces/ as CSV for offline analysis.
+//
+// Run:  ./build/examples/workload_study
+#include <filesystem>
+#include <iostream>
+
+#include "util/strings.h"
+#include "util/table.h"
+#include "workloads/suite.h"
+
+int main() {
+  using namespace keddah;
+  constexpr std::uint64_t kGiB = 1ull << 30;
+
+  hadoop::ClusterConfig config;
+  config.racks = 4;
+  config.hosts_per_rack = 4;
+  config.containers_per_node = 4;
+  config.locality_delay_s = 2.0;
+
+  const std::filesystem::path out_dir = "/tmp/keddah_traces";
+  std::filesystem::create_directories(out_dir);
+
+  util::TextTable table({"job", "input", "flows", "total", "read%", "shuffle%", "write%",
+                         "job_s", "local_maps"});
+  std::uint64_t seed = 500;
+  for (const auto w : workloads::all_workloads()) {
+    for (const std::uint64_t gb : {2ull, 8ull}) {
+      const auto outcome = workloads::run_single(config, w, gb * kGiB, 0, seed++);
+      const auto stats = outcome.trace.class_stats();
+      const double total = outcome.trace.total_bytes();
+      auto share = [&](net::FlowKind kind) {
+        return util::format(
+            "%.1f%%", 100.0 * stats[static_cast<std::size_t>(kind)].bytes / std::max(total, 1.0));
+      };
+      table.add_row({workloads::workload_name(w), util::format("%lluGB", (unsigned long long)gb),
+                     std::to_string(outcome.trace.size()), util::human_bytes(total),
+                     share(net::FlowKind::kHdfsRead), share(net::FlowKind::kShuffle),
+                     share(net::FlowKind::kHdfsWrite),
+                     util::format("%.1f", outcome.result.duration()),
+                     util::format("%zu/%zu", outcome.result.maps_with_local_read,
+                                  outcome.result.num_maps)});
+      const auto path = out_dir / util::format("%s_%llugb.csv", workloads::workload_name(w),
+                                               (unsigned long long)gb);
+      outcome.trace.save(path.string());
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nPer-run flow traces written to " << out_dir.string() << "/*.csv\n";
+  return 0;
+}

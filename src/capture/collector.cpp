@@ -1,0 +1,38 @@
+#include "capture/collector.h"
+
+namespace keddah::capture {
+
+FlowCollector::FlowCollector(net::Network& network, CollectorOptions options)
+    : options_(options) {
+  const net::Topology* topo = &network.topology();
+  network.add_completion_tap([this, topo](const net::Flow& flow) { on_flow(flow, *topo); });
+}
+
+Trace FlowCollector::take() {
+  Trace out = std::move(trace_);
+  trace_ = Trace();
+  return out;
+}
+
+void FlowCollector::on_flow(const net::Flow& flow, const net::Topology& topo) {
+  if (flow.loopback() && !options_.include_loopback) {
+    ++dropped_loopback_;
+    return;
+  }
+  if (!options_.include_control && flow.meta.kind == net::FlowKind::kControl) return;
+  FlowRecord r;
+  r.src = topo.node(flow.src).name;
+  r.dst = topo.node(flow.dst).name;
+  r.src_id = flow.src;
+  r.dst_id = flow.dst;
+  r.src_port = flow.meta.src_port;
+  r.dst_port = flow.meta.dst_port;
+  r.bytes = flow.bytes;
+  r.start = flow.start_time;
+  r.end = flow.end_time;
+  r.job_id = flow.meta.job_id;
+  r.truth = flow.meta.kind;
+  trace_.add(std::move(r));
+}
+
+}  // namespace keddah::capture

@@ -1,0 +1,49 @@
+// FlowCollector: the "tcpdump on every node" of the toolchain. It taps the
+// network engine and accumulates completed flows into a Trace.
+#pragma once
+
+#include "capture/trace.h"
+#include "net/network.h"
+
+namespace keddah::capture {
+
+/// Capture options.
+struct CollectorOptions {
+  /// Loopback (same-node) transfers never cross a NIC; real captures do not
+  /// see them, so they are dropped by default.
+  bool include_loopback = false;
+  /// Drop control-plane flows (some analyses exclude the constant RPC hum).
+  bool include_control = true;
+};
+
+/// Subscribes to a Network's completion tap and records each finished flow.
+/// Attach exactly one collector per Network per capture run.
+class FlowCollector {
+ public:
+  /// Registers the tap on construction; the collector must outlive the
+  /// network's remaining lifetime of use.
+  explicit FlowCollector(net::Network& network, CollectorOptions options = {});
+
+  FlowCollector(const FlowCollector&) = delete;
+  FlowCollector& operator=(const FlowCollector&) = delete;
+
+  /// The trace captured so far.
+  const Trace& trace() const { return trace_; }
+
+  /// Moves the accumulated trace out and resets the collector.
+  Trace take();
+
+  /// Clears accumulated records.
+  void clear() { trace_ = Trace(); }
+
+  std::size_t dropped_loopback() const { return dropped_loopback_; }
+
+ private:
+  void on_flow(const net::Flow& flow, const net::Topology& topo);
+
+  CollectorOptions options_;
+  Trace trace_;
+  std::size_t dropped_loopback_ = 0;
+};
+
+}  // namespace keddah::capture

@@ -1,0 +1,314 @@
+#include "capture/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <map>
+
+#include "util/strings.h"
+
+namespace keddah::capture {
+
+net::FlowKind classify_by_ports(const FlowRecord& record) {
+  using net::FlowKind;
+  namespace ports = net::ports;
+  if (record.src_port == ports::kDataNodeXfer) return FlowKind::kHdfsRead;
+  if (record.dst_port == ports::kDataNodeXfer) return FlowKind::kHdfsWrite;
+  if (record.src_port == ports::kShuffle || record.dst_port == ports::kShuffle) {
+    return FlowKind::kShuffle;
+  }
+  for (const std::uint16_t p : {record.src_port, record.dst_port}) {
+    if (p == ports::kNameNodeRpc || p == ports::kRmScheduler || p == ports::kRmTracker) {
+      return FlowKind::kControl;
+    }
+  }
+  return FlowKind::kOther;
+}
+
+void Trace::append(const Trace& other) {
+  records_.insert(records_.end(), other.records_.begin(), other.records_.end());
+}
+
+Trace Trace::filter_kind(net::FlowKind kind) const {
+  Trace out;
+  for (const auto& r : records_) {
+    if (classify_by_ports(r) == kind) out.add(r);
+  }
+  return out;
+}
+
+Trace Trace::filter_job(std::uint32_t job_id) const {
+  Trace out;
+  for (const auto& r : records_) {
+    if (r.job_id == job_id) out.add(r);
+  }
+  return out;
+}
+
+Trace Trace::filter_window(double t0, double t1) const {
+  Trace out;
+  for (const auto& r : records_) {
+    if (r.start >= t0 && r.start < t1) out.add(r);
+  }
+  return out;
+}
+
+std::vector<double> Trace::sizes() const {
+  std::vector<double> out;
+  out.reserve(records_.size());
+  for (const auto& r : records_) out.push_back(r.bytes);
+  return out;
+}
+
+std::vector<double> Trace::start_times() const {
+  std::vector<double> out;
+  out.reserve(records_.size());
+  for (const auto& r : records_) out.push_back(r.start);
+  return out;
+}
+
+std::vector<double> Trace::durations() const {
+  std::vector<double> out;
+  out.reserve(records_.size());
+  for (const auto& r : records_) out.push_back(r.duration());
+  return out;
+}
+
+double Trace::total_bytes() const {
+  double total = 0.0;
+  for (const auto& r : records_) total += r.bytes;
+  return total;
+}
+
+double Trace::first_start() const {
+  double t = 0.0;
+  bool first = true;
+  for (const auto& r : records_) {
+    if (first || r.start < t) t = r.start;
+    first = false;
+  }
+  return t;
+}
+
+double Trace::last_end() const {
+  double t = 0.0;
+  for (const auto& r : records_) t = std::max(t, r.end);
+  return t;
+}
+
+std::array<ClassStats, net::kNumFlowKinds> Trace::class_stats() const {
+  std::array<ClassStats, net::kNumFlowKinds> out{};
+  for (const auto& r : records_) {
+    auto& s = out[static_cast<std::size_t>(classify_by_ports(r))];
+    ++s.flows;
+    s.bytes += r.bytes;
+  }
+  return out;
+}
+
+std::vector<double> Trace::throughput_series(double bin_s) const {
+  std::vector<double> bins;
+  if (records_.empty() || bin_s <= 0.0) return bins;
+  const double t0 = first_start();
+  const double t1 = last_end();
+  const auto nbins = static_cast<std::size_t>(std::ceil((t1 - t0) / bin_s)) + 1;
+  bins.assign(nbins, 0.0);
+  for (const auto& r : records_) {
+    const double dur = r.duration();
+    if (dur <= 0.0) {
+      const auto b = static_cast<std::size_t>((r.start - t0) / bin_s);
+      bins[std::min(b, nbins - 1)] += r.bytes;
+      continue;
+    }
+    const double rate = r.bytes / dur;  // bytes per second, uniform smear
+    double t = r.start;
+    while (t < r.end) {
+      const auto b = static_cast<std::size_t>((t - t0) / bin_s);
+      const double bin_end = t0 + (static_cast<double>(b) + 1.0) * bin_s;
+      const double seg = std::min(bin_end, r.end) - t;
+      bins[std::min(b, nbins - 1)] += rate * seg;
+      t += seg;
+      if (seg <= 0.0) break;  // numerical guard
+    }
+  }
+  return bins;
+}
+
+util::CsvTable Trace::to_csv() const {
+  util::CsvTable table({"src", "dst", "src_id", "dst_id", "src_port", "dst_port", "bytes", "start",
+                        "end", "job_id", "truth"});
+  for (const auto& r : records_) {
+    table.add_row({r.src, r.dst, std::to_string(r.src_id), std::to_string(r.dst_id),
+                   std::to_string(r.src_port), std::to_string(r.dst_port),
+                   util::format("%.3f", r.bytes), util::format("%.9f", r.start),
+                   util::format("%.9f", r.end), std::to_string(r.job_id),
+                   net::flow_kind_name(r.truth)});
+  }
+  return table;
+}
+
+namespace {
+net::FlowKind kind_from_name(const std::string& name) {
+  for (std::size_t i = 0; i < net::kNumFlowKinds; ++i) {
+    const auto kind = static_cast<net::FlowKind>(i);
+    if (name == net::flow_kind_name(kind)) return kind;
+  }
+  return net::FlowKind::kOther;
+}
+}  // namespace
+
+Trace Trace::from_csv(const util::CsvTable& table) {
+  Trace out;
+  for (std::size_t i = 0; i < table.num_rows(); ++i) {
+    FlowRecord r;
+    r.src = table.cell(i, "src");
+    r.dst = table.cell(i, "dst");
+    r.src_id = static_cast<net::NodeId>(table.cell_int(i, "src_id"));
+    r.dst_id = static_cast<net::NodeId>(table.cell_int(i, "dst_id"));
+    r.src_port = static_cast<std::uint16_t>(table.cell_int(i, "src_port"));
+    r.dst_port = static_cast<std::uint16_t>(table.cell_int(i, "dst_port"));
+    r.bytes = table.cell_double(i, "bytes");
+    r.start = table.cell_double(i, "start");
+    r.end = table.cell_double(i, "end");
+    r.job_id = static_cast<std::uint32_t>(table.cell_int(i, "job_id"));
+    r.truth = kind_from_name(table.cell(i, "truth"));
+    out.add(std::move(r));
+  }
+  return out;
+}
+
+void Trace::save(const std::string& path) const { to_csv().save(path); }
+
+Trace Trace::load(const std::string& path) { return from_csv(util::CsvTable::load(path)); }
+
+namespace {
+
+constexpr char kBinaryMagic[4] = {'K', 'D', 'T', 'R'};
+constexpr std::uint32_t kBinaryVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof value);
+  if (!in) throw std::runtime_error("trace: truncated binary file");
+  return value;
+}
+
+void write_string(std::ostream& out, const std::string& s) {
+  write_pod(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& in) {
+  const auto len = read_pod<std::uint32_t>(in);
+  if (len > (1u << 20)) throw std::runtime_error("trace: implausible string length");
+  std::string s(len, '\0');
+  in.read(s.data(), len);
+  if (!in) throw std::runtime_error("trace: truncated binary file");
+  return s;
+}
+
+/// Fixed-width on-disk record (node names live in the string table).
+struct BinaryRecord {
+  std::uint32_t src_name;
+  std::uint32_t dst_name;
+  std::uint32_t src_id;
+  std::uint32_t dst_id;
+  std::uint16_t src_port;
+  std::uint16_t dst_port;
+  std::uint32_t job_id;
+  std::uint8_t truth;
+  std::uint8_t pad[3];
+  double bytes;
+  double start;
+  double end;
+};
+static_assert(sizeof(BinaryRecord) == 56, "binary record layout drifted");
+
+}  // namespace
+
+void Trace::save_binary(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("trace: cannot write " + path);
+  out.write(kBinaryMagic, sizeof kBinaryMagic);
+  write_pod(out, kBinaryVersion);
+
+  // String table of unique node names.
+  std::map<std::string, std::uint32_t> name_ids;
+  std::vector<const std::string*> names;
+  auto intern = [&](const std::string& name) {
+    const auto [it, inserted] = name_ids.emplace(name, static_cast<std::uint32_t>(names.size()));
+    if (inserted) names.push_back(&it->first);
+    return it->second;
+  };
+  std::vector<BinaryRecord> records;
+  records.reserve(records_.size());
+  for (const auto& r : records_) {
+    BinaryRecord b{};
+    b.src_name = intern(r.src);
+    b.dst_name = intern(r.dst);
+    b.src_id = r.src_id;
+    b.dst_id = r.dst_id;
+    b.src_port = r.src_port;
+    b.dst_port = r.dst_port;
+    b.job_id = r.job_id;
+    b.truth = static_cast<std::uint8_t>(r.truth);
+    b.bytes = r.bytes;
+    b.start = r.start;
+    b.end = r.end;
+    records.push_back(b);
+  }
+  write_pod(out, static_cast<std::uint32_t>(names.size()));
+  for (const auto* name : names) write_string(out, *name);
+  write_pod(out, static_cast<std::uint64_t>(records.size()));
+  out.write(reinterpret_cast<const char*>(records.data()),
+            static_cast<std::streamsize>(records.size() * sizeof(BinaryRecord)));
+  if (!out) throw std::runtime_error("trace: write failed for " + path);
+}
+
+Trace Trace::load_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("trace: cannot open " + path);
+  char magic[4];
+  in.read(magic, sizeof magic);
+  if (!in || std::memcmp(magic, kBinaryMagic, sizeof magic) != 0) {
+    throw std::runtime_error("trace: not a KDTR file: " + path);
+  }
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version != kBinaryVersion) {
+    throw std::runtime_error("trace: unsupported KDTR version " + std::to_string(version));
+  }
+  const auto num_names = read_pod<std::uint32_t>(in);
+  std::vector<std::string> names(num_names);
+  for (auto& name : names) name = read_string(in);
+  const auto count = read_pod<std::uint64_t>(in);
+  Trace trace;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto b = read_pod<BinaryRecord>(in);
+    if (b.src_name >= names.size() || b.dst_name >= names.size()) {
+      throw std::runtime_error("trace: corrupt string reference");
+    }
+    FlowRecord r;
+    r.src = names[b.src_name];
+    r.dst = names[b.dst_name];
+    r.src_id = b.src_id;
+    r.dst_id = b.dst_id;
+    r.src_port = b.src_port;
+    r.dst_port = b.dst_port;
+    r.job_id = b.job_id;
+    r.truth = static_cast<net::FlowKind>(b.truth);
+    r.bytes = b.bytes;
+    r.start = b.start;
+    r.end = b.end;
+    trace.add(std::move(r));
+  }
+  return trace;
+}
+
+}  // namespace keddah::capture

@@ -1,0 +1,92 @@
+// TrafficGenerator: samples a trained KeddahModel into a synthetic flow
+// schedule for an arbitrary scenario (input size, task counts, cluster
+// size) — the input to a network simulator replay.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "model/keddah_model.h"
+#include "net/flow.h"
+#include "util/rng.h"
+
+namespace keddah::gen {
+
+/// The what-if scenario to synthesize traffic for.
+struct Scenario {
+  /// Job input size; drives counts, volumes, and duration via the model's
+  /// scaling laws.
+  double input_bytes = 0.0;
+  /// Task counts. Zero derives them from the model context (maps from
+  /// block size) and a reducers-per-GB heuristic.
+  std::size_t num_maps = 0;
+  std::size_t num_reducers = 0;
+  /// Hosts available for endpoint placement.
+  std::size_t num_hosts = 16;
+};
+
+/// One synthetic flow: host indices (to be mapped onto a topology), class,
+/// size, and start time relative to job start.
+struct SyntheticFlow {
+  std::size_t src_host = 0;
+  std::size_t dst_host = 0;
+  net::FlowKind kind = net::FlowKind::kOther;
+  double bytes = 0.0;
+  double start = 0.0;
+};
+
+/// A generated job's traffic schedule.
+struct SyntheticTrafficSchedule {
+  std::vector<SyntheticFlow> flows;
+  /// Model-predicted job duration used as the temporal canvas.
+  double predicted_duration = 0.0;
+
+  double total_bytes() const;
+  std::size_t count(net::FlowKind kind) const;
+  double bytes_of(net::FlowKind kind) const;
+};
+
+/// Generator options.
+struct GeneratorOptions {
+  /// When true, per-class flow sizes are rescaled (uniformly) so that each
+  /// class's total matches the model's volume scaling law for the scenario
+  /// input size. Keeps aggregate volume faithful even when count x mean
+  /// drifts; distribution shape is preserved up to the scale factor.
+  bool normalize_volume = false;
+};
+
+/// Samples flow schedules from a model. Deterministic in (model, scenario,
+/// rng seed).
+class TrafficGenerator {
+ public:
+  TrafficGenerator(const model::KeddahModel& model, util::Rng rng, GeneratorOptions options = {});
+
+  /// Generates one job's worth of traffic.
+  SyntheticTrafficSchedule generate(const Scenario& scenario);
+
+ private:
+  /// Fills in zero fields of the scenario from model context.
+  Scenario resolve(const Scenario& scenario) const;
+
+  const model::KeddahModel& model_;
+  util::Rng rng_;
+  GeneratorOptions options_;
+};
+
+/// One job of a synthetic multi-job mix.
+struct MixEntry {
+  /// Model to sample (borrowed; must outlive the call).
+  const model::KeddahModel* model = nullptr;
+  Scenario scenario;
+  /// Job start offset within the mix, seconds.
+  double submit_at = 0.0;
+};
+
+/// Generates a combined schedule for several (possibly overlapping) jobs —
+/// the "realistic scenario" workloads Keddah targets. Each entry is sampled
+/// with an independent RNG stream and shifted to its submit time; the merged
+/// schedule is sorted by start.
+SyntheticTrafficSchedule generate_mix(std::span<const MixEntry> entries, util::Rng rng,
+                                      GeneratorOptions options = {});
+
+}  // namespace keddah::gen

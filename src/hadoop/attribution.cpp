@@ -1,0 +1,70 @@
+#include "hadoop/attribution.h"
+
+#include <algorithm>
+
+namespace keddah::hadoop {
+
+AttributionResult attribute_flows(const capture::Trace& trace, const JobHistoryLog& log,
+                                  AttributionOptions options) {
+  AttributionResult result;
+  result.assigned.assign(trace.size(), 0);
+
+  // Precompute job windows once.
+  struct Window {
+    std::uint32_t job;
+    double start;
+    double end;
+  };
+  std::vector<Window> windows;
+  for (const auto job : log.job_ids()) {
+    double start = 0.0;
+    double end = 0.0;
+    if (log.job_window(job, &start, &end)) windows.push_back(Window{job, start, end});
+  }
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const auto& record = trace[i];
+    if (record.job_id != 0) ++result.job_flows;
+    if (capture::classify_by_ports(record) == net::FlowKind::kControl) continue;
+
+    std::uint32_t best_job = 0;
+    int best_score = 0;
+    std::size_t covering = 0;
+    std::uint32_t sole_cover = 0;
+    for (const auto& w : windows) {
+      if (record.start < w.start - options.slack_s || record.start > w.end + options.slack_s) {
+        continue;
+      }
+      ++covering;
+      sole_cover = w.job;
+      // Endpoint evidence: did this job have a task on the flow's source
+      // or destination when the flow started?
+      int score = 1;  // inside the window at all
+      if (log.task_active_on(w.job, record.src_id, record.start, options.slack_s)) score += 2;
+      if (log.task_active_on(w.job, record.dst_id, record.start, options.slack_s)) score += 2;
+      if (score > best_score) {
+        best_score = score;
+        best_job = w.job;
+      } else if (score == best_score && best_job != 0 && w.job < best_job) {
+        best_job = w.job;  // deterministic tie-break
+      }
+    }
+    // Claim a flow on endpoint evidence; failing that, on an unambiguous
+    // window (replication-pipeline tail stages run DataNode-to-DataNode,
+    // away from any task host — only the job window can claim those).
+    std::uint32_t assignment = 0;
+    if (best_score >= 3) {
+      assignment = best_job;
+    } else if (covering == 1) {
+      assignment = sole_cover;
+    }
+    if (assignment != 0) {
+      result.assigned[i] = assignment;
+      ++result.attributed;
+      if (assignment == record.job_id) ++result.correct;
+    }
+  }
+  return result;
+}
+
+}  // namespace keddah::hadoop

@@ -1,0 +1,54 @@
+// Flow-to-job attribution from job-history logs — the paper's method for
+// labelling pcap flows with the job that caused them: a flow belongs to a
+// job if it falls inside the job's window and the job had tasks on the
+// flow's endpoints at that moment.
+//
+// Our captured flows carry the true job id (stamped by the emulator), which
+// the attributor deliberately ignores; it is used only to score accuracy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "capture/trace.h"
+#include "hadoop/joblog.h"
+
+namespace keddah::hadoop {
+
+/// Outcome of attributing one trace against one history log.
+struct AttributionResult {
+  /// Per-record job assignment (0 = background/unattributed), parallel to
+  /// the trace's records.
+  std::vector<std::uint32_t> assigned;
+  /// Records attributed to some job.
+  std::size_t attributed = 0;
+  /// Attributed records whose assignment matches the ground truth.
+  std::size_t correct = 0;
+  /// Records whose ground truth is a job (job_id != 0).
+  std::size_t job_flows = 0;
+
+  /// Fraction of job flows attributed to the right job.
+  double recall() const {
+    return job_flows == 0 ? 1.0 : static_cast<double>(correct) / static_cast<double>(job_flows);
+  }
+  /// Fraction of attributions that are correct.
+  double precision() const {
+    return attributed == 0 ? 1.0
+                           : static_cast<double>(correct) / static_cast<double>(attributed);
+  }
+};
+
+/// Attribution options.
+struct AttributionOptions {
+  /// Clock slack applied to task intervals and job windows, seconds.
+  double slack_s = 0.5;
+};
+
+/// Attributes every flow of `trace` to a job using only timing/placement
+/// information from `log` (never the records' own job_id). Flows that
+/// classify as control are left unattributed (they belong to the cluster,
+/// not a job).
+AttributionResult attribute_flows(const capture::Trace& trace, const JobHistoryLog& log,
+                                  AttributionOptions options = {});
+
+}  // namespace keddah::hadoop

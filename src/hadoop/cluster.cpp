@@ -1,0 +1,75 @@
+#include "hadoop/cluster.h"
+
+#include <stdexcept>
+
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace keddah::hadoop {
+
+HadoopCluster::HadoopCluster(const ClusterConfig& config, std::uint64_t seed,
+                             capture::CollectorOptions capture_options)
+    : config_(config), rng_(seed) {
+  net::Topology topo = config_.build_topology();
+  net::NetworkOptions net_options;
+  net_options.loopback_bps = config_.loopback_bps;
+  network_ = std::make_unique<net::Network>(sim_, std::move(topo), net_options);
+  workers_ = network_->topology().hosts();
+  if (workers_.empty()) throw std::invalid_argument("cluster: topology has no hosts");
+
+  collector_ = std::make_unique<capture::FlowCollector>(*network_, capture_options);
+  hdfs_ = std::make_unique<HdfsCluster>(*network_, workers_, config_, rng_.split());
+  scheduler_ = std::make_unique<YarnScheduler>(sim_, network_->topology(), workers_,
+                                               config_.containers_per_node,
+                                               config_.locality_scheduling,
+                                               config_.locality_delay_s);
+  runner_ = std::make_unique<JobRunner>(*network_, *hdfs_, *scheduler_, config_, rng_.split());
+  runner_->set_history_log(&history_);
+  control_ = std::make_unique<ControlPlane>(*network_, workers_, master(), config_, rng_.split());
+}
+
+std::string HadoopCluster::ensure_input(std::uint64_t bytes) {
+  const std::string name = util::format("input_%llu", static_cast<unsigned long long>(bytes));
+  if (!hdfs_->has_file(name)) hdfs_->ingest_file(name, bytes);
+  return name;
+}
+
+JobResult HadoopCluster::run_job(const JobSpec& spec) {
+  JobResult result;
+  bool done = false;
+  control_->enable();
+  runner_->submit(spec, [&](const JobResult& r) {
+    result = r;
+    done = true;
+    control_->disable();
+  });
+  sim_.run();
+  if (!done) throw std::logic_error("cluster: simulator drained before job completion");
+  return result;
+}
+
+void HadoopCluster::fail_node(net::NodeId node) {
+  if (node == master()) throw std::invalid_argument("cluster: cannot fail the master node");
+  if (!scheduler_->node_up(node)) return;  // already dead
+  KLOG_INFO << "failing node " << network_->topology().node(node).name << " at t="
+            << sim_.now();
+  // Order matters: take the scheduler capacity away first so reruns cannot
+  // land on the dead node, then repair storage, then rerun work.
+  scheduler_->mark_node_down(node);
+  hdfs_->handle_datanode_failure(node);
+  runner_->handle_node_failure(node);
+  control_->mark_node_down(node);
+}
+
+void HadoopCluster::fail_node_at(net::NodeId node, double time) {
+  sim_.schedule_at(time, [this, node] { fail_node(node); });
+}
+
+std::vector<JobResult> HadoopCluster::run_jobs(const std::vector<JobSpec>& specs) {
+  std::vector<JobResult> results;
+  results.reserve(specs.size());
+  for (const auto& spec : specs) results.push_back(run_job(spec));
+  return results;
+}
+
+}  // namespace keddah::hadoop

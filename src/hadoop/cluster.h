@@ -1,0 +1,93 @@
+// HadoopCluster: the facade tying the whole emulated testbed together —
+// simulator, fabric, HDFS, YARN, job runner, control plane, and the capture
+// collector. This is the object the paper's "run a job and tcpdump it"
+// workflow maps onto.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "capture/collector.h"
+#include "hadoop/config.h"
+#include "hadoop/control.h"
+#include "hadoop/hdfs.h"
+#include "hadoop/joblog.h"
+#include "hadoop/jobrunner.h"
+#include "hadoop/yarn.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace keddah::hadoop {
+
+/// A complete, ready-to-run emulated Hadoop cluster.
+///
+/// The master (ResourceManager + NameNode) is co-hosted on worker 0, as in
+/// small testbeds; heartbeats from worker 0 are loopback and hence invisible
+/// to capture, like a real co-hosted master.
+class HadoopCluster {
+ public:
+  explicit HadoopCluster(const ClusterConfig& config, std::uint64_t seed = 1,
+                         capture::CollectorOptions capture_options = {});
+
+  HadoopCluster(const HadoopCluster&) = delete;
+  HadoopCluster& operator=(const HadoopCluster&) = delete;
+
+  sim::Simulator& simulator() { return sim_; }
+  net::Network& network() { return *network_; }
+  HdfsCluster& hdfs() { return *hdfs_; }
+  YarnScheduler& scheduler() { return *scheduler_; }
+  JobRunner& runner() { return *runner_; }
+  ControlPlane& control() { return *control_; }
+  const ClusterConfig& config() const { return config_; }
+
+  /// The framework's job-history log (task/job lifecycle events), written
+  /// by the runner as jobs execute; input to hadoop/attribution.h.
+  const JobHistoryLog& history() const { return history_; }
+
+  net::NodeId master() const { return workers_.front(); }
+  const std::vector<net::NodeId>& workers() const { return workers_; }
+
+  /// Ingests an input file sized `bytes` if it does not already exist;
+  /// returns its name. The name encodes the size so repeated runs share it.
+  std::string ensure_input(std::uint64_t bytes);
+
+  /// Runs one job to completion (blocking: advances the simulator until the
+  /// job's output is durable). Control traffic is emitted while the job
+  /// runs. Returns the execution summary.
+  JobResult run_job(const JobSpec& spec);
+
+  /// Runs several jobs back to back (sequential submission, one result per
+  /// spec, in order).
+  std::vector<JobResult> run_jobs(const std::vector<JobSpec>& specs);
+
+  /// Flows captured so far (excludes loopback per collector options).
+  const capture::Trace& trace() const { return collector_->trace(); }
+
+  /// Takes ownership of the captured trace and clears the collector, so the
+  /// next run starts a fresh capture.
+  capture::Trace take_trace() { return collector_->take(); }
+
+  /// Fails a worker immediately: the NodeManager's containers die (tasks
+  /// rerun elsewhere), its DataNode's replicas are re-replicated, and its
+  /// heartbeats stop. The master (worker 0) cannot be failed.
+  void fail_node(net::NodeId node);
+
+  /// Schedules fail_node(node) at an absolute simulation time.
+  void fail_node_at(net::NodeId node, double time);
+
+ private:
+  ClusterConfig config_;
+  sim::Simulator sim_;
+  std::unique_ptr<net::Network> network_;
+  std::vector<net::NodeId> workers_;
+  std::unique_ptr<capture::FlowCollector> collector_;
+  std::unique_ptr<HdfsCluster> hdfs_;
+  std::unique_ptr<YarnScheduler> scheduler_;
+  std::unique_ptr<JobRunner> runner_;
+  std::unique_ptr<ControlPlane> control_;
+  JobHistoryLog history_;
+  util::Rng rng_;
+};
+
+}  // namespace keddah::hadoop

@@ -1,0 +1,94 @@
+// Cluster-wide configuration: topology shape, HDFS parameters, and the
+// MapReduce knobs the paper sweeps (replication factor, block size,
+// slow-start threshold).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/topology.h"
+
+namespace keddah::hadoop {
+
+/// Which fabric to build under the cluster.
+enum class TopologyKind { kStar, kRackTree, kFatTree };
+
+/// Everything needed to stand up an emulated Hadoop cluster.
+struct ClusterConfig {
+  // ---- fabric ----
+  TopologyKind topology = TopologyKind::kRackTree;
+  std::size_t racks = 4;
+  std::size_t hosts_per_rack = 4;
+  /// Host access-link rate, bits/s (1 GbE default, as in the paper's era).
+  double access_bps = 1.0e9;
+  /// ToR uplink rate, bits/s.
+  double core_bps = 10.0e9;
+  /// Per-link one-way latency, seconds.
+  double latency_s = 100e-6;
+  /// Fat-tree arity when topology == kFatTree (hosts = k^3/4).
+  std::size_t fat_tree_k = 4;
+
+  // ---- node resources ----
+  /// YARN containers per NodeManager (vcores-bound slots).
+  std::size_t containers_per_node = 8;
+  /// Local disk sequential read/write rates, bits/s: cap loopback reads,
+  /// shuffle serving, and pipeline writes.
+  double disk_read_bps = 6.0e9;   // ~750 MB/s
+  double disk_write_bps = 4.0e9;  // ~500 MB/s
+
+  // ---- HDFS ----
+  std::uint64_t block_size = 128ull << 20;
+  std::uint32_t replication = 3;
+
+  // ---- MapReduce ----
+  /// mapreduce.job.reduce.slowstart.completedmaps: fraction of maps that
+  /// must finish before reducers launch.
+  double slowstart = 0.05;
+  /// mapreduce.reduce.shuffle.parallelcopies: concurrent fetches/reducer.
+  std::size_t shuffle_parallel_copies = 5;
+  /// mapreduce.map.output.compress: on-the-wire shuffle bytes per logical
+  /// map-output byte (1.0 = compression off; ~0.35 models Snappy on text).
+  /// Compute and output sizing always use the logical (uncompressed) bytes.
+  double map_output_compress_ratio = 1.0;
+  /// Per-fetch HTTP framing overhead added to every shuffle flow, bytes.
+  double shuffle_http_overhead_bytes = 512.0;
+  /// Task container startup cost (JVM spawn etc.), seconds.
+  double task_startup_s = 1.0;
+  /// Multiplicative lognormal noise sigma on task compute durations.
+  double task_noise_sigma = 0.15;
+  /// Fraction of task attempts that straggle (e.g. CPU contention, bad
+  /// disk); their compute runs `straggler_slowdown` times slower.
+  double straggler_fraction = 0.0;
+  double straggler_slowdown = 6.0;
+  /// mapreduce.map.speculative: launch a backup attempt for a map whose
+  /// elapsed runtime exceeds `speculation_threshold` times the mean
+  /// completed-map runtime. The first attempt to finish wins; the loser's
+  /// traffic (duplicate input read) stays on the wire, as in real Hadoop.
+  bool speculative_execution = false;
+  double speculation_threshold = 1.5;
+  double speculation_check_interval_s = 1.0;
+  /// If false the scheduler ignores data locality (ablation knob).
+  bool locality_scheduling = true;
+  /// Delay-scheduling hold-out: how long a map request waits for a
+  /// node-local slot before degrading to rack-local/off-switch.
+  double locality_delay_s = 3.0;
+
+  // ---- control plane ----
+  bool control_traffic = true;
+  double nm_heartbeat_s = 1.0;     // NodeManager -> ResourceManager
+  double dn_heartbeat_s = 3.0;     // DataNode -> NameNode
+  double heartbeat_bytes = 800.0;  // serialized protobuf-ish payload
+
+  /// Rate applied to same-host transfers (memory/IPC bound), bits/s.
+  double loopback_bps = 40.0e9;
+
+  std::size_t num_workers() const {
+    return topology == TopologyKind::kFatTree ? fat_tree_k * fat_tree_k * fat_tree_k / 4
+                                              : racks * hosts_per_rack;
+  }
+
+  /// Builds the fabric described by this config.
+  net::Topology build_topology() const;
+};
+
+}  // namespace keddah::hadoop

@@ -1,0 +1,68 @@
+#include "hadoop/control.h"
+
+namespace keddah::hadoop {
+
+ControlPlane::ControlPlane(net::Network& network, std::vector<net::NodeId> workers,
+                           net::NodeId master, const ClusterConfig& config, util::Rng rng)
+    : network_(network),
+      workers_(std::move(workers)),
+      master_(master),
+      config_(config),
+      rng_(rng),
+      pending_(workers_.size() * 2, sim::kInvalidEvent),
+      node_down_(workers_.size(), false) {}
+
+void ControlPlane::mark_node_down(net::NodeId node) {
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    if (workers_[i] != node) continue;
+    node_down_[i] = true;
+    auto& sim = network_.simulator();
+    sim.cancel(pending_[i * 2]);
+    sim.cancel(pending_[i * 2 + 1]);
+    pending_[i * 2] = pending_[i * 2 + 1] = sim::kInvalidEvent;
+  }
+}
+
+void ControlPlane::enable() {
+  if (enabled_ || !config_.control_traffic) return;
+  enabled_ = true;
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    if (node_down_[i]) continue;
+    // Random phase so heartbeats do not synchronize across nodes.
+    schedule_tick(i, /*nm_channel=*/true, rng_.uniform(0.0, config_.nm_heartbeat_s));
+    schedule_tick(i, /*nm_channel=*/false, rng_.uniform(0.0, config_.dn_heartbeat_s));
+  }
+}
+
+void ControlPlane::disable() {
+  if (!enabled_) return;
+  enabled_ = false;
+  auto& sim = network_.simulator();
+  for (auto& id : pending_) {
+    sim.cancel(id);
+    id = sim::kInvalidEvent;
+  }
+}
+
+void ControlPlane::schedule_tick(std::size_t worker_index, bool nm_channel, double delay) {
+  auto& sim = network_.simulator();
+  pending_[worker_index * 2 + (nm_channel ? 0 : 1)] =
+      sim.schedule_in(delay, [this, worker_index, nm_channel] { fire(worker_index, nm_channel); });
+}
+
+void ControlPlane::fire(std::size_t worker_index, bool nm_channel) {
+  if (!enabled_ || node_down_[worker_index]) return;
+  net::FlowMeta meta;
+  meta.src_port = net::ports::kEphemeralBase;
+  meta.dst_port = nm_channel ? net::ports::kRmTracker : net::ports::kNameNodeRpc;
+  meta.job_id = 0;
+  meta.kind = net::FlowKind::kControl;
+  // Heartbeat payload with mild size jitter (report contents vary).
+  const double bytes = config_.heartbeat_bytes * rng_.uniform(0.8, 1.4);
+  network_.start_flow(workers_[worker_index], master_, bytes, meta, nullptr);
+  ++emitted_;
+  const double period = nm_channel ? config_.nm_heartbeat_s : config_.dn_heartbeat_s;
+  schedule_tick(worker_index, nm_channel, period);
+}
+
+}  // namespace keddah::hadoop

@@ -1,0 +1,56 @@
+// Background control-plane traffic: NodeManager -> ResourceManager and
+// DataNode -> NameNode heartbeats. Individually tiny, but they put the
+// constant RPC hum in captures that the paper's "control" class describes.
+#pragma once
+
+#include <vector>
+
+#include "hadoop/config.h"
+#include "net/network.h"
+#include "util/rng.h"
+
+namespace keddah::hadoop {
+
+/// Emits periodic heartbeat flows from every worker to the master while
+/// enabled. Pending ticks are cancelled on disable so a drained simulator
+/// queue means the cluster is truly idle.
+class ControlPlane {
+ public:
+  /// `master` hosts the ResourceManager and NameNode endpoints.
+  ControlPlane(net::Network& network, std::vector<net::NodeId> workers, net::NodeId master,
+               const ClusterConfig& config, util::Rng rng);
+
+  ControlPlane(const ControlPlane&) = delete;
+  ControlPlane& operator=(const ControlPlane&) = delete;
+
+  /// Starts heartbeat emission (idempotent).
+  void enable();
+
+  /// Stops emission and cancels scheduled ticks (idempotent).
+  void disable();
+
+  bool enabled() const { return enabled_; }
+
+  /// Heartbeat flows emitted since construction.
+  std::uint64_t emitted() const { return emitted_; }
+
+  /// Silences a failed worker (its heartbeats stop, like a dead NM/DN).
+  void mark_node_down(net::NodeId node);
+
+ private:
+  void schedule_tick(std::size_t worker_index, bool nm_channel, double delay);
+  void fire(std::size_t worker_index, bool nm_channel);
+
+  net::Network& network_;
+  std::vector<net::NodeId> workers_;
+  net::NodeId master_;
+  ClusterConfig config_;
+  util::Rng rng_;
+  bool enabled_ = false;
+  std::uint64_t emitted_ = 0;
+  /// Pending tick per (worker, channel): [worker * 2 + channel].
+  std::vector<sim::EventId> pending_;
+  std::vector<bool> node_down_;
+};
+
+}  // namespace keddah::hadoop

@@ -1,0 +1,76 @@
+// MapReduce job descriptions and results.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace keddah::hadoop {
+
+/// Workload-specific shape of a MapReduce job. The selectivities are the
+/// parameters that determine per-class traffic volume (shuffle bytes = map
+/// selectivity x input; HDFS-write bytes = reduce selectivity x shuffle x
+/// replication).
+struct JobProfile {
+  std::string name = "custom";
+  /// Map output bytes per input byte (after combiner).
+  double map_selectivity = 1.0;
+  /// Final output bytes per shuffled byte.
+  double reduce_selectivity = 1.0;
+  /// Map compute cost, seconds per MiB of input.
+  double map_cpu_s_per_mb = 0.01;
+  /// Reduce (merge + apply) compute cost, seconds per MiB of shuffle input.
+  double reduce_cpu_s_per_mb = 0.01;
+  /// Zipf exponent of partition sizes across reducers (0 = balanced; key
+  /// skew in e.g. PageRank makes some reducers hot).
+  double partition_skew = 0.0;
+};
+
+/// One submitted job instance.
+struct JobSpec {
+  JobProfile profile;
+  /// HDFS input file (must exist before submission). Convenience for the
+  /// common single-input case; `extra_inputs` adds more (a job over a
+  /// directory of part files, e.g. the previous iteration's output).
+  std::string input_file;
+  std::vector<std::string> extra_inputs;
+  /// Number of reduce tasks; 0 makes a map-only job whose maps write their
+  /// output directly.
+  std::size_t num_reducers = 8;
+
+  /// All input names in order.
+  std::vector<std::string> all_inputs() const {
+    std::vector<std::string> out;
+    if (!input_file.empty()) out.push_back(input_file);
+    out.insert(out.end(), extra_inputs.begin(), extra_inputs.end());
+    return out;
+  }
+};
+
+/// Execution summary returned on job completion.
+struct JobResult {
+  std::uint32_t job_id = 0;
+  std::string job_name;
+  double submit_time = 0.0;
+  double end_time = 0.0;
+  std::size_t num_maps = 0;
+  std::size_t num_reducers = 0;
+  /// Time the last map task finished.
+  double map_phase_end = 0.0;
+  /// First shuffle fetch launch / last fetch completion (0 when map-only).
+  double shuffle_start = 0.0;
+  double shuffle_end = 0.0;
+  /// Byte accounting (application-level payloads).
+  std::uint64_t input_bytes = 0;
+  std::uint64_t map_output_bytes = 0;
+  std::uint64_t output_bytes = 0;
+  /// Map input locality achieved (node-local reads are capture-invisible).
+  std::size_t maps_with_local_read = 0;
+  /// HDFS files the job produced (reducer parts, or map parts when
+  /// map-only) — feedable as the next iteration's input.
+  std::vector<std::string> output_files;
+
+  double duration() const { return end_time - submit_time; }
+};
+
+}  // namespace keddah::hadoop

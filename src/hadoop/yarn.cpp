@@ -1,0 +1,169 @@
+#include "hadoop/yarn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace keddah::hadoop {
+
+YarnScheduler::YarnScheduler(sim::Simulator& sim, const net::Topology& topology,
+                             std::vector<net::NodeId> nodes, std::size_t containers_per_node,
+                             bool locality, double locality_delay_s)
+    : sim_(sim),
+      topology_(topology),
+      nodes_(std::move(nodes)),
+      locality_(locality),
+      locality_delay_s_(locality_delay_s) {
+  if (nodes_.empty() || containers_per_node == 0) {
+    throw std::invalid_argument("yarn: need nodes and slots");
+  }
+  containers_per_node_ = containers_per_node;
+  for (const auto n : nodes_) free_[n] = containers_per_node;
+  total_slots_ = free_slots_ = nodes_.size() * containers_per_node;
+}
+
+std::size_t YarnScheduler::free_slots_on(net::NodeId node) const {
+  const auto it = free_.find(node);
+  return it == free_.end() ? 0 : it->second;
+}
+
+std::size_t YarnScheduler::rack_miss_threshold() const {
+  if (locality_delay_s_ <= 0.0) return 0;
+  return static_cast<std::size_t>(std::ceil(locality_delay_s_ / opportunity_interval_s_));
+}
+
+void YarnScheduler::request_container(std::vector<net::NodeId> preferred, Grant grant) {
+  if (!grant) throw std::invalid_argument("yarn: null grant callback");
+  queue_.push_back(Request{std::move(preferred), std::move(grant)});
+  pump();
+}
+
+void YarnScheduler::release_container(net::NodeId node) {
+  if (down_.count(node) != 0) return;  // the container died with the node
+  const auto it = free_.find(node);
+  if (it == free_.end()) throw std::invalid_argument("yarn: release on unknown node");
+  ++it->second;
+  ++free_slots_;
+  pump();
+}
+
+void YarnScheduler::mark_node_down(net::NodeId node) {
+  const auto it = free_.find(node);
+  if (it == free_.end()) {
+    if (down_.count(node) != 0) return;  // already down
+    throw std::invalid_argument("yarn: unknown node");
+  }
+  // Lost capacity = its free slots (from the free pool) plus its whole
+  // quota (from total capacity, covering containers running on it).
+  free_slots_ -= it->second;
+  total_slots_ -= containers_per_node_;
+  free_.erase(it);
+  down_.insert(node);
+  pump();
+}
+
+bool YarnScheduler::node_up(net::NodeId node) const { return down_.count(node) == 0; }
+
+net::NodeId YarnScheduler::most_free_node() const {
+  net::NodeId best = net::kInvalidNode;
+  std::size_t best_free = 0;
+  for (const auto n : nodes_) {
+    const std::size_t f = free_slots_on(n);
+    if (f > best_free) {
+      best = n;
+      best_free = f;
+    }
+  }
+  return best;
+}
+
+net::NodeId YarnScheduler::choose_node(const Request& request, LocalityLevel* level) const {
+  if (free_slots_ == 0) return net::kInvalidNode;
+  if (!locality_ || request.preferred.empty()) {
+    *level = LocalityLevel::kOffSwitch;
+    return most_free_node();
+  }
+  // Node-local: a preferred node with a free slot.
+  for (const auto n : request.preferred) {
+    if (free_slots_on(n) > 0) {
+      *level = LocalityLevel::kNodeLocal;
+      return n;
+    }
+  }
+  // Delay scheduling: hold out through the first threshold of missed
+  // opportunities, then accept rack-local; after twice that, anything.
+  const std::size_t rack_threshold = rack_miss_threshold();
+  if (request.missed_opportunities < rack_threshold) return net::kInvalidNode;
+  net::NodeId best = net::kInvalidNode;
+  std::size_t best_free = 0;
+  for (const auto n : nodes_) {
+    const std::size_t f = free_slots_on(n);
+    if (f == 0) continue;
+    const bool rack_ok =
+        std::any_of(request.preferred.begin(), request.preferred.end(),
+                    [&](net::NodeId p) { return topology_.same_rack(n, p); });
+    if (rack_ok && f > best_free) {
+      best = n;
+      best_free = f;
+    }
+  }
+  if (best != net::kInvalidNode) {
+    *level = LocalityLevel::kRackLocal;
+    return best;
+  }
+  if (request.missed_opportunities < 2 * rack_threshold) return net::kInvalidNode;
+  *level = LocalityLevel::kOffSwitch;
+  return most_free_node();
+}
+
+void YarnScheduler::pump() {
+  bool any_starved = false;
+  for (auto it = queue_.begin(); it != queue_.end() && free_slots_ > 0;) {
+    LocalityLevel level = LocalityLevel::kOffSwitch;
+    const net::NodeId node = choose_node(*it, &level);
+    if (node == net::kInvalidNode) {
+      // The cluster had capacity but this request declined it: a missed
+      // scheduling opportunity, charged at most once per heartbeat
+      // interval so the counter tracks starved *time*, not pump frequency.
+      if (sim_.now() - it->last_miss_time >= opportunity_interval_s_ - 1e-9) {
+        ++it->missed_opportunities;
+        it->last_miss_time = sim_.now();
+      }
+      any_starved = true;
+      ++it;
+      continue;
+    }
+    --free_[node];
+    --free_slots_;
+    // Locality statistics only make sense for requests that expressed a
+    // preference (map tasks); AM/reducer requests are placement-free.
+    if (!it->preferred.empty()) {
+      switch (level) {
+        case LocalityLevel::kNodeLocal:
+          ++stats_.granted_node_local;
+          break;
+        case LocalityLevel::kRackLocal:
+          ++stats_.granted_rack_local;
+          break;
+        case LocalityLevel::kOffSwitch:
+          ++stats_.granted_off_switch;
+          break;
+      }
+    }
+    // Deliver asynchronously so callers never re-enter the scheduler from
+    // inside request_container()/release_container().
+    sim_.schedule_in(0.0, [grant = std::move(it->grant), node, level] { grant(node, level); });
+    it = queue_.erase(it);
+  }
+  // Starved hold-outs get a fresh opportunity at the next heartbeat tick;
+  // one pending tick serves the whole queue.
+  if (any_starved && !opportunity_scheduled_) {
+    opportunity_scheduled_ = true;
+    sim_.schedule_in(opportunity_interval_s_, [this] {
+      opportunity_scheduled_ = false;
+      pump();
+    });
+  }
+}
+
+}  // namespace keddah::hadoop

@@ -1,0 +1,32 @@
+// The keddah command-line toolchain — subcommands mirroring the paper's
+// capture / model / reproduce workflow, plus replay and ns-3 export:
+//
+//   keddah capture  --job sort --input 2GB --reps 2 --out /tmp/run
+//   keddah train    --runs /tmp/run_0,/tmp/run_1 --name sort --out model.json
+//   keddah generate --model model.json --input 8GB --out schedule.csv
+//   keddah replay   --schedule schedule.csv --topology racktree --racks 4
+//   keddah validate --model model.json --run /tmp/run_0
+//   keddah export-ns3 --schedule schedule.csv --out /tmp/keddah-replay
+//
+// The implementation is a library function so tests can drive it
+// in-process; tools/keddah_cli.cpp is the thin binary wrapper.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace keddah::cli {
+
+/// Runs one CLI invocation. `tokens` is argv[1..] (subcommand first).
+/// Writes human output to `out` and diagnostics to `err`; returns the
+/// process exit code (0 = success).
+int run(const std::vector<std::string>& tokens, std::ostream& out, std::ostream& err);
+
+/// argv-style convenience wrapper used by the binary.
+int run_main(int argc, const char* const* argv);
+
+/// The usage text (printed on `keddah help` and errors).
+std::string usage();
+
+}  // namespace keddah::cli

@@ -1,0 +1,76 @@
+#include "keddah/compare.h"
+
+#include <cmath>
+#include <ostream>
+
+#include "stats/kstest.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace keddah::core {
+
+double ClassComparison::count_error() const {
+  if (captured_flows == 0) return generated_flows == 0 ? 0.0 : 1.0;
+  return (static_cast<double>(generated_flows) - static_cast<double>(captured_flows)) /
+         static_cast<double>(captured_flows);
+}
+
+double ClassComparison::volume_error() const {
+  if (captured_bytes <= 0.0) return generated_bytes <= 0.0 ? 0.0 : 1.0;
+  return (generated_bytes - captured_bytes) / captured_bytes;
+}
+
+double ValidationReport::total_volume_error() const {
+  if (captured_total_bytes <= 0.0) return generated_total_bytes <= 0.0 ? 0.0 : 1.0;
+  return (generated_total_bytes - captured_total_bytes) / captured_total_bytes;
+}
+
+ValidationReport compare_traces(const capture::Trace& captured, const capture::Trace& generated) {
+  ValidationReport report;
+  report.captured_total_bytes = captured.total_bytes();
+  report.generated_total_bytes = generated.total_bytes();
+  report.captured_span_s = captured.last_end() - captured.first_start();
+  report.generated_span_s = generated.last_end() - generated.first_start();
+
+  for (std::size_t i = 0; i < net::kNumFlowKinds; ++i) {
+    const auto kind = static_cast<net::FlowKind>(i);
+    auto& cc = report.classes[i];
+    cc.kind = kind;
+    const auto cap = captured.filter_kind(kind);
+    const auto gen = generated.filter_kind(kind);
+    cc.captured_flows = cap.size();
+    cc.generated_flows = gen.size();
+    cc.captured_bytes = cap.total_bytes();
+    cc.generated_bytes = gen.total_bytes();
+    if (!cap.empty() && !gen.empty()) {
+      const auto cap_sizes = cap.sizes();
+      const auto gen_sizes = gen.sizes();
+      cc.size_ks = stats::ks_statistic_two_sample(cap_sizes, gen_sizes);
+      cc.size_ks_pvalue =
+          stats::ks_pvalue_two_sample(cc.size_ks, cap_sizes.size(), gen_sizes.size());
+    } else if (cap.empty() != gen.empty()) {
+      cc.size_ks = 1.0;
+    }
+  }
+  return report;
+}
+
+void ValidationReport::print(std::ostream& out) const {
+  util::TextTable table({"class", "flows(cap)", "flows(gen)", "count_err", "bytes(cap)",
+                         "bytes(gen)", "vol_err", "size_KS"});
+  for (const auto& cc : classes) {
+    if (cc.captured_flows == 0 && cc.generated_flows == 0) continue;
+    table.add_row({net::flow_kind_name(cc.kind), std::to_string(cc.captured_flows),
+                   std::to_string(cc.generated_flows),
+                   util::format("%+.1f%%", 100.0 * cc.count_error()),
+                   util::human_bytes(cc.captured_bytes), util::human_bytes(cc.generated_bytes),
+                   util::format("%+.1f%%", 100.0 * cc.volume_error()),
+                   util::format("%.3f", cc.size_ks)});
+  }
+  table.add_row({"total", "", "", "", util::human_bytes(captured_total_bytes),
+                 util::human_bytes(generated_total_bytes),
+                 util::format("%+.1f%%", 100.0 * total_volume_error()), ""});
+  table.print(out);
+}
+
+}  // namespace keddah::core

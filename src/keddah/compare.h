@@ -1,0 +1,54 @@
+// Validation metrics: how closely does Keddah-generated traffic match the
+// captured ground truth? Per-class flow count, volume, size-distribution
+// distance (two-sample KS), and temporal-span comparisons.
+#pragma once
+
+#include <array>
+#include <iosfwd>
+#include <string>
+
+#include "capture/trace.h"
+
+namespace keddah::core {
+
+/// Per-class comparison of two traces.
+struct ClassComparison {
+  net::FlowKind kind = net::FlowKind::kOther;
+  std::size_t captured_flows = 0;
+  std::size_t generated_flows = 0;
+  double captured_bytes = 0.0;
+  double generated_bytes = 0.0;
+  /// Two-sample KS distance between flow-size samples (1.0 when either
+  /// side is empty but not both; 0.0 when both empty).
+  double size_ks = 0.0;
+  /// Two-sample KS p-value (0 when not computable).
+  double size_ks_pvalue = 0.0;
+
+  /// Relative errors, in [-1, inf): (generated - captured) / captured.
+  double count_error() const;
+  double volume_error() const;
+};
+
+/// Whole-trace comparison.
+struct ValidationReport {
+  std::array<ClassComparison, net::kNumFlowKinds> classes{};
+  double captured_total_bytes = 0.0;
+  double generated_total_bytes = 0.0;
+  double captured_span_s = 0.0;
+  double generated_span_s = 0.0;
+
+  double total_volume_error() const;
+
+  const ClassComparison& of(net::FlowKind kind) const {
+    return classes[static_cast<std::size_t>(kind)];
+  }
+
+  /// Renders an aligned table of the per-class rows.
+  void print(std::ostream& out) const;
+};
+
+/// Compares generated against captured traffic. Classes are derived with
+/// the port classifier on both sides.
+ValidationReport compare_traces(const capture::Trace& captured, const capture::Trace& generated);
+
+}  // namespace keddah::core

@@ -1,0 +1,178 @@
+#include "keddah/scenario.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace keddah::core {
+
+namespace {
+
+std::uint64_t parse_size_field(const util::Json& doc, const std::string& key,
+                               std::uint64_t fallback, bool required = false) {
+  if (!doc.contains(key)) {
+    if (required) throw std::invalid_argument("scenario: missing required field '" + key + "'");
+    return fallback;
+  }
+  const auto& field = doc.at(key);
+  if (field.is_number()) return static_cast<std::uint64_t>(field.as_number());
+  std::uint64_t bytes = 0;
+  if (!util::parse_bytes(field.as_string(), &bytes)) {
+    throw std::invalid_argument("scenario: bad size in '" + key + "'");
+  }
+  return bytes;
+}
+
+hadoop::ClusterConfig parse_cluster(const util::Json& doc) {
+  hadoop::ClusterConfig cfg;
+  cfg.containers_per_node = 4;
+  cfg.locality_delay_s = 2.0;
+  if (!doc.contains("cluster")) return cfg;
+  const auto& c = doc.at("cluster");
+  const std::string topo = c.get_string("topology", "racktree");
+  if (topo == "star") {
+    cfg.topology = hadoop::TopologyKind::kStar;
+  } else if (topo == "fattree") {
+    cfg.topology = hadoop::TopologyKind::kFatTree;
+  } else if (topo == "racktree") {
+    cfg.topology = hadoop::TopologyKind::kRackTree;
+  } else {
+    throw std::invalid_argument("scenario: unknown topology '" + topo + "'");
+  }
+  cfg.racks = static_cast<std::size_t>(c.get_number("racks", 4));
+  cfg.hosts_per_rack = static_cast<std::size_t>(c.get_number("hosts_per_rack", 4));
+  cfg.fat_tree_k = static_cast<std::size_t>(c.get_number("fat_tree_k", 4));
+  cfg.access_bps = c.get_number("access_gbps", 1.0) * 1e9;
+  cfg.core_bps = c.get_number("core_gbps", 10.0) * 1e9;
+  cfg.block_size = parse_size_field(c, "block_size", 128ull << 20);
+  cfg.replication = static_cast<std::uint32_t>(c.get_number("replication", 3));
+  cfg.containers_per_node = static_cast<std::size_t>(c.get_number("containers", 4));
+  cfg.slowstart = c.get_number("slowstart", 0.05);
+  cfg.locality_delay_s = c.get_number("locality_delay_s", 2.0);
+  cfg.map_output_compress_ratio = c.get_number("compress_ratio", 1.0);
+  cfg.straggler_fraction = c.get_number("straggler_fraction", 0.0);
+  if (c.contains("speculative")) cfg.speculative_execution = c.at("speculative").as_bool();
+  return cfg;
+}
+
+}  // namespace
+
+ScenarioSpec parse_scenario(const util::Json& doc) {
+  ScenarioSpec spec;
+  spec.cluster = parse_cluster(doc);
+  spec.seed = static_cast<std::uint64_t>(doc.get_number("seed", 1));
+  if (!doc.contains("jobs") || doc.at("jobs").size() == 0) {
+    throw std::invalid_argument("scenario: needs a non-empty 'jobs' array");
+  }
+  for (const auto& entry : doc.at("jobs").as_array()) {
+    ScenarioSpec::JobEntry job;
+    if (!entry.contains("workload")) {
+      throw std::invalid_argument("scenario: job missing 'workload'");
+    }
+    job.workload = workloads::workload_from_name(entry.at("workload").as_string());
+    job.input_bytes = parse_size_field(entry, "input", 0, /*required=*/true);
+    if (job.input_bytes == 0) throw std::invalid_argument("scenario: job input must be > 0");
+    job.num_reducers = static_cast<std::size_t>(entry.get_number("reducers", 0));
+    job.submit_at = entry.get_number("submit_at", 0.0);
+    job.iterations = static_cast<std::size_t>(entry.get_number("iterations", 1));
+    if (job.iterations == 0) throw std::invalid_argument("scenario: iterations must be >= 1");
+    spec.jobs.push_back(job);
+  }
+  if (doc.contains("failures")) {
+    for (const auto& entry : doc.at("failures").as_array()) {
+      ScenarioSpec::Failure failure;
+      failure.worker_index = static_cast<std::size_t>(entry.get_number("worker", 0));
+      failure.at = entry.get_number("at", 0.0);
+      if (failure.worker_index == 0) {
+        throw std::invalid_argument(
+            "scenario: failures.worker must be >= 1 (worker 0 hosts the master)");
+      }
+      spec.failures.push_back(failure);
+    }
+  }
+  return spec;
+}
+
+ScenarioSpec load_scenario(const std::string& path) {
+  return parse_scenario(util::Json::load_file(path));
+}
+
+ScenarioOutcome run_scenario(const ScenarioSpec& spec) {
+  hadoop::HadoopCluster cluster(spec.cluster, spec.seed);
+  ScenarioOutcome outcome;
+
+  // Total completions expected = sum of iterations across entries.
+  std::size_t expected = 0;
+  for (const auto& job : spec.jobs) expected += job.iterations;
+
+  for (const auto& failure : spec.failures) {
+    if (failure.worker_index >= cluster.workers().size()) {
+      throw std::invalid_argument("scenario: failure worker index out of range");
+    }
+    cluster.fail_node_at(cluster.workers()[failure.worker_index], failure.at);
+  }
+
+  std::size_t done = 0;
+  cluster.control().enable();
+
+  // Iterative chains submit their next round from the completion callback;
+  // the chain state lives in a shared context per entry.
+  struct Chain {
+    workloads::Workload workload;
+    std::size_t reducers;
+    std::size_t remaining;
+    std::size_t total;
+    std::size_t index;
+  };
+  // submit_round is recursive through job completions; break the lambda
+  // self-reference by storing it in a shared holder cleared at the end.
+  auto submit_round = std::make_shared<
+      std::function<void(std::shared_ptr<Chain>, std::vector<std::string>)>>();
+  *submit_round = [&cluster, &outcome, &done, &expected, submit_round](
+                      std::shared_ptr<Chain> chain, std::vector<std::string> inputs) {
+    hadoop::JobSpec job_spec;
+    job_spec.profile = workloads::profile(chain->workload);
+    job_spec.profile.name =
+        util::format("%s_j%zu_i%zu", workloads::workload_name(chain->workload), chain->index,
+                     chain->total - chain->remaining);
+    job_spec.input_file = inputs.front();
+    job_spec.extra_inputs.assign(inputs.begin() + 1, inputs.end());
+    job_spec.num_reducers = chain->reducers;
+    cluster.runner().submit(job_spec, [&cluster, &outcome, &done, &expected, submit_round,
+                                       chain](const hadoop::JobResult& result) {
+      outcome.results.push_back(result);
+      ++done;
+      if (--chain->remaining > 0 && !result.output_files.empty()) {
+        (*submit_round)(chain, result.output_files);
+      }
+      if (done == expected) cluster.control().disable();
+    });
+  };
+
+  for (std::size_t i = 0; i < spec.jobs.size(); ++i) {
+    const auto& entry = spec.jobs[i];
+    const std::string input = cluster.ensure_input(entry.input_bytes);
+    auto chain = std::make_shared<Chain>();
+    chain->workload = entry.workload;
+    chain->reducers = entry.num_reducers == 0 ? workloads::default_reducers(entry.input_bytes)
+                                              : entry.num_reducers;
+    chain->remaining = entry.iterations;
+    chain->total = entry.iterations;
+    chain->index = i;
+    cluster.simulator().schedule_at(entry.submit_at, [submit_round, chain, input] {
+      (*submit_round)(chain, {input});
+    });
+  }
+
+  cluster.simulator().run();
+  if (done != expected) throw std::logic_error("scenario: not every job completed");
+  *submit_round = nullptr;  // break the self-reference cycle
+  outcome.trace = cluster.take_trace();
+  outcome.history = cluster.history();
+  outcome.rereplications = cluster.hdfs().rereplications();
+  return outcome;
+}
+
+}  // namespace keddah::core

@@ -1,0 +1,83 @@
+// Declarative experiment scenarios: a JSON file describes the cluster, the
+// job mix (with submit times), and fault injections; run_scenario() builds
+// the cluster, executes everything, and returns the capture + per-job
+// results. This is how downstream users script reproducible experiments
+// without writing C++ (CLI: `keddah run-scenario --file exp.json`).
+//
+// Schema (all fields optional unless noted):
+//   {
+//     "seed": 42,
+//     "cluster": {
+//       "topology": "racktree" | "star" | "fattree",
+//       "racks": 4, "hosts_per_rack": 4, "fat_tree_k": 4,
+//       "access_gbps": 1.0, "core_gbps": 10.0,
+//       "block_size": "128MB", "replication": 3, "containers": 4,
+//       "slowstart": 0.05, "locality_delay_s": 2.0,
+//       "compress_ratio": 1.0, "speculative": false,
+//       "straggler_fraction": 0.0
+//     },
+//     "jobs": [                      // required, >= 1
+//       { "workload": "sort",       // required
+//         "input": "4GB",           // required
+//         "reducers": 8,            // 0/absent = auto
+//         "submit_at": 0.0,
+//         "iterations": 1 }         // > 1 chains output -> input
+//     ],
+//     "failures": [ { "worker": 5, "at": 12.5 } ]
+//   }
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "capture/trace.h"
+#include "hadoop/cluster.h"
+#include "hadoop/joblog.h"
+#include "util/json.h"
+#include "workloads/profiles.h"
+
+namespace keddah::core {
+
+/// Parsed scenario description.
+struct ScenarioSpec {
+  hadoop::ClusterConfig cluster;
+  std::uint64_t seed = 1;
+
+  struct JobEntry {
+    workloads::Workload workload = workloads::Workload::kSort;
+    std::uint64_t input_bytes = 0;
+    std::size_t num_reducers = 0;  // 0 = auto
+    double submit_at = 0.0;
+    std::size_t iterations = 1;
+  };
+  std::vector<JobEntry> jobs;
+
+  struct Failure {
+    std::size_t worker_index = 0;
+    double at = 0.0;
+  };
+  std::vector<Failure> failures;
+};
+
+/// Parses a scenario document; throws std::invalid_argument /
+/// std::runtime_error with a field-specific message on malformed input.
+ScenarioSpec parse_scenario(const util::Json& doc);
+
+/// Convenience: load + parse a scenario file.
+ScenarioSpec load_scenario(const std::string& path);
+
+/// Everything a scenario run produces.
+struct ScenarioOutcome {
+  /// One result per completed job (iterations expand to one result each),
+  /// in completion order.
+  std::vector<hadoop::JobResult> results;
+  capture::Trace trace;
+  hadoop::JobHistoryLog history;
+  /// Background repair transfers triggered by injected failures.
+  std::size_t rereplications = 0;
+};
+
+/// Builds the cluster and runs the whole scenario to completion.
+ScenarioOutcome run_scenario(const ScenarioSpec& spec);
+
+}  // namespace keddah::core

@@ -1,0 +1,88 @@
+#include "keddah/toolchain.h"
+
+#include "util/log.h"
+
+namespace keddah::core {
+
+model::TrainingRun to_training_run(const workloads::RunOutcome& outcome) {
+  model::TrainingRun run;
+  run.trace = outcome.trace;
+  run.input_bytes = static_cast<double>(outcome.input_bytes);
+  run.num_maps = outcome.result.num_maps;
+  run.num_reducers = outcome.result.num_reducers;
+  run.job_start = outcome.result.submit_time;
+  run.job_end = outcome.result.end_time;
+  return run;
+}
+
+std::vector<model::TrainingRun> capture_runs(const hadoop::ClusterConfig& config,
+                                             workloads::Workload workload,
+                                             std::span<const std::uint64_t> input_sizes,
+                                             std::size_t repetitions, std::uint64_t seed) {
+  const auto outcomes =
+      workloads::run_grid(config, std::span(&workload, 1), input_sizes, repetitions, seed);
+  std::vector<model::TrainingRun> runs;
+  runs.reserve(outcomes.size());
+  for (const auto& outcome : outcomes) runs.push_back(to_training_run(outcome));
+  return runs;
+}
+
+model::KeddahModel train(const std::string& job_name, std::span<const model::TrainingRun> runs,
+                         const hadoop::ClusterConfig& config,
+                         const model::BuilderOptions& base_options) {
+  model::BuilderOptions options = base_options;
+  options.block_size = config.block_size;
+  options.replication = config.replication;
+  options.cluster_nodes = config.num_workers();
+  return model::build_model(job_name, runs, options);
+}
+
+ReproduceResult generate_and_replay(const model::KeddahModel& model,
+                                    const gen::Scenario& scenario,
+                                    const net::Topology& topology, std::uint64_t seed,
+                                    gen::GeneratorOptions gen_options) {
+  ReproduceResult result;
+  gen::TrafficGenerator generator(model, util::Rng(seed), gen_options);
+  result.schedule = generator.generate(scenario);
+  result.replay = gen::replay(result.schedule, topology);
+  return result;
+}
+
+ValidationReport validate_model(const model::KeddahModel& model,
+                                const model::TrainingRun& reference,
+                                const hadoop::ClusterConfig& config, std::uint64_t seed,
+                                gen::GeneratorOptions gen_options) {
+  gen::Scenario scenario;
+  scenario.input_bytes = reference.input_bytes;
+  scenario.num_maps = reference.num_maps;
+  scenario.num_reducers = reference.num_reducers;
+  scenario.num_hosts = config.num_workers();
+  const auto reproduced =
+      generate_and_replay(model, scenario, config.build_topology(), seed, gen_options);
+  return compare_traces(reference.trace, reproduced.replay.trace);
+}
+
+void save_run(const model::TrainingRun& run, const std::string& basename) {
+  run.trace.save(basename + ".csv");
+  util::Json meta = util::Json::object();
+  meta["input_bytes"] = util::Json(run.input_bytes);
+  meta["num_maps"] = util::Json(static_cast<std::uint64_t>(run.num_maps));
+  meta["num_reducers"] = util::Json(static_cast<std::uint64_t>(run.num_reducers));
+  meta["job_start"] = util::Json(run.job_start);
+  meta["job_end"] = util::Json(run.job_end);
+  meta.save_file(basename + ".meta.json");
+}
+
+model::TrainingRun load_run(const std::string& basename) {
+  model::TrainingRun run;
+  run.trace = capture::Trace::load(basename + ".csv");
+  const auto meta = util::Json::load_file(basename + ".meta.json");
+  run.input_bytes = meta.at("input_bytes").as_number();
+  run.num_maps = static_cast<std::size_t>(meta.at("num_maps").as_number());
+  run.num_reducers = static_cast<std::size_t>(meta.at("num_reducers").as_number());
+  run.job_start = meta.at("job_start").as_number();
+  run.job_end = meta.at("job_end").as_number();
+  return run;
+}
+
+}  // namespace keddah::core

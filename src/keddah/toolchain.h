@@ -1,0 +1,66 @@
+// The Keddah toolchain facade: capture -> model -> reproduce in three calls.
+//
+//   auto runs  = keddah::core::capture_runs(cfg, workload, sizes, reps, seed);
+//   auto model = keddah::core::train(workload_name, runs, cfg);
+//   auto replayed = keddah::core::generate_and_replay(model, scenario, topo, seed);
+//
+// This is the public API the examples and benches drive.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gen/generator.h"
+#include "gen/replay.h"
+#include "hadoop/config.h"
+#include "keddah/compare.h"
+#include "model/builder.h"
+#include "workloads/suite.h"
+
+namespace keddah::core {
+
+/// Adapts a suite run into the trainer's input form.
+model::TrainingRun to_training_run(const workloads::RunOutcome& outcome);
+
+/// CAPTURE: runs `repetitions` jobs of `workload` for every input size on
+/// fresh emulated clusters, capturing each run's flows.
+std::vector<model::TrainingRun> capture_runs(const hadoop::ClusterConfig& config,
+                                             workloads::Workload workload,
+                                             std::span<const std::uint64_t> input_sizes,
+                                             std::size_t repetitions, std::uint64_t seed);
+
+/// MODEL: trains a KeddahModel from captured runs, recording the cluster
+/// configuration in the model context.
+model::KeddahModel train(const std::string& job_name, std::span<const model::TrainingRun> runs,
+                         const hadoop::ClusterConfig& config,
+                         const model::BuilderOptions& base_options = {});
+
+/// REPRODUCE: samples the model for `scenario` and replays the schedule on
+/// `topology`, returning both the schedule and the replay capture.
+struct ReproduceResult {
+  gen::SyntheticTrafficSchedule schedule;
+  gen::ReplayResult replay;
+};
+ReproduceResult generate_and_replay(const model::KeddahModel& model,
+                                    const gen::Scenario& scenario,
+                                    const net::Topology& topology, std::uint64_t seed,
+                                    gen::GeneratorOptions gen_options = {});
+
+/// End-to-end validation: captures fresh runs at `validation_input`, trains
+/// on `runs`, reproduces at the same scale, and compares.
+ValidationReport validate_model(const model::KeddahModel& model,
+                                const model::TrainingRun& reference,
+                                const hadoop::ClusterConfig& config, std::uint64_t seed,
+                                gen::GeneratorOptions gen_options = {});
+
+/// Persists a captured run as `<basename>.csv` (flows) plus
+/// `<basename>.meta.json` (job-log metadata), the on-disk interchange
+/// format of the keddah CLI.
+void save_run(const model::TrainingRun& run, const std::string& basename);
+
+/// Loads a run persisted by save_run. Throws std::runtime_error on missing
+/// or malformed files.
+model::TrainingRun load_run(const std::string& basename);
+
+}  // namespace keddah::core

@@ -1,0 +1,188 @@
+#include "model/builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "util/log.h"
+
+namespace keddah::model {
+
+double class_regressor(net::FlowKind kind, const TrainingRun& run) {
+  switch (kind) {
+    case net::FlowKind::kHdfsRead:
+      return static_cast<double>(run.num_maps);
+    case net::FlowKind::kShuffle:
+      return static_cast<double>(run.num_maps) * static_cast<double>(run.num_reducers);
+    case net::FlowKind::kHdfsWrite:
+      return run.input_bytes;
+    case net::FlowKind::kControl:
+      return run.duration();
+    default:
+      return 0.0;
+  }
+}
+
+const char* class_regressor_name(net::FlowKind kind) {
+  switch (kind) {
+    case net::FlowKind::kHdfsRead:
+      return "num_maps";
+    case net::FlowKind::kShuffle:
+      return "maps_x_reducers";
+    case net::FlowKind::kHdfsWrite:
+      return "input_bytes";
+    case net::FlowKind::kControl:
+      return "job_duration_s";
+    default:
+      return "x";
+  }
+}
+
+namespace {
+
+SizeModel train_size_model(std::span<const double> sizes, const BuilderOptions& options) {
+  SizeModel model;
+  if (sizes.empty()) return model;
+  model.empirical = stats::Ecdf(sizes);
+  const auto best = stats::fit_best(sizes, options.criterion);
+  if (best.has_value()) {
+    model.parametric = best->dist;
+    model.ks = best->ks;
+    model.ks_pvalue = best->ks_pvalue;
+  }
+  model.kind = options.size_kind;
+  if (!model.parametric.has_value() || model.ks > options.parametric_ks_threshold) {
+    model.kind = SizeModelKind::kEmpirical;
+  }
+  return model;
+}
+
+CountModel train_count_model(net::FlowKind kind, std::span<const TrainingRun> runs,
+                             const std::vector<std::size_t>& counts) {
+  CountModel model;
+  model.regressor = class_regressor_name(kind);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    xs.push_back(class_regressor(kind, runs[i]));
+    ys.push_back(static_cast<double>(counts[i]));
+  }
+  const bool any_positive_x = std::any_of(xs.begin(), xs.end(), [](double x) { return x > 0.0; });
+  if (!any_positive_x) {
+    model.fit = stats::LinearFit{};  // degenerate: predicts zero flows
+    return model;
+  }
+  model.fit = stats::fit_linear_through_origin(xs, ys);
+  return model;
+}
+
+TemporalModel train_temporal_model(net::FlowKind kind, std::span<const TrainingRun> runs) {
+  TemporalModel model;
+  std::vector<double> offsets;
+  double start_frac_sum = 0.0;
+  double end_frac_sum = 0.0;
+  std::size_t runs_with_flows = 0;
+  for (const auto& run : runs) {
+    const auto class_trace = run.trace.filter_kind(kind);
+    if (class_trace.empty() || run.duration() <= 0.0) continue;
+    ++runs_with_flows;
+    const auto starts = class_trace.start_times();
+    const double phase_start = *std::min_element(starts.begin(), starts.end());
+    const double phase_end = *std::max_element(starts.begin(), starts.end());
+    const double span = phase_end - phase_start;
+    for (const double s : starts) {
+      offsets.push_back(span > 0.0 ? (s - phase_start) / span : 0.0);
+    }
+    start_frac_sum += (phase_start - run.job_start) / run.duration();
+    end_frac_sum += (phase_end - run.job_start) / run.duration();
+  }
+  if (runs_with_flows == 0) return model;
+  model.normalized_offsets = stats::Ecdf(offsets);
+  model.phase_start_frac =
+      std::clamp(start_frac_sum / static_cast<double>(runs_with_flows), 0.0, 1.0);
+  model.phase_end_frac = std::clamp(end_frac_sum / static_cast<double>(runs_with_flows),
+                                    model.phase_start_frac, 1.0);
+  return model;
+}
+
+}  // namespace
+
+KeddahModel build_model(const std::string& job_name, std::span<const TrainingRun> runs,
+                        const BuilderOptions& options) {
+  if (runs.empty()) throw std::invalid_argument("builder: no training runs");
+  KeddahModel model;
+  model.set_job_name(job_name);
+
+  TrainingContext& ctx = model.context();
+  ctx.block_size = options.block_size;
+  ctx.replication = options.replication;
+  ctx.cluster_nodes = options.cluster_nodes;
+  ctx.num_runs = runs.size();
+  ctx.min_input_bytes = runs[0].input_bytes;
+  ctx.max_input_bytes = runs[0].input_bytes;
+  for (const auto& run : runs) {
+    ctx.min_input_bytes = std::min(ctx.min_input_bytes, run.input_bytes);
+    ctx.max_input_bytes = std::max(ctx.max_input_bytes, run.input_bytes);
+  }
+
+  for (const net::FlowKind kind : kModelledClasses) {
+    ClassModel& cm = model.class_model(kind);
+
+    // Pool sizes across runs; count per run.
+    std::vector<double> sizes;
+    std::vector<std::size_t> counts;
+    counts.reserve(runs.size());
+    for (const auto& run : runs) {
+      const auto class_trace = run.trace.filter_kind(kind);
+      counts.push_back(class_trace.size());
+      for (const auto& r : class_trace.records()) sizes.push_back(r.bytes);
+      cm.training_bytes += class_trace.total_bytes();
+    }
+    cm.training_flows = sizes.size();
+    cm.size = train_size_model(sizes, options);
+    cm.count = train_count_model(kind, runs, counts);
+    cm.temporal = train_temporal_model(kind, runs);
+
+    // Volume scaling law vs input bytes (through origin).
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (const auto& run : runs) {
+      xs.push_back(run.input_bytes);
+      ys.push_back(run.trace.filter_kind(kind).total_bytes());
+    }
+    if (std::any_of(xs.begin(), xs.end(), [](double x) { return x > 0.0; })) {
+      model.volume_model(kind) = stats::fit_linear_through_origin(xs, ys);
+    }
+    KLOG_DEBUG << job_name << "/" << net::flow_kind_name(kind) << ": " << cm.training_flows
+               << " flows, size model "
+               << (cm.size.parametric ? cm.size.parametric->describe() : std::string("none"))
+               << " ks=" << cm.size.ks;
+  }
+
+  // Duration scaling: a proper line needs two distinct input sizes; with a
+  // single size the model degrades to a constant (slope 0).
+  std::set<double> distinct_inputs;
+  for (const auto& run : runs) distinct_inputs.insert(run.input_bytes);
+  if (distinct_inputs.size() >= 2) {
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (const auto& run : runs) {
+      xs.push_back(run.input_bytes);
+      ys.push_back(run.duration());
+    }
+    model.duration_model() = stats::fit_linear(xs, ys);
+  } else {
+    double total = 0.0;
+    for (const auto& run : runs) total += run.duration();
+    stats::LinearFit constant;
+    constant.slope = 0.0;
+    constant.intercept = total / static_cast<double>(runs.size());
+    constant.n = runs.size();
+    model.duration_model() = constant;
+  }
+  return model;
+}
+
+}  // namespace keddah::model

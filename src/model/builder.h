@@ -1,0 +1,59 @@
+// ModelBuilder: Keddah's training stage. Takes captured (trace, job
+// metadata) pairs for one job family and produces a KeddahModel:
+//   - pooled per-class flow sizes -> MLE distribution fit + empirical CDF,
+//   - per-run per-class flow counts -> through-origin regression against a
+//     class-specific structural regressor,
+//   - per-run flow start times -> phase-anchored temporal model,
+//   - job duration and per-class volume scaling laws vs input size.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "capture/trace.h"
+#include "model/keddah_model.h"
+#include "stats/fitting.h"
+
+namespace keddah::model {
+
+/// One captured job run plus the job-log metadata Keddah correlates with.
+struct TrainingRun {
+  capture::Trace trace;
+  double input_bytes = 0.0;
+  std::size_t num_maps = 0;
+  std::size_t num_reducers = 0;
+  double job_start = 0.0;
+  double job_end = 0.0;
+
+  double duration() const { return job_end - job_start; }
+};
+
+/// Trainer knobs.
+struct BuilderOptions {
+  /// Criterion for picking the winning size-distribution family.
+  stats::SelectBy criterion = stats::SelectBy::kKs;
+  /// Preferred size representation at generation time.
+  SizeModelKind size_kind = SizeModelKind::kParametric;
+  /// When the best parametric fit's KS distance exceeds this, the size
+  /// model falls back to the empirical CDF regardless of size_kind.
+  double parametric_ks_threshold = 0.10;
+  /// Training-context metadata recorded in the model.
+  std::uint64_t block_size = 0;
+  std::uint32_t replication = 0;
+  std::size_t cluster_nodes = 0;
+};
+
+/// The structural regressor value for a traffic class in one run:
+///   HDFS read -> num_maps; shuffle -> maps x reducers;
+///   HDFS write -> input bytes; control -> job duration (seconds).
+double class_regressor(net::FlowKind kind, const TrainingRun& run);
+
+/// Human-readable regressor name for reports.
+const char* class_regressor_name(net::FlowKind kind);
+
+/// Trains a model from one or more runs of the same job family. Throws
+/// std::invalid_argument when `runs` is empty.
+KeddahModel build_model(const std::string& job_name, std::span<const TrainingRun> runs,
+                        const BuilderOptions& options = {});
+
+}  // namespace keddah::model

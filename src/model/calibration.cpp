@@ -1,0 +1,66 @@
+#include "model/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/regression.h"
+
+namespace keddah::model {
+
+CalibratedProfile calibrate_profile(const TrainingRun& run,
+                                    const CalibrationContext& context) {
+  if (context.cluster_nodes < 2) {
+    throw std::invalid_argument("calibration: need >= 2 cluster nodes");
+  }
+  CalibratedProfile profile;
+
+  const auto shuffle = run.trace.filter_kind(net::FlowKind::kShuffle);
+  const auto writes = run.trace.filter_kind(net::FlowKind::kHdfsWrite);
+  profile.shuffle_bytes = shuffle.total_bytes();
+  profile.write_bytes = writes.total_bytes();
+
+  // Captured shuffle bytes miss the ~1/N host-local fetches and shrink
+  // under wire compression; invert both effects.
+  const double visible_fraction =
+      1.0 - 1.0 / static_cast<double>(context.cluster_nodes);
+  const double compress =
+      context.map_output_compress_ratio > 0.0 ? context.map_output_compress_ratio : 1.0;
+  profile.estimated_map_output =
+      profile.shuffle_bytes / (visible_fraction * compress);
+  if (run.input_bytes > 0.0) {
+    profile.map_selectivity = profile.estimated_map_output / run.input_bytes;
+  }
+
+  // Captured write bytes are the off-node pipeline copies: (replication-1)
+  // per output byte. Replication 1 writes locally and is unobservable.
+  if (context.replication >= 2) {
+    profile.estimated_job_output =
+        profile.write_bytes / static_cast<double>(context.replication - 1);
+    if (profile.estimated_map_output > 0.0) {
+      profile.reduce_selectivity = profile.estimated_job_output / profile.estimated_map_output;
+    }
+  }
+
+  // Partition skew: per-reducer-host shuffle shares, sorted descending,
+  // fitted to share ~ rank^-s in log-log space.
+  std::map<net::NodeId, double> per_dst;
+  for (const auto& r : shuffle.records()) per_dst[r.dst_id] += r.bytes;
+  std::vector<double> shares;
+  for (const auto& [dst, bytes] : per_dst) {
+    (void)dst;
+    if (bytes > 0.0) shares.push_back(bytes);
+  }
+  std::sort(shares.begin(), shares.end(), std::greater<>());
+  if (shares.size() >= 3) {
+    std::vector<double> ranks(shares.size());
+    for (std::size_t i = 0; i < shares.size(); ++i) ranks[i] = static_cast<double>(i + 1);
+    const auto fit = stats::fit_power_law(ranks, shares);
+    profile.partition_skew = std::max(0.0, -fit.slope);
+  }
+  return profile;
+}
+
+}  // namespace keddah::model

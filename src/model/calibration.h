@@ -1,0 +1,48 @@
+// Profile calibration: the inverse of the emulator's workload profiles.
+// Given a captured run (trace + job metadata), estimate the JobProfile
+// parameters that produced it — map/reduce selectivity and partition skew.
+// This is how a user of the toolchain calibrates synthetic job profiles
+// against captures from a REAL cluster, closing the loop between
+// measurement and emulation.
+#pragma once
+
+#include "capture/trace.h"
+#include "model/builder.h"
+
+namespace keddah::model {
+
+/// Estimated workload shape, with the observables it was derived from.
+struct CalibratedProfile {
+  /// Map output bytes per input byte, inferred from shuffle volume
+  /// corrected for the host-local (invisible) fetch fraction.
+  double map_selectivity = 0.0;
+  /// Final output bytes per shuffled byte, inferred from HDFS-write volume
+  /// corrected for the replication pipeline's off-node copies.
+  double reduce_selectivity = 0.0;
+  /// Zipf exponent fitted to per-reducer shuffle shares (0 = balanced).
+  double partition_skew = 0.0;
+
+  // Raw observables (for reports):
+  double shuffle_bytes = 0.0;
+  double write_bytes = 0.0;
+  double estimated_map_output = 0.0;
+  double estimated_job_output = 0.0;
+};
+
+/// Calibration inputs beyond the run itself.
+struct CalibrationContext {
+  /// Worker count (determines the invisible local-fetch fraction 1/N).
+  std::size_t cluster_nodes = 16;
+  /// HDFS replication factor (off-node write copies = replication - 1).
+  std::uint32_t replication = 3;
+  /// Wire-compression ratio applied to shuffle payloads (1.0 = off).
+  double map_output_compress_ratio = 1.0;
+};
+
+/// Estimates the profile behind a captured run. Throws
+/// std::invalid_argument when the context is degenerate (zero nodes,
+/// replication < 2 leaves write volume unobservable and yields
+/// reduce_selectivity = 0 with estimated_job_output = 0).
+CalibratedProfile calibrate_profile(const TrainingRun& run, const CalibrationContext& context);
+
+}  // namespace keddah::model

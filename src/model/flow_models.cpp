@@ -1,0 +1,141 @@
+#include "model/flow_models.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace keddah::model {
+
+namespace {
+
+/// Serializes an ECDF as at most `cap` evenly spaced quantiles — enough to
+/// reproduce the curve while keeping model files small.
+util::Json ecdf_to_json(const stats::Ecdf& ecdf, std::size_t cap = 512) {
+  util::Json arr = util::Json::array();
+  const auto& values = ecdf.values();
+  if (values.size() <= cap) {
+    for (const double v : values) arr.push_back(util::Json(v));
+  } else {
+    for (std::size_t i = 0; i < cap; ++i) {
+      const double q = static_cast<double>(i) / static_cast<double>(cap - 1);
+      arr.push_back(util::Json(ecdf.quantile(q)));
+    }
+  }
+  return arr;
+}
+
+stats::Ecdf ecdf_from_json(const util::Json& arr) {
+  std::vector<double> values;
+  values.reserve(arr.size());
+  for (const auto& v : arr.as_array()) values.push_back(v.as_number());
+  return stats::Ecdf(values);
+}
+
+}  // namespace
+
+double SizeModel::sample(util::Rng& rng) const {
+  double value = 0.0;
+  if (kind == SizeModelKind::kParametric && parametric.has_value()) {
+    value = parametric->sample(rng);
+  } else if (!empirical.empty()) {
+    value = empirical.sample(rng);
+  }
+  return std::max(0.0, value);
+}
+
+double SizeModel::mean() const {
+  if (kind == SizeModelKind::kParametric && parametric.has_value()) {
+    const double m = parametric->mean();
+    if (std::isfinite(m)) return std::max(0.0, m);
+  }
+  if (empirical.empty()) return 0.0;
+  double total = 0.0;
+  for (const double v : empirical.values()) total += v;
+  return total / static_cast<double>(empirical.size());
+}
+
+util::Json SizeModel::to_json() const {
+  util::Json doc = util::Json::object();
+  if (parametric.has_value()) doc["parametric"] = parametric->to_json();
+  doc["ks"] = util::Json(ks);
+  doc["ks_pvalue"] = util::Json(ks_pvalue);
+  doc["kind"] = util::Json(kind == SizeModelKind::kParametric ? "parametric" : "empirical");
+  doc["empirical"] = ecdf_to_json(empirical);
+  return doc;
+}
+
+SizeModel SizeModel::from_json(const util::Json& doc) {
+  SizeModel m;
+  if (doc.contains("parametric")) {
+    m.parametric = stats::Distribution::from_json(doc.at("parametric"));
+  }
+  m.ks = doc.get_number("ks", 1.0);
+  m.ks_pvalue = doc.get_number("ks_pvalue", 0.0);
+  m.kind = doc.get_string("kind", "parametric") == "empirical" ? SizeModelKind::kEmpirical
+                                                               : SizeModelKind::kParametric;
+  if (doc.contains("empirical")) m.empirical = ecdf_from_json(doc.at("empirical"));
+  return m;
+}
+
+std::size_t CountModel::predict(double x) const {
+  const double y = fit.predict(x);
+  return y <= 0.0 ? 0 : static_cast<std::size_t>(std::llround(y));
+}
+
+util::Json CountModel::to_json() const {
+  util::Json doc = util::Json::object();
+  doc["fit"] = fit.to_json();
+  doc["regressor"] = util::Json(regressor);
+  return doc;
+}
+
+CountModel CountModel::from_json(const util::Json& doc) {
+  CountModel m;
+  m.fit = stats::LinearFit::from_json(doc.at("fit"));
+  m.regressor = doc.get_string("regressor", "x");
+  return m;
+}
+
+double TemporalModel::sample_start(util::Rng& rng, double job_duration_s) const {
+  const double start = phase_start_frac * job_duration_s;
+  const double span = std::max(0.0, (phase_end_frac - phase_start_frac) * job_duration_s);
+  const double offset = normalized_offsets.empty() ? rng.uniform() : normalized_offsets.sample(rng);
+  return start + std::clamp(offset, 0.0, 1.0) * span;
+}
+
+util::Json TemporalModel::to_json() const {
+  util::Json doc = util::Json::object();
+  doc["offsets"] = ecdf_to_json(normalized_offsets, 256);
+  doc["phase_start_frac"] = util::Json(phase_start_frac);
+  doc["phase_end_frac"] = util::Json(phase_end_frac);
+  return doc;
+}
+
+TemporalModel TemporalModel::from_json(const util::Json& doc) {
+  TemporalModel m;
+  if (doc.contains("offsets")) m.normalized_offsets = ecdf_from_json(doc.at("offsets"));
+  m.phase_start_frac = doc.get_number("phase_start_frac", 0.0);
+  m.phase_end_frac = doc.get_number("phase_end_frac", 1.0);
+  return m;
+}
+
+util::Json ClassModel::to_json() const {
+  util::Json doc = util::Json::object();
+  doc["size"] = size.to_json();
+  doc["count"] = count.to_json();
+  doc["temporal"] = temporal.to_json();
+  doc["training_flows"] = util::Json(static_cast<std::uint64_t>(training_flows));
+  doc["training_bytes"] = util::Json(training_bytes);
+  return doc;
+}
+
+ClassModel ClassModel::from_json(const util::Json& doc) {
+  ClassModel m;
+  m.size = SizeModel::from_json(doc.at("size"));
+  m.count = CountModel::from_json(doc.at("count"));
+  m.temporal = TemporalModel::from_json(doc.at("temporal"));
+  m.training_flows = static_cast<std::size_t>(doc.get_number("training_flows", 0.0));
+  m.training_bytes = doc.get_number("training_bytes", 0.0);
+  return m;
+}
+
+}  // namespace keddah::model

@@ -1,0 +1,101 @@
+#include "model/keddah_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace keddah::model {
+
+util::Json TrainingContext::to_json() const {
+  util::Json doc = util::Json::object();
+  doc["block_size"] = util::Json(static_cast<std::uint64_t>(block_size));
+  doc["replication"] = util::Json(static_cast<std::uint64_t>(replication));
+  doc["cluster_nodes"] = util::Json(static_cast<std::uint64_t>(cluster_nodes));
+  doc["num_runs"] = util::Json(static_cast<std::uint64_t>(num_runs));
+  doc["min_input_bytes"] = util::Json(min_input_bytes);
+  doc["max_input_bytes"] = util::Json(max_input_bytes);
+  return doc;
+}
+
+TrainingContext TrainingContext::from_json(const util::Json& doc) {
+  TrainingContext ctx;
+  ctx.block_size = static_cast<std::uint64_t>(doc.get_number("block_size", 0.0));
+  ctx.replication = static_cast<std::uint32_t>(doc.get_number("replication", 0.0));
+  ctx.cluster_nodes = static_cast<std::size_t>(doc.get_number("cluster_nodes", 0.0));
+  ctx.num_runs = static_cast<std::size_t>(doc.get_number("num_runs", 0.0));
+  ctx.min_input_bytes = doc.get_number("min_input_bytes", 0.0);
+  ctx.max_input_bytes = doc.get_number("max_input_bytes", 0.0);
+  return ctx;
+}
+
+std::size_t KeddahModel::class_index(net::FlowKind kind) {
+  for (std::size_t i = 0; i < kModelledClasses.size(); ++i) {
+    if (kModelledClasses[i] == kind) return i;
+  }
+  throw std::out_of_range("keddah model: class not modelled");
+}
+
+ClassModel& KeddahModel::class_model(net::FlowKind kind) { return classes_[class_index(kind)]; }
+
+const ClassModel& KeddahModel::class_model(net::FlowKind kind) const {
+  return classes_[class_index(kind)];
+}
+
+stats::LinearFit& KeddahModel::volume_model(net::FlowKind kind) {
+  return volume_vs_input_[class_index(kind)];
+}
+
+const stats::LinearFit& KeddahModel::volume_model(net::FlowKind kind) const {
+  return volume_vs_input_[class_index(kind)];
+}
+
+double KeddahModel::predict_duration(double input_bytes) const {
+  return std::max(0.0, duration_vs_input_.predict(input_bytes));
+}
+
+double KeddahModel::predict_volume(net::FlowKind kind, double input_bytes) const {
+  return std::max(0.0, volume_model(kind).predict(input_bytes));
+}
+
+util::Json KeddahModel::to_json() const {
+  util::Json doc = util::Json::object();
+  doc["job_name"] = util::Json(job_name_);
+  doc["context"] = context_.to_json();
+  doc["duration_vs_input"] = duration_vs_input_.to_json();
+  util::Json classes = util::Json::object();
+  util::Json volumes = util::Json::object();
+  for (std::size_t i = 0; i < kModelledClasses.size(); ++i) {
+    const char* key = net::flow_kind_name(kModelledClasses[i]);
+    classes[key] = classes_[i].to_json();
+    volumes[key] = volume_vs_input_[i].to_json();
+  }
+  doc["classes"] = classes;
+  doc["volume_vs_input"] = volumes;
+  return doc;
+}
+
+KeddahModel KeddahModel::from_json(const util::Json& doc) {
+  KeddahModel m;
+  m.job_name_ = doc.get_string("job_name", "");
+  if (doc.contains("context")) m.context_ = TrainingContext::from_json(doc.at("context"));
+  if (doc.contains("duration_vs_input")) {
+    m.duration_vs_input_ = stats::LinearFit::from_json(doc.at("duration_vs_input"));
+  }
+  for (std::size_t i = 0; i < kModelledClasses.size(); ++i) {
+    const char* key = net::flow_kind_name(kModelledClasses[i]);
+    if (doc.contains("classes") && doc.at("classes").contains(key)) {
+      m.classes_[i] = ClassModel::from_json(doc.at("classes").at(key));
+    }
+    if (doc.contains("volume_vs_input") && doc.at("volume_vs_input").contains(key)) {
+      m.volume_vs_input_[i] = stats::LinearFit::from_json(doc.at("volume_vs_input").at(key));
+    }
+  }
+  return m;
+}
+
+void KeddahModel::save(const std::string& path) const { to_json().save_file(path); }
+
+KeddahModel KeddahModel::load(const std::string& path) {
+  return from_json(util::Json::load_file(path));
+}
+
+}  // namespace keddah::model

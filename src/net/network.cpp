@@ -1,0 +1,272 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/log.h"
+
+namespace keddah::net {
+
+namespace {
+/// Residual payload below this many bits counts as drained.
+constexpr double kDrainEpsilonBits = 1e-2;
+}  // namespace
+
+const char* flow_kind_name(FlowKind kind) {
+  switch (kind) {
+    case FlowKind::kHdfsRead:
+      return "hdfs_read";
+    case FlowKind::kShuffle:
+      return "shuffle";
+    case FlowKind::kHdfsWrite:
+      return "hdfs_write";
+    case FlowKind::kControl:
+      return "control";
+    case FlowKind::kOther:
+      return "other";
+  }
+  return "unknown";
+}
+
+Network::Network(sim::Simulator& sim, Topology topology, NetworkOptions options)
+    : sim_(sim), topology_(std::move(topology)), options_(options) {
+  arc_bits_.assign(topology_.num_arcs(), 0.0);
+}
+
+double Network::arc_bytes(Arc arc) const { return arc_bits_.at(arc.index()) / 8.0; }
+
+double Network::link_bytes(LinkId link) const {
+  return arc_bytes(Arc{link, 0}) + arc_bytes(Arc{link, 1});
+}
+
+double Network::arc_utilization(Arc arc) const {
+  const double elapsed = sim_.now();
+  if (elapsed <= 0.0) return 0.0;
+  return arc_bits_.at(arc.index()) / (topology_.link(arc.link).capacity_bps * elapsed);
+}
+
+void Network::add_completion_tap(Tap tap) { completion_taps_.push_back(std::move(tap)); }
+
+void Network::add_start_tap(Tap tap) { start_taps_.push_back(std::move(tap)); }
+
+const Flow* Network::find_flow(FlowId id) const {
+  const auto it = active_.find(id);
+  return it == active_.end() ? nullptr : &it->second.flow;
+}
+
+double Network::aggregate_rate_bps() const {
+  double total = 0.0;
+  for (const auto& [id, af] : active_) total += af.flow.rate_bps;
+  return total;
+}
+
+FlowId Network::start_flow(NodeId src, NodeId dst, double bytes, FlowMeta meta,
+                           CompletionCallback on_complete, double rate_cap_bps) {
+  if (bytes < 0.0) throw std::invalid_argument("network: negative flow size");
+  const FlowId id = next_flow_id_++;
+
+  Flow flow;
+  flow.id = id;
+  flow.src = src;
+  flow.dst = dst;
+  flow.bytes = bytes;
+  flow.meta = meta;
+  flow.submit_time = sim_.now();
+  flow.remaining_bits = bytes * 8.0;
+  flow.rate_cap_bps = rate_cap_bps > 0.0 ? rate_cap_bps : 1.0;
+
+  if (flow.loopback()) {
+    // Local transfer: never touches the fabric; drain at the loopback rate.
+    flow.start_time = sim_.now();
+    const double duration = flow.remaining_bits / options_.loopback_bps;
+    flow.rate_bps = options_.loopback_bps;
+    for (const auto& tap : start_taps_) tap(flow);
+    sim_.schedule_in(duration, [this, flow, cb = std::move(on_complete)]() mutable {
+      flow.end_time = sim_.now();
+      flow.remaining_bits = 0.0;
+      flow.done = true;
+      delivered_bytes_ += flow.bytes;
+      for (const auto& tap : completion_taps_) tap(flow);
+      if (cb) cb(flow);
+    });
+    return id;
+  }
+
+  flow.path = topology_.route(src, dst, id);
+  const double latency = options_.model_latency ? topology_.path_latency(src, dst, id) : 0.0;
+  double ramp = 0.0;
+  if (options_.model_slow_start && latency > 0.0) {
+    // Slow-start approximation: the window doubles each RTT until the
+    // payload is covered. The ramp rounds are modelled as transfer time at
+    // ~zero rate before the flow enters fair sharing, so they appear in the
+    // flow's duration (first byte leaves on time, last byte is late).
+    const double rounds =
+        std::ceil(std::log2(1.0 + bytes / std::max(options_.initial_window_bytes, 1.0)));
+    ramp = 2.0 * latency * std::min(rounds, 10.0);
+  }
+
+  // Connection establishment: first byte moves one path latency after submit.
+  sim_.schedule_in(latency + ramp,
+                   [this, flow = std::move(flow), ramp, cb = std::move(on_complete)]() mutable {
+                     flow.start_time = sim_.now() - ramp;
+                     for (const auto& tap : start_taps_) tap(flow);
+                     advance_progress();
+                     active_.emplace(flow.id, ActiveFlow{std::move(flow), std::move(cb)});
+                     reshare();
+                   });
+  return id;
+}
+
+void Network::advance_progress() {
+  const sim::Time now = sim_.now();
+  const double dt = now - last_progress_time_;
+  if (dt > 0.0) {
+    for (auto& [id, af] : active_) {
+      const double moved = std::min(af.flow.remaining_bits, af.flow.rate_bps * dt);
+      af.flow.remaining_bits -= moved;
+      for (const Arc arc : af.flow.path) arc_bits_[arc.index()] += moved;
+    }
+  }
+  last_progress_time_ = now;
+}
+
+void Network::compute_max_min_rates() {
+  ++recomputations_;
+  const std::size_t num_real_arcs = topology_.num_arcs();
+
+  std::vector<ActiveFlow*> flows;
+  flows.reserve(active_.size());
+  for (auto& [id, af] : active_) flows.push_back(&af);
+  // Deterministic iteration order regardless of hash-map layout.
+  std::sort(flows.begin(), flows.end(),
+            [](const ActiveFlow* a, const ActiveFlow* b) { return a->flow.id < b->flow.id; });
+
+  // Arc table: real arcs first, then one virtual arc per rate-capped flow.
+  std::vector<double> residual(num_real_arcs, 0.0);
+  std::vector<std::vector<std::uint32_t>> members(num_real_arcs);
+  std::vector<std::uint32_t> unfrozen_count(num_real_arcs, 0);
+
+  auto add_virtual_arc = [&](double capacity) {
+    residual.push_back(capacity);
+    members.emplace_back();
+    unfrozen_count.push_back(0);
+    return static_cast<std::uint32_t>(residual.size() - 1);
+  };
+
+  // flow -> arcs (real path arcs + optional virtual cap arc).
+  std::vector<std::vector<std::uint32_t>> flow_arcs(flows.size());
+  for (std::uint32_t fi = 0; fi < flows.size(); ++fi) {
+    const Flow& f = flows[fi]->flow;
+    for (const Arc arc : f.path) {
+      const std::uint32_t ai = arc.index();
+      if (members[ai].empty()) residual[ai] = topology_.link(arc.link).capacity_bps;
+      members[ai].push_back(fi);
+      ++unfrozen_count[ai];
+      flow_arcs[fi].push_back(ai);
+    }
+    if (std::isfinite(f.rate_cap_bps)) {
+      const std::uint32_t ai = add_virtual_arc(f.rate_cap_bps);
+      members[ai].push_back(fi);
+      ++unfrozen_count[ai];
+      flow_arcs[fi].push_back(ai);
+    }
+  }
+
+  std::vector<bool> frozen(flows.size(), false);
+  std::size_t remaining = flows.size();
+  while (remaining > 0) {
+    // Find the bottleneck share.
+    double best_share = std::numeric_limits<double>::infinity();
+    for (std::uint32_t ai = 0; ai < residual.size(); ++ai) {
+      if (unfrozen_count[ai] == 0) continue;
+      best_share = std::min(best_share, std::max(0.0, residual[ai]) / unfrozen_count[ai]);
+    }
+    assert(std::isfinite(best_share));
+    // Freeze every unfrozen flow crossing an arc at the bottleneck share.
+    const double tol = best_share * 1e-9 + 1e-12;
+    bool froze_any = false;
+    for (std::uint32_t ai = 0; ai < residual.size(); ++ai) {
+      if (unfrozen_count[ai] == 0) continue;
+      const double share = std::max(0.0, residual[ai]) / unfrozen_count[ai];
+      if (share > best_share + tol) continue;
+      for (const std::uint32_t fi : members[ai]) {
+        if (frozen[fi]) continue;
+        frozen[fi] = true;
+        froze_any = true;
+        --remaining;
+        flows[fi]->flow.rate_bps = best_share;
+        for (const std::uint32_t other : flow_arcs[fi]) {
+          residual[other] -= best_share;
+          --unfrozen_count[other];
+        }
+      }
+    }
+    assert(froze_any);
+    if (!froze_any) break;  // numerical safety net; should be unreachable
+  }
+}
+
+void Network::reshare() {
+  if (completion_event_ != sim::kInvalidEvent) {
+    sim_.cancel(completion_event_);
+    completion_event_ = sim::kInvalidEvent;
+  }
+  if (active_.empty()) return;
+
+  compute_max_min_rates();
+
+  double min_dt = std::numeric_limits<double>::infinity();
+  for (const auto& [id, af] : active_) {
+    const double rate = std::max(af.flow.rate_bps, 1e-9);
+    min_dt = std::min(min_dt, af.flow.remaining_bits / rate);
+  }
+  min_dt = std::max(0.0, min_dt);
+  completion_event_ = sim_.schedule_in(min_dt, [this] { on_completion_event(); });
+}
+
+void Network::on_completion_event() {
+  completion_event_ = sim::kInvalidEvent;
+  advance_progress();
+  std::vector<FlowId> drained;
+  for (const auto& [id, af] : active_) {
+    if (af.flow.remaining_bits <= kDrainEpsilonBits) drained.push_back(id);
+  }
+  std::sort(drained.begin(), drained.end());
+  if (drained.empty()) {
+    // Rounding left a sliver: re-arm and drain it next round.
+    reshare();
+    return;
+  }
+  for (const FlowId id : drained) {
+    auto it = active_.find(id);
+    assert(it != active_.end());
+    finish_flow(it->second);
+    active_.erase(it);
+  }
+  reshare();
+}
+
+void Network::finish_flow(ActiveFlow& af) {
+  Flow flow = std::move(af.flow);
+  CompletionCallback cb = std::move(af.on_complete);
+  flow.remaining_bits = 0.0;
+  flow.done = true;
+  const double tail_latency =
+      options_.model_latency ? topology_.path_latency(flow.src, flow.dst, flow.id) : 0.0;
+  if (tail_latency > 0.0) {
+    sim_.schedule_in(tail_latency, [this, flow = std::move(flow), cb = std::move(cb)]() mutable {
+      flow.end_time = sim_.now();
+      delivered_bytes_ += flow.bytes;
+      for (const auto& tap : completion_taps_) tap(flow);
+      if (cb) cb(flow);
+    });
+  } else {
+    flow.end_time = sim_.now();
+    delivered_bytes_ += flow.bytes;
+    for (const auto& tap : completion_taps_) tap(flow);
+    if (cb) cb(flow);
+  }
+}
+
+}  // namespace keddah::net

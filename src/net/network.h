@@ -1,0 +1,136 @@
+// Flow-level network engine with progressive-filling max-min fair sharing.
+//
+// This is the fluid TCP model standard in flow-level simulators: each active
+// flow receives its max-min fair share of every link on its path, rates are
+// recomputed whenever the active set changes, and per-flow completion times
+// follow from draining the remaining bytes at the current rate. Relative to
+// packet-level ns-3 this abstracts slow-start and loss recovery, which is the
+// documented substitution for the paper's replay substrate (DESIGN.md §2).
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <unordered_map>
+
+#include "net/flow.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+
+namespace keddah::net {
+
+/// Engine configuration.
+struct NetworkOptions {
+  /// Rate applied to loopback (src == dst) flows, bits/second. Models local
+  /// disk/IPC rather than the NIC; loopback flows bypass fair sharing.
+  double loopback_bps = 40.0e9;
+  /// If true, a flow waits one path latency before its first byte moves
+  /// (connection setup) and delivers its last byte one path latency after
+  /// draining.
+  bool model_latency = true;
+  /// If true, approximate TCP slow-start: before entering fair sharing a
+  /// flow spends ceil(log2(1 + bytes/initial_window)) round-trips ramping
+  /// up, modelled as extra activation delay (capped at 10 RTTs). Short
+  /// flows become latency-bound, as on real networks; long flows are
+  /// barely affected. Off by default (pure fluid model).
+  bool model_slow_start = false;
+  /// Initial congestion window for the slow-start approximation, bytes
+  /// (10 segments of 1460 B, the Linux default).
+  double initial_window_bytes = 14600.0;
+};
+
+/// The network simulator facade.
+///
+/// Ownership: Network borrows the Simulator (must outlive it) and owns the
+/// Topology and all flow state.
+class Network {
+ public:
+  using CompletionCallback = std::function<void(const Flow&)>;
+  /// Tap invoked on flow lifecycle events (used by capture::FlowCollector).
+  using Tap = std::function<void(const Flow&)>;
+
+  Network(sim::Simulator& sim, Topology topology, NetworkOptions options = {});
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  const Topology& topology() const { return topology_; }
+  sim::Simulator& simulator() { return sim_; }
+
+  /// Starts a flow of `bytes` payload from src to dst. `on_complete` (may be
+  /// null) fires when the last byte is delivered. `rate_cap_bps` bounds the
+  /// flow below its fair share (application/disk limited senders).
+  FlowId start_flow(NodeId src, NodeId dst, double bytes, FlowMeta meta,
+                    CompletionCallback on_complete = nullptr,
+                    double rate_cap_bps = std::numeric_limits<double>::infinity());
+
+  /// Registers an observer for flow completions (all flows, loopback too).
+  void add_completion_tap(Tap tap);
+
+  /// Registers an observer for flow starts.
+  void add_start_tap(Tap tap);
+
+  /// Number of flows currently holding network capacity.
+  std::size_t active_flows() const { return active_.size(); }
+
+  /// Flows started since construction.
+  std::uint64_t total_flows() const { return next_flow_id_ - 1; }
+
+  /// Total payload delivered so far, bytes.
+  double delivered_bytes() const { return delivered_bytes_; }
+
+  /// Number of fair-share recomputations (perf counter for benches).
+  std::uint64_t recomputations() const { return recomputations_; }
+
+  /// Looks up an active flow; returns nullptr if finished or unknown.
+  const Flow* find_flow(FlowId id) const;
+
+  /// Instantaneous aggregate rate over all active flows, bits/second.
+  double aggregate_rate_bps() const;
+
+  /// Bytes that have traversed a directed arc so far.
+  double arc_bytes(Arc arc) const;
+
+  /// Bytes over a link, both directions combined.
+  double link_bytes(LinkId link) const;
+
+  /// Mean utilization of a directed arc over [0, now] (0..1).
+  double arc_utilization(Arc arc) const;
+
+ private:
+  struct ActiveFlow {
+    Flow flow;
+    CompletionCallback on_complete;
+  };
+
+  /// Brings every active flow's remaining_bits up to date at sim_.now().
+  void advance_progress();
+
+  /// Recomputes max-min fair rates and re-arms the next completion event.
+  void reshare();
+
+  /// Water-filling over real arcs plus one virtual arc per capped flow.
+  void compute_max_min_rates();
+
+  /// Completes all flows whose remaining bits have drained.
+  void on_completion_event();
+
+  void finish_flow(ActiveFlow& af);
+
+  sim::Simulator& sim_;
+  Topology topology_;
+  NetworkOptions options_;
+
+  std::unordered_map<FlowId, ActiveFlow> active_;
+  std::vector<Tap> completion_taps_;
+  std::vector<Tap> start_taps_;
+
+  FlowId next_flow_id_ = 1;
+  sim::Time last_progress_time_ = 0.0;
+  sim::EventId completion_event_ = sim::kInvalidEvent;
+  double delivered_bytes_ = 0.0;
+  std::uint64_t recomputations_ = 0;
+  /// Per-arc transferred bits (indexed by Arc::index()).
+  std::vector<double> arc_bits_;
+};
+
+}  // namespace keddah::net

@@ -1,0 +1,236 @@
+#include "net/topology.h"
+
+#include <cassert>
+#include <deque>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace keddah::net {
+
+namespace {
+/// Deterministic 64-bit mix for ECMP next-hop selection.
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+}  // namespace
+
+NodeId Topology::add_node(const std::string& name, int rack, bool is_switch) {
+  if (by_name_.count(name) != 0) throw std::invalid_argument("topology: duplicate node " + name);
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(Node{id, name, rack, is_switch});
+  adjacency_.emplace_back();
+  by_name_[name] = id;
+  return id;
+}
+
+NodeId Topology::add_host(const std::string& name, int rack) {
+  return add_node(name, rack, /*is_switch=*/false);
+}
+
+NodeId Topology::add_switch(const std::string& name) {
+  return add_node(name, /*rack=*/-1, /*is_switch=*/true);
+}
+
+LinkId Topology::add_link(NodeId a, NodeId b, double capacity_bps, double latency_s) {
+  if (a >= nodes_.size() || b >= nodes_.size()) throw std::out_of_range("topology: bad node id");
+  if (a == b) throw std::invalid_argument("topology: self-link");
+  if (capacity_bps <= 0.0) throw std::invalid_argument("topology: non-positive capacity");
+  const LinkId id = static_cast<LinkId>(links_.size());
+  links_.push_back(Link{id, a, b, capacity_bps, latency_s});
+  adjacency_[a].emplace_back(b, Arc{id, 0});
+  adjacency_[b].emplace_back(a, Arc{id, 1});
+  dist_cache_.clear();  // invalidate memoized BFS results
+  return id;
+}
+
+NodeId Topology::find(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? kInvalidNode : it->second;
+}
+
+std::vector<NodeId> Topology::hosts() const {
+  std::vector<NodeId> out;
+  for (const auto& n : nodes_) {
+    if (!n.is_switch) out.push_back(n.id);
+  }
+  return out;
+}
+
+std::unordered_map<int, std::vector<NodeId>> Topology::hosts_by_rack() const {
+  std::unordered_map<int, std::vector<NodeId>> out;
+  for (const auto& n : nodes_) {
+    if (!n.is_switch) out[n.rack].push_back(n.id);
+  }
+  return out;
+}
+
+const std::vector<int>& Topology::dist_to(NodeId dst) const {
+  const auto it = dist_cache_.find(dst);
+  if (it != dist_cache_.end()) return it->second;
+  std::vector<int> dist(nodes_.size(), -1);
+  std::deque<NodeId> frontier;
+  dist[dst] = 0;
+  frontier.push_back(dst);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    for (const auto& [v, arc] : adjacency_[u]) {
+      (void)arc;
+      if (dist[v] < 0) {
+        dist[v] = dist[u] + 1;
+        frontier.push_back(v);
+      }
+    }
+  }
+  return dist_cache_.emplace(dst, std::move(dist)).first->second;
+}
+
+std::vector<Arc> Topology::route(NodeId src, NodeId dst, std::uint64_t flow_key) const {
+  if (src >= nodes_.size() || dst >= nodes_.size()) throw std::out_of_range("topology: bad node id");
+  std::vector<Arc> path;
+  if (src == dst) return path;  // loopback: no network arcs
+  const auto& dist = dist_to(dst);
+  if (dist[src] < 0) {
+    throw std::runtime_error("topology: no path " + nodes_[src].name + " -> " + nodes_[dst].name);
+  }
+  NodeId here = src;
+  int hop = 0;
+  while (here != dst) {
+    // Collect equal-cost next hops (strictly decreasing BFS distance).
+    std::vector<std::pair<NodeId, Arc>> candidates;
+    for (const auto& [v, arc] : adjacency_[here]) {
+      if (dist[v] == dist[here] - 1) candidates.emplace_back(v, arc);
+    }
+    assert(!candidates.empty());
+    // Hash-based per-flow ECMP: stable for one flow, spread across flows.
+    const std::uint64_t h =
+        mix(flow_key ^ mix((static_cast<std::uint64_t>(src) << 40) ^
+                           (static_cast<std::uint64_t>(dst) << 20) ^
+                           static_cast<std::uint64_t>(hop)));
+    const auto& [next, arc] = candidates[h % candidates.size()];
+    path.push_back(arc);
+    here = next;
+    ++hop;
+  }
+  return path;
+}
+
+double Topology::path_latency(NodeId src, NodeId dst, std::uint64_t flow_key) const {
+  double total = 0.0;
+  for (const Arc arc : route(src, dst, flow_key)) total += links_[arc.link].latency_s;
+  return total;
+}
+
+int Topology::distance(NodeId src, NodeId dst) const {
+  if (src >= nodes_.size() || dst >= nodes_.size()) throw std::out_of_range("topology: bad node id");
+  return dist_to(dst)[src];
+}
+
+bool Topology::same_rack(NodeId a, NodeId b) const {
+  const Node& na = node(a);
+  const Node& nb = node(b);
+  return !na.is_switch && !nb.is_switch && na.rack == nb.rack;
+}
+
+NodeId Topology::arc_from(Arc arc) const {
+  const Link& l = links_.at(arc.link);
+  return arc.dir == 0 ? l.a : l.b;
+}
+
+NodeId Topology::arc_to(Arc arc) const {
+  const Link& l = links_.at(arc.link);
+  return arc.dir == 0 ? l.b : l.a;
+}
+
+Topology make_star(std::size_t num_hosts, double access_bps, double latency_s) {
+  Topology topo;
+  const NodeId sw = topo.add_switch("sw0");
+  for (std::size_t i = 0; i < num_hosts; ++i) {
+    const NodeId h = topo.add_host(util::format("h%zu", i), /*rack=*/0);
+    topo.add_link(h, sw, access_bps, latency_s);
+  }
+  return topo;
+}
+
+Topology make_rack_tree(std::size_t racks, std::size_t hosts_per_rack, double access_bps,
+                        double core_bps, double latency_s) {
+  Topology topo;
+  const NodeId core = topo.add_switch("core");
+  std::size_t host_index = 0;
+  for (std::size_t r = 0; r < racks; ++r) {
+    const NodeId tor = topo.add_switch(util::format("tor%zu", r));
+    topo.add_link(tor, core, core_bps, latency_s);
+    for (std::size_t i = 0; i < hosts_per_rack; ++i) {
+      const NodeId h = topo.add_host(util::format("h%zu", host_index++), static_cast<int>(r));
+      topo.add_link(h, tor, access_bps, latency_s);
+    }
+  }
+  return topo;
+}
+
+Topology make_fat_tree(std::size_t k, double link_bps, double latency_s) {
+  if (k < 2 || k % 2 != 0) throw std::invalid_argument("fat-tree: k must be even and >= 2");
+  Topology topo;
+  const std::size_t half = k / 2;
+  const std::size_t num_core = half * half;
+
+  std::vector<NodeId> core(num_core);
+  for (std::size_t c = 0; c < num_core; ++c) core[c] = topo.add_switch(util::format("core%zu", c));
+
+  std::size_t host_index = 0;
+  for (std::size_t pod = 0; pod < k; ++pod) {
+    std::vector<NodeId> aggs(half);
+    std::vector<NodeId> edges(half);
+    for (std::size_t a = 0; a < half; ++a) {
+      aggs[a] = topo.add_switch(util::format("agg%zu_%zu", pod, a));
+    }
+    for (std::size_t e = 0; e < half; ++e) {
+      edges[e] = topo.add_switch(util::format("edge%zu_%zu", pod, e));
+    }
+    // Edge <-> aggregation full bipartite inside the pod.
+    for (std::size_t e = 0; e < half; ++e) {
+      for (std::size_t a = 0; a < half; ++a) topo.add_link(edges[e], aggs[a], link_bps, latency_s);
+    }
+    // Aggregation a connects to core switches [a*half, (a+1)*half).
+    for (std::size_t a = 0; a < half; ++a) {
+      for (std::size_t c = 0; c < half; ++c) {
+        topo.add_link(aggs[a], core[a * half + c], link_bps, latency_s);
+      }
+    }
+    // Hosts under each edge switch; rack index = global edge index.
+    for (std::size_t e = 0; e < half; ++e) {
+      const int rack = static_cast<int>(pod * half + e);
+      for (std::size_t i = 0; i < half; ++i) {
+        const NodeId h = topo.add_host(util::format("h%zu", host_index++), rack);
+        topo.add_link(h, edges[e], link_bps, latency_s);
+      }
+    }
+  }
+  return topo;
+}
+
+Topology make_dumbbell(std::size_t left, std::size_t right, double access_bps,
+                       double bottleneck_bps, double latency_s) {
+  Topology topo;
+  const NodeId swl = topo.add_switch("swL");
+  const NodeId swr = topo.add_switch("swR");
+  topo.add_link(swl, swr, bottleneck_bps, latency_s);
+  std::size_t host_index = 0;
+  for (std::size_t i = 0; i < left; ++i) {
+    const NodeId h = topo.add_host(util::format("h%zu", host_index++), 0);
+    topo.add_link(h, swl, access_bps, latency_s);
+  }
+  for (std::size_t i = 0; i < right; ++i) {
+    const NodeId h = topo.add_host(util::format("h%zu", host_index++), 1);
+    topo.add_link(h, swr, access_bps, latency_s);
+  }
+  return topo;
+}
+
+}  // namespace keddah::net

@@ -1,0 +1,135 @@
+// Network topology: nodes (hosts and switches), full-duplex links, and
+// hop-count shortest-path routing with deterministic ECMP tie-breaking.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace keddah::net {
+
+using NodeId = std::uint32_t;
+using LinkId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = 0xffffffffu;
+
+/// A directed use of a full-duplex link: `link` traversed forward
+/// (a -> b, dir == 0) or backward (b -> a, dir == 1). Each direction has the
+/// link's full capacity (full duplex).
+struct Arc {
+  LinkId link;
+  std::uint8_t dir;
+
+  /// Dense index usable as an array subscript: link * 2 + dir.
+  std::uint32_t index() const { return link * 2 + dir; }
+  bool operator==(const Arc& other) const = default;
+};
+
+/// A host or switch.
+struct Node {
+  NodeId id = kInvalidNode;
+  std::string name;
+  /// Rack index; hosts in the same rack are "rack-local" to each other.
+  /// Switches use -1.
+  int rack = -1;
+  bool is_switch = false;
+};
+
+/// A full-duplex point-to-point link.
+struct Link {
+  LinkId id = 0;
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  /// Capacity per direction, bits per second.
+  double capacity_bps = 0.0;
+  /// One-way propagation delay, seconds.
+  double latency_s = 0.0;
+};
+
+/// An immutable-after-build graph of nodes and links with routing queries.
+///
+/// Routing is hop-count shortest path. When several equal-cost next hops
+/// exist (e.g. in a fat-tree), the choice is a deterministic hash of
+/// (src, dst, flow_key), which models per-flow ECMP.
+class Topology {
+ public:
+  /// Adds a host in rack `rack`. Names must be unique.
+  NodeId add_host(const std::string& name, int rack);
+
+  /// Adds a switch (never a flow endpoint).
+  NodeId add_switch(const std::string& name);
+
+  /// Connects two nodes with a full-duplex link.
+  LinkId add_link(NodeId a, NodeId b, double capacity_bps, double latency_s);
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t num_links() const { return links_.size(); }
+  std::size_t num_arcs() const { return links_.size() * 2; }
+
+  const Node& node(NodeId id) const { return nodes_.at(id); }
+  const Link& link(LinkId id) const { return links_.at(id); }
+
+  /// Looks up a node by name; returns kInvalidNode when absent.
+  NodeId find(const std::string& name) const;
+
+  /// All host (non-switch) node ids, in creation order.
+  std::vector<NodeId> hosts() const;
+
+  /// Hosts grouped by rack index.
+  std::unordered_map<int, std::vector<NodeId>> hosts_by_rack() const;
+
+  /// Shortest path from src to dst as a sequence of directed arcs.
+  /// `flow_key` seeds the ECMP hash so distinct flows may take distinct
+  /// equal-cost paths while a given flow is stable. Throws
+  /// std::runtime_error when dst is unreachable.
+  std::vector<Arc> route(NodeId src, NodeId dst, std::uint64_t flow_key) const;
+
+  /// Sum of per-arc latencies along route(src, dst, flow_key).
+  double path_latency(NodeId src, NodeId dst, std::uint64_t flow_key) const;
+
+  /// Hop distance (number of links) between two nodes, or -1 if unreachable.
+  int distance(NodeId src, NodeId dst) const;
+
+  /// True if both nodes are hosts in the same rack.
+  bool same_rack(NodeId a, NodeId b) const;
+
+  /// Arc endpoint helpers.
+  NodeId arc_from(Arc arc) const;
+  NodeId arc_to(Arc arc) const;
+
+ private:
+  /// Distances from every node to `dst` (BFS over the undirected graph);
+  /// memoized per destination.
+  const std::vector<int>& dist_to(NodeId dst) const;
+
+  NodeId add_node(const std::string& name, int rack, bool is_switch);
+
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  /// adjacency_[n] = list of (neighbor, arc leaving n).
+  std::vector<std::vector<std::pair<NodeId, Arc>>> adjacency_;
+  std::unordered_map<std::string, NodeId> by_name_;
+  mutable std::unordered_map<NodeId, std::vector<int>> dist_cache_;
+};
+
+/// Topology builders used across tests, examples, and benches. All hosts are
+/// named "hN" (N = creation order) so scenarios can address them uniformly.
+
+/// Single switch, `num_hosts` hosts, one access link each.
+Topology make_star(std::size_t num_hosts, double access_bps, double latency_s);
+
+/// Classic 2-tier cluster: one top-of-rack switch per rack, all ToRs on one
+/// core switch. Hosts get `access_bps` links, ToR uplinks get `core_bps`.
+Topology make_rack_tree(std::size_t racks, std::size_t hosts_per_rack, double access_bps,
+                        double core_bps, double latency_s);
+
+/// k-ary fat-tree (k even): k pods, (k/2)^2 core switches, k^3/4 hosts, all
+/// links at `link_bps`. Rack index = edge switch index.
+Topology make_fat_tree(std::size_t k, double link_bps, double latency_s);
+
+/// Two hosts groups joined by one bottleneck link; for unit tests.
+Topology make_dumbbell(std::size_t left, std::size_t right, double access_bps,
+                       double bottleneck_bps, double latency_s);
+
+}  // namespace keddah::net

@@ -1,0 +1,57 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace keddah::sim {
+
+EventId Simulator::schedule_at(Time at, std::function<void()> fn) {
+  if (at < now_) throw std::invalid_argument("sim: schedule_at in the past");
+  const EventId id = next_id_++;
+  queue_.push(Entry{at, next_seq_++, id, std::make_shared<std::function<void()>>(std::move(fn))});
+  live_.insert(id);
+  return id;
+}
+
+EventId Simulator::schedule_in(Time delay, std::function<void()> fn) {
+  if (delay < 0.0) throw std::invalid_argument("sim: negative delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulator::cancel(EventId id) {
+  // Lazy deletion: drop from the live set; the heap entry is skipped when
+  // it reaches the top.
+  return live_.erase(id) != 0;
+}
+
+void Simulator::skim_cancelled() {
+  while (!queue_.empty() && live_.count(queue_.top().id) == 0) queue_.pop();
+}
+
+bool Simulator::step() {
+  skim_cancelled();
+  if (queue_.empty()) return false;
+  Entry entry = queue_.top();
+  queue_.pop();
+  live_.erase(entry.id);
+  assert(entry.at >= now_);
+  now_ = entry.at;
+  ++executed_;
+  (*entry.fn)();
+  return true;
+}
+
+std::size_t Simulator::run(Time until) {
+  std::size_t count = 0;
+  for (;;) {
+    skim_cancelled();
+    if (queue_.empty() || queue_.top().at > until) break;
+    if (!step()) break;
+    ++count;
+  }
+  if (now_ < until && until < kForever) now_ = until;
+  return count;
+}
+
+}  // namespace keddah::sim

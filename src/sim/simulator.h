@@ -1,0 +1,90 @@
+// Discrete-event simulation kernel.
+//
+// A single-threaded, deterministic event loop: callbacks are executed in
+// (time, insertion-sequence) order, so two events scheduled for the same
+// instant fire in the order they were scheduled. Events can be cancelled,
+// which is how the flow-level network model retracts completion events when
+// fair-share rates change.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace keddah::sim {
+
+/// Simulation time in seconds.
+using Time = double;
+
+/// Opaque handle identifying a scheduled event; usable for cancellation.
+using EventId = std::uint64_t;
+
+/// Sentinel for "no event".
+inline constexpr EventId kInvalidEvent = 0;
+
+/// The event loop. Components keep a reference and schedule callbacks.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time. 0 before the first event fires.
+  Time now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `at` (must be >= now()).
+  /// Returns a handle usable with cancel().
+  EventId schedule_at(Time at, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` seconds from now (delay >= 0).
+  EventId schedule_in(Time delay, std::function<void()> fn);
+
+  /// Cancels a pending event. Safe to call for already-fired, already-
+  /// cancelled, or invalid handles (no effect). Returns true if the event
+  /// was pending and is now cancelled.
+  bool cancel(EventId id);
+
+  /// Runs until the queue drains or `until` is reached (infinity = drain).
+  /// If `until` is finite, the clock is advanced to `until` even when the
+  /// queue drains earlier. Returns the number of events executed.
+  std::size_t run(Time until = kForever);
+
+  /// Runs at most one event; returns false if no live event remains.
+  bool step();
+
+  /// Number of live (not cancelled, not yet fired) events.
+  std::size_t pending() const { return live_.size(); }
+
+  /// Total events executed since construction.
+  std::uint64_t executed() const { return executed_; }
+
+  static constexpr Time kForever = 1.0e300;
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;
+    EventId id;
+    // Heap entries must be copyable; the callback lives out-of-line.
+    std::shared_ptr<std::function<void()>> fn;
+    bool operator>(const Entry& other) const {
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+
+  /// Pops cancelled entries off the heap top.
+  void skim_cancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_set<EventId> live_;
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace keddah::sim

@@ -1,0 +1,42 @@
+#include "stats/ecdf.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stats/summary.h"
+
+namespace keddah::stats {
+
+Ecdf::Ecdf(std::span<const double> xs) : sorted_(xs.begin(), xs.end()) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::cdf(double x) const {
+  if (sorted_.empty()) throw std::logic_error("ecdf: empty sample");
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double Ecdf::quantile(double q) const {
+  if (sorted_.empty()) throw std::logic_error("ecdf: empty sample");
+  return quantile_sorted(sorted_, q);
+}
+
+double Ecdf::sample(util::Rng& rng) const {
+  if (sorted_.empty()) throw std::logic_error("ecdf: empty sample");
+  return quantile_sorted(sorted_, rng.uniform());
+}
+
+std::vector<std::pair<double, double>> Ecdf::curve(std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (sorted_.empty() || points == 0) return out;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double q = static_cast<double>(i) / static_cast<double>(points - 1 == 0 ? 1 : points - 1);
+    const double x = quantile_sorted(sorted_, q);
+    out.emplace_back(x, cdf(x));
+  }
+  return out;
+}
+
+}  // namespace keddah::stats

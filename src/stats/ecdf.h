@@ -1,0 +1,48 @@
+// Empirical cumulative distribution function.
+//
+// The empirical CDF is both the non-parametric fallback size model in Keddah
+// and the object the KS goodness-of-fit machinery compares against.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace keddah::stats {
+
+/// Immutable empirical distribution over a sample.
+class Ecdf {
+ public:
+  Ecdf() = default;
+
+  /// Copies and sorts the sample. Empty samples are allowed but cdf()/
+  /// quantile() then throw.
+  explicit Ecdf(std::span<const double> xs);
+
+  std::size_t size() const { return sorted_.size(); }
+  bool empty() const { return sorted_.empty(); }
+
+  /// F(x) = (#samples <= x) / n.
+  double cdf(double x) const;
+
+  /// Inverse CDF with linear interpolation between order statistics.
+  double quantile(double q) const;
+
+  /// Draws by inverse-transform over the sample (smoothed bootstrap with
+  /// interpolation between adjacent order statistics).
+  double sample(util::Rng& rng) const;
+
+  /// The sorted sample.
+  const std::vector<double>& values() const { return sorted_; }
+
+  /// (x, F(x)) pairs at `points` evenly spaced quantiles; used for printing
+  /// figure series.
+  std::vector<std::pair<double, double>> curve(std::size_t points = 50) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace keddah::stats

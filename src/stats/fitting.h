@@ -1,0 +1,41 @@
+// Maximum-likelihood fitting and model selection over the candidate
+// distribution families. This is Keddah's "modelling" step for flow sizes.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "stats/distributions.h"
+
+namespace keddah::stats {
+
+/// Result of fitting one family to a sample.
+struct FitResult {
+  Distribution dist;
+  /// Sum log-likelihood at the fitted parameters (-inf when the family
+  /// cannot produce the data, e.g. Pareto on zeros).
+  double log_likelihood = 0.0;
+  /// One-sample KS distance between the data and the fitted CDF.
+  double ks = 1.0;
+  /// KS p-value (asymptotic, Stephens-corrected).
+  double ks_pvalue = 0.0;
+  /// Akaike information criterion: 2k - 2 lnL.
+  double aic = 0.0;
+};
+
+/// Criterion for picking the winning family.
+enum class SelectBy { kKs, kAic, kLogLikelihood };
+
+/// Fits one family by MLE. Returns nullopt when the family is inapplicable
+/// (e.g. lognormal on non-positive data, degenerate samples).
+std::optional<FitResult> fit_family(DistFamily family, std::span<const double> xs);
+
+/// Fits every applicable family; results sorted best-first by `criterion`.
+std::vector<FitResult> fit_all(std::span<const double> xs, SelectBy criterion = SelectBy::kKs);
+
+/// Fits all families and returns the winner by `criterion`; nullopt when no
+/// family is applicable (e.g. empty sample).
+std::optional<FitResult> fit_best(std::span<const double> xs, SelectBy criterion = SelectBy::kKs);
+
+}  // namespace keddah::stats

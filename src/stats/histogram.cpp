@@ -1,0 +1,64 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace keddah::stats {
+
+Histogram Histogram::linear(std::span<const double> xs, double lo, double hi, std::size_t bins) {
+  if (bins == 0 || hi <= lo) throw std::invalid_argument("histogram: bad bin spec");
+  Histogram h;
+  h.counts_.assign(bins, 0);
+  h.edges_.resize(bins + 1);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (std::size_t i = 0; i <= bins; ++i) h.edges_[i] = lo + width * static_cast<double>(i);
+  for (const double x : xs) {
+    auto bin = static_cast<std::ptrdiff_t>((x - lo) / width);
+    bin = std::clamp<std::ptrdiff_t>(bin, 0, static_cast<std::ptrdiff_t>(bins) - 1);
+    ++h.counts_[static_cast<std::size_t>(bin)];
+    ++h.total_;
+  }
+  return h;
+}
+
+Histogram Histogram::log10(std::span<const double> xs, double lo, double hi, std::size_t bins) {
+  if (lo <= 0.0 || hi <= lo || bins == 0) throw std::invalid_argument("histogram: bad log spec");
+  Histogram h;
+  h.log_scale_ = true;
+  h.counts_.assign(bins, 0);
+  h.edges_.resize(bins + 1);
+  const double llo = std::log10(lo);
+  const double lhi = std::log10(hi);
+  const double width = (lhi - llo) / static_cast<double>(bins);
+  for (std::size_t i = 0; i <= bins; ++i) {
+    h.edges_[i] = std::pow(10.0, llo + width * static_cast<double>(i));
+  }
+  for (const double x : xs) {
+    const double lx = std::log10(std::max(x, lo));
+    auto bin = static_cast<std::ptrdiff_t>((lx - llo) / width);
+    bin = std::clamp<std::ptrdiff_t>(bin, 0, static_cast<std::ptrdiff_t>(bins) - 1);
+    ++h.counts_[static_cast<std::size_t>(bin)];
+    ++h.total_;
+  }
+  return h;
+}
+
+double Histogram::fraction(std::size_t bin) const {
+  return total_ == 0 ? 0.0 : static_cast<double>(counts_.at(bin)) / static_cast<double>(total_);
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::size_t max_count = 1;
+  for (const auto c : counts_) max_count = std::max(max_count, c);
+  std::string out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = counts_[i] * width / max_count;
+    out += util::format("%12.3g | %s %zu\n", edges_[i], std::string(bar, '#').c_str(), counts_[i]);
+  }
+  return out;
+}
+
+}  // namespace keddah::stats

@@ -1,0 +1,41 @@
+// Fixed-width and logarithmic histograms for traffic summaries.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace keddah::stats {
+
+/// A binned view of a sample.
+class Histogram {
+ public:
+  /// Linear bins over [lo, hi); out-of-range samples clamp to edge bins.
+  static Histogram linear(std::span<const double> xs, double lo, double hi, std::size_t bins);
+
+  /// Log10 bins spanning [lo, hi); lo must be > 0. Good for flow sizes that
+  /// span B..GB.
+  static Histogram log10(std::span<const double> xs, double lo, double hi, std::size_t bins);
+
+  std::size_t num_bins() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t total() const { return total_; }
+
+  /// Lower edge of a bin.
+  double edge(std::size_t bin) const { return edges_.at(bin); }
+
+  /// Fraction of samples in a bin.
+  double fraction(std::size_t bin) const;
+
+  /// ASCII rendition (for examples / debugging).
+  std::string ascii(std::size_t width = 40) const;
+
+ private:
+  Histogram() = default;
+  std::vector<std::size_t> counts_;
+  std::vector<double> edges_;  // size num_bins + 1
+  std::size_t total_ = 0;
+  bool log_scale_ = false;
+};
+
+}  // namespace keddah::stats

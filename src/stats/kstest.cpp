@@ -1,0 +1,86 @@
+#include "stats/kstest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/distributions.h"
+#include "stats/special.h"
+
+namespace keddah::stats {
+
+double ks_statistic(std::span<const double> xs, const std::function<double(double)>& cdf) {
+  if (xs.empty()) throw std::invalid_argument("ks: empty sample");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = static_cast<double>(sorted.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double f = cdf(sorted[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max({d, std::fabs(f - lo), std::fabs(hi - f)});
+  }
+  return d;
+}
+
+double ks_statistic(std::span<const double> xs, const Distribution& dist) {
+  return ks_statistic(xs, [&dist](double x) { return dist.cdf(x); });
+}
+
+double ks_statistic_two_sample(std::span<const double> a, std::span<const double> b) {
+  if (a.empty() || b.empty()) throw std::invalid_argument("ks: empty sample");
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  const double na = static_cast<double>(sa.size());
+  const double nb = static_cast<double>(sb.size());
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  double d = 0.0;
+  while (ia < sa.size() && ib < sb.size()) {
+    const double x = std::min(sa[ia], sb[ib]);
+    while (ia < sa.size() && sa[ia] <= x) ++ia;
+    while (ib < sb.size() && sb[ib] <= x) ++ib;
+    d = std::max(d, std::fabs(static_cast<double>(ia) / na - static_cast<double>(ib) / nb));
+  }
+  return d;
+}
+
+double ks_pvalue(double d, std::size_t n) {
+  if (n == 0) throw std::invalid_argument("ks: n must be positive");
+  const double sqn = std::sqrt(static_cast<double>(n));
+  // Stephens' correction improves the asymptotic formula for moderate n.
+  const double lambda = (sqn + 0.12 + 0.11 / sqn) * d;
+  return kolmogorov_q(lambda);
+}
+
+double ad_statistic(std::span<const double> xs, const Distribution& dist) {
+  if (xs.empty()) throw std::invalid_argument("ad: empty sample");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = static_cast<double>(sorted.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double fi = dist.cdf(sorted[i]);
+    const double fj = dist.cdf(sorted[sorted.size() - 1 - i]);
+    if (fi <= 0.0 || fi >= 1.0 || fj <= 0.0 || fj >= 1.0) {
+      return std::numeric_limits<double>::infinity();
+    }
+    sum += (2.0 * static_cast<double>(i) + 1.0) * (std::log(fi) + std::log(1.0 - fj));
+  }
+  return -n - sum / n;
+}
+
+double ks_pvalue_two_sample(double d, std::size_t n, std::size_t m) {
+  if (n == 0 || m == 0) throw std::invalid_argument("ks: sizes must be positive");
+  const double ne = static_cast<double>(n) * static_cast<double>(m) /
+                    (static_cast<double>(n) + static_cast<double>(m));
+  const double sqn = std::sqrt(ne);
+  const double lambda = (sqn + 0.12 + 0.11 / sqn) * d;
+  return kolmogorov_q(lambda);
+}
+
+}  // namespace keddah::stats

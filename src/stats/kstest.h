@@ -1,0 +1,38 @@
+// Kolmogorov-Smirnov goodness-of-fit machinery.
+//
+// Keddah selects flow-size models by KS distance between the empirical CDF
+// and each fitted candidate, and validates generated traffic with the
+// two-sample KS statistic between captured and synthetic flow sizes.
+#pragma once
+
+#include <functional>
+#include <span>
+
+namespace keddah::stats {
+
+class Distribution;
+
+/// One-sample KS statistic D = sup_x |F_n(x) - F(x)| against an arbitrary
+/// CDF. Data need not be sorted.
+double ks_statistic(std::span<const double> xs, const std::function<double(double)>& cdf);
+
+/// One-sample KS statistic against a parametric distribution.
+double ks_statistic(std::span<const double> xs, const Distribution& dist);
+
+/// Two-sample KS statistic D = sup_x |F_a(x) - F_b(x)|.
+double ks_statistic_two_sample(std::span<const double> a, std::span<const double> b);
+
+/// Asymptotic one-sample p-value for statistic d with sample size n
+/// (Stephens' small-sample correction).
+double ks_pvalue(double d, std::size_t n);
+
+/// Asymptotic two-sample p-value with sizes n and m.
+double ks_pvalue_two_sample(double d, std::size_t n, std::size_t m);
+
+/// One-sample Anderson-Darling statistic A^2 against a parametric CDF.
+/// More tail-sensitive than KS; used as a secondary goodness-of-fit view
+/// on heavy-tailed flow-size fits. Requires 0 < F(x) < 1 on the sample
+/// (returns +inf when a point sits at probability 0 or 1).
+double ad_statistic(std::span<const double> xs, const Distribution& dist);
+
+}  // namespace keddah::stats

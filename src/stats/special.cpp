@@ -1,0 +1,143 @@
+#include "stats/special.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace keddah::stats {
+
+double digamma(double x) {
+  if (x <= 0.0) throw std::domain_error("digamma: x must be positive");
+  double result = 0.0;
+  // Recurrence to push the argument above 10 where the asymptotic series
+  // converges to full double precision.
+  while (x < 10.0) {
+    result -= 1.0 / x;
+    x += 1.0;
+  }
+  const double inv = 1.0 / x;
+  const double inv2 = inv * inv;
+  // Asymptotic expansion: ln x - 1/(2x) - sum B_2n/(2n x^{2n}).
+  result += std::log(x) - 0.5 * inv -
+            inv2 * (1.0 / 12.0 -
+                    inv2 * (1.0 / 120.0 -
+                            inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0 - inv2 / 132.0))));
+  return result;
+}
+
+double trigamma(double x) {
+  if (x <= 0.0) throw std::domain_error("trigamma: x must be positive");
+  double result = 0.0;
+  while (x < 10.0) {
+    result += 1.0 / (x * x);
+    x += 1.0;
+  }
+  const double inv = 1.0 / x;
+  const double inv2 = inv * inv;
+  result += inv * (1.0 + 0.5 * inv +
+                   inv2 * (1.0 / 6.0 - inv2 * (1.0 / 30.0 - inv2 * (1.0 / 42.0 - inv2 / 30.0))));
+  return result;
+}
+
+namespace {
+
+/// Series expansion of P(a, x), valid for x < a + 1.
+double gamma_p_series(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double term = sum;
+  for (int i = 0; i < 500; ++i) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::fabs(term) < std::fabs(sum) * 1e-15) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/// Continued fraction for Q(a, x) = 1 - P(a, x), valid for x >= a + 1.
+double gamma_q_contfrac(double a, double x) {
+  const double tiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::fabs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < 1e-15) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+}  // namespace
+
+double reg_lower_incomplete_gamma(double a, double x) {
+  if (a <= 0.0) throw std::domain_error("incomplete gamma: a must be positive");
+  if (x < 0.0) throw std::domain_error("incomplete gamma: x must be non-negative");
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return gamma_p_series(a, x);
+  return 1.0 - gamma_q_contfrac(a, x);
+}
+
+double kolmogorov_q(double lambda) {
+  if (lambda <= 0.0) return 1.0;
+  const double l2 = lambda * lambda;
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int j = 1; j <= 100; ++j) {
+    const double term = sign * std::exp(-2.0 * j * j * l2);
+    sum += term;
+    if (std::fabs(term) < 1e-12) break;
+    sign = -sign;
+  }
+  return std::min(1.0, std::max(0.0, 2.0 * sum));
+}
+
+double normal_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+double normal_quantile(double p) {
+  if (p <= 0.0 || p >= 1.0) throw std::domain_error("normal_quantile: p in (0,1) required");
+  // Acklam's approximation.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  double x;
+  if (p < plow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - plow) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // One Halley refinement step using the exact CDF.
+  const double e = normal_cdf(x) - p;
+  const double u = e * std::sqrt(2.0 * M_PI) * std::exp(x * x / 2.0);
+  x = x - u / (1.0 + x * u / 2.0);
+  return x;
+}
+
+}  // namespace keddah::stats

@@ -1,0 +1,29 @@
+// Special functions needed by maximum-likelihood fitting and
+// goodness-of-fit testing. Implementations follow standard numerical
+// recipes; accuracy is ample for model selection purposes (~1e-10).
+#pragma once
+
+namespace keddah::stats {
+
+/// Digamma function psi(x) = d/dx ln Gamma(x), x > 0.
+double digamma(double x);
+
+/// Trigamma function psi'(x), x > 0.
+double trigamma(double x);
+
+/// Regularized lower incomplete gamma P(a, x) = gamma(a,x)/Gamma(a),
+/// a > 0, x >= 0. This is the CDF of a Gamma(shape=a, scale=1) variate.
+double reg_lower_incomplete_gamma(double a, double x);
+
+/// Kolmogorov distribution tail Q_KS(lambda) = 2 * sum (-1)^{j-1}
+/// exp(-2 j^2 lambda^2); the asymptotic p-value machinery of the KS test.
+double kolmogorov_q(double lambda);
+
+/// Standard normal CDF.
+double normal_cdf(double z);
+
+/// Inverse standard normal CDF (Acklam's rational approximation refined by
+/// one Halley step); |error| < 1e-9 on (0, 1).
+double normal_quantile(double p);
+
+}  // namespace keddah::stats

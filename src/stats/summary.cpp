@@ -1,0 +1,86 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace keddah::stats {
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) throw std::invalid_argument("quantile: empty sample");
+  if (q <= 0.0) return sorted.front();
+  if (q >= 1.0) return sorted.back();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+double quantile(std::span<const double> xs, double q) {
+  std::vector<double> copy(xs.begin(), xs.end());
+  std::sort(copy.begin(), copy.end());
+  return quantile_sorted(copy, q);
+}
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (const double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+ConfidenceInterval bootstrap_ci(std::span<const double> xs,
+                                const std::function<double(std::span<const double>)>& statistic,
+                                util::Rng& rng, std::size_t resamples, double alpha) {
+  if (xs.empty()) throw std::invalid_argument("bootstrap: empty sample");
+  if (alpha <= 0.0 || alpha >= 1.0) throw std::invalid_argument("bootstrap: bad alpha");
+  ConfidenceInterval ci;
+  ci.point = statistic(xs);
+  std::vector<double> resample(xs.size());
+  std::vector<double> stats;
+  stats.reserve(resamples);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    for (auto& value : resample) {
+      value = xs[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(xs.size()) - 1))];
+    }
+    stats.push_back(statistic(resample));
+  }
+  std::sort(stats.begin(), stats.end());
+  ci.lo = quantile_sorted(stats, alpha / 2.0);
+  ci.hi = quantile_sorted(stats, 1.0 - alpha / 2.0);
+  return ci;
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  if (xs.empty()) return s;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.n = xs.size();
+  for (const double x : sorted) s.sum += x;
+  s.mean = s.sum / static_cast<double>(s.n);
+  double acc = 0.0;
+  for (const double x : sorted) acc += (x - s.mean) * (x - s.mean);
+  s.variance = s.n > 1 ? acc / static_cast<double>(s.n - 1) : 0.0;
+  s.stddev = std::sqrt(s.variance);
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.median = quantile_sorted(sorted, 0.5);
+  s.p25 = quantile_sorted(sorted, 0.25);
+  s.p75 = quantile_sorted(sorted, 0.75);
+  s.p95 = quantile_sorted(sorted, 0.95);
+  s.p99 = quantile_sorted(sorted, 0.99);
+  return s;
+}
+
+}  // namespace keddah::stats

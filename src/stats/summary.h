@@ -1,0 +1,60 @@
+// Descriptive statistics over samples.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace keddah::stats {
+
+/// Moments and order statistics of a sample.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double variance = 0.0;  // unbiased (n-1 denominator); 0 for n < 2
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p25 = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double sum = 0.0;
+};
+
+/// Computes a Summary; empty input yields a zeroed struct.
+Summary summarize(std::span<const double> xs);
+
+/// Linear-interpolated quantile of a *sorted* sample, q in [0, 1].
+double quantile_sorted(std::span<const double> sorted, double q);
+
+/// Convenience: copies, sorts, takes quantile.
+double quantile(std::span<const double> xs, double q);
+
+/// Mean; 0 for empty input.
+double mean(std::span<const double> xs);
+
+/// Unbiased sample variance; 0 for n < 2.
+double variance(std::span<const double> xs);
+
+/// A two-sided confidence interval.
+struct ConfidenceInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+  double point = 0.0;
+};
+
+/// Percentile-bootstrap confidence interval for an arbitrary statistic of
+/// the sample (e.g. the mean, a quantile): resamples with replacement
+/// `resamples` times and takes the (alpha/2, 1-alpha/2) percentiles of the
+/// statistic's distribution. Used to put error bars on validation metrics.
+/// Throws std::invalid_argument on empty input or alpha outside (0, 1).
+ConfidenceInterval bootstrap_ci(std::span<const double> xs,
+                                const std::function<double(std::span<const double>)>& statistic,
+                                util::Rng& rng, std::size_t resamples = 1000,
+                                double alpha = 0.05);
+
+}  // namespace keddah::stats

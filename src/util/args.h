@@ -1,0 +1,50 @@
+// Tiny command-line flag parser for the keddah CLI and examples.
+//
+// Grammar: positionals and --key value / --key=value flags; a flag without
+// a following value (or followed by another flag) is boolean true.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace keddah::util {
+
+/// Parsed command line.
+class Args {
+ public:
+  /// Parses argv[1..). Throws std::invalid_argument on malformed flags
+  /// (e.g. "---x").
+  static Args parse(int argc, const char* const* argv);
+
+  /// Parses a pre-split token vector (for tests).
+  static Args parse(const std::vector<std::string>& tokens);
+
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
+  bool has(const std::string& key) const;
+
+  /// String flag with fallback.
+  std::string get(const std::string& key, const std::string& fallback = "") const;
+
+  /// Numeric flags; throw std::invalid_argument on unparsable values.
+  double get_double(const std::string& key, double fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+
+  /// Byte-size flag ("2GB", "64MB", "4096"); throws on unparsable values.
+  std::uint64_t get_bytes(const std::string& key, std::uint64_t fallback) const;
+
+  /// Boolean flag: present without value, or with value true/false/1/0.
+  bool get_bool(const std::string& key, bool fallback = false) const;
+
+  /// Keys that were never read by any getter; lets the CLI reject typos.
+  std::vector<std::string> unused_keys() const;
+
+ private:
+  std::vector<std::string> positionals_;
+  std::map<std::string, std::string> flags_;
+  mutable std::map<std::string, bool> accessed_;
+};
+
+}  // namespace keddah::util

@@ -1,0 +1,82 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace keddah::util {
+
+CsvTable::CsvTable(std::vector<std::string> header) : header_(std::move(header)) {
+  for (std::size_t i = 0; i < header_.size(); ++i) index_[header_[i]] = i;
+}
+
+CsvTable CsvTable::parse(std::istream& in) {
+  CsvTable table;
+  std::string line;
+  bool saw_header = false;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view stripped = trim(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    auto fields = split(stripped, ',');
+    for (auto& f : fields) f = std::string(trim(f));
+    if (!saw_header) {
+      table = CsvTable(std::move(fields));
+      saw_header = true;
+      continue;
+    }
+    if (fields.size() != table.header_.size()) {
+      throw std::runtime_error("csv: ragged row at line " + std::to_string(line_no) + " (" +
+                               std::to_string(fields.size()) + " fields, expected " +
+                               std::to_string(table.header_.size()) + ")");
+    }
+    table.rows_.push_back(std::move(fields));
+  }
+  return table;
+}
+
+CsvTable CsvTable::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("csv: cannot open " + path);
+  return parse(in);
+}
+
+std::size_t CsvTable::column(const std::string& name) const {
+  const auto it = index_.find(name);
+  if (it == index_.end()) throw std::out_of_range("csv: no column named '" + name + "'");
+  return it->second;
+}
+
+bool CsvTable::has_column(const std::string& name) const { return index_.count(name) != 0; }
+
+double CsvTable::cell_double(std::size_t row, const std::string& col) const {
+  return std::stod(cell(row, col));
+}
+
+std::int64_t CsvTable::cell_int(std::size_t row, const std::string& col) const {
+  return std::stoll(cell(row, col));
+}
+
+void CsvTable::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("csv: row width " + std::to_string(row.size()) +
+                                " does not match header width " + std::to_string(header_.size()));
+  }
+  rows_.push_back(std::move(row));
+}
+
+void CsvTable::write(std::ostream& out) const {
+  out << join(header_, ",") << "\n";
+  for (const auto& row : rows_) out << join(row, ",") << "\n";
+}
+
+void CsvTable::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("csv: cannot write " + path);
+  write(out);
+}
+
+}  // namespace keddah::util

@@ -1,0 +1,79 @@
+#include "util/gnuplot.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace keddah::util {
+
+GnuplotFigure::GnuplotFigure(std::string title, std::string xlabel, std::string ylabel)
+    : title_(std::move(title)), xlabel_(std::move(xlabel)), ylabel_(std::move(ylabel)) {}
+
+void GnuplotFigure::add_series(const std::string& name) {
+  series_.push_back(Series{name, {}});
+}
+
+void GnuplotFigure::add_point(double x, double y) {
+  if (series_.empty()) throw std::logic_error("gnuplot: add_series before add_point");
+  series_.back().points.emplace_back(x, y);
+}
+
+void GnuplotFigure::add_series(const std::string& name,
+                               const std::vector<std::pair<double, double>>& points) {
+  series_.push_back(Series{name, points});
+}
+
+std::string GnuplotFigure::data() const {
+  std::string out;
+  for (std::size_t s = 0; s < series_.size(); ++s) {
+    out += "# series: " + series_[s].name + "\n";
+    for (const auto& [x, y] : series_[s].points) {
+      out += format("%.9g %.9g\n", x, y);
+    }
+    if (s + 1 != series_.size()) out += "\n\n";  // gnuplot index separator
+  }
+  return out;
+}
+
+std::string GnuplotFigure::script(const std::string& basename) const {
+  std::string out;
+  out += "set terminal pngcairo size 900,600 enhanced\n";
+  out += "set output '" + basename + ".png'\n";
+  out += "set title '" + title_ + "'\n";
+  out += "set xlabel '" + xlabel_ + "'\n";
+  out += "set ylabel '" + ylabel_ + "'\n";
+  out += "set key outside right\n";
+  out += "set grid\n";
+  if (logscale_x_) out += "set logscale x\n";
+  if (logscale_y_) out += "set logscale y\n";
+  out += "plot ";
+  for (std::size_t s = 0; s < series_.size(); ++s) {
+    if (s != 0) out += ", \\\n     ";
+    out += format("'%s.dat' index %zu with %s title '%s'", basename.c_str(), s, style_.c_str(),
+                  series_[s].name.c_str());
+  }
+  out += "\n";
+  return out;
+}
+
+void GnuplotFigure::write(const std::string& basename) const {
+  {
+    std::ofstream dat(basename + ".dat");
+    if (!dat) throw std::runtime_error("gnuplot: cannot write " + basename + ".dat");
+    dat << data();
+  }
+  {
+    std::ofstream gp(basename + ".gp");
+    if (!gp) throw std::runtime_error("gnuplot: cannot write " + basename + ".gp");
+    gp << script(basename);
+  }
+}
+
+std::string plot_dir_from_env() {
+  const char* dir = std::getenv("KEDDAH_PLOT_DIR");
+  return dir == nullptr ? std::string() : std::string(dir);
+}
+
+}  // namespace keddah::util

@@ -1,0 +1,62 @@
+// Gnuplot figure emission: bench binaries print their series as text and,
+// when asked, also write <basename>.dat / <basename>.gp so the figures can
+// be rendered with stock gnuplot (`gnuplot figN.gp` -> figN.png).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace keddah::util {
+
+/// A figure with one or more named (x, y) series.
+class GnuplotFigure {
+ public:
+  GnuplotFigure(std::string title, std::string xlabel, std::string ylabel);
+
+  /// Starts a new series; subsequent add_point calls append to it.
+  void add_series(const std::string& name);
+
+  /// Appends a point to the current series (add_series must have been
+  /// called; throws std::logic_error otherwise).
+  void add_point(double x, double y);
+
+  /// Convenience: a whole series at once.
+  void add_series(const std::string& name, const std::vector<std::pair<double, double>>& points);
+
+  void set_logscale_x(bool on = true) { logscale_x_ = on; }
+  void set_logscale_y(bool on = true) { logscale_y_ = on; }
+  /// "linespoints" (default), "points", "steps" (CDFs), "boxes".
+  void set_style(std::string style) { style_ = std::move(style); }
+
+  /// Writes <basename>.dat (series separated by double blank lines, gnuplot
+  /// `index` convention) and <basename>.gp (renders <basename>.png).
+  /// Throws std::runtime_error on I/O failure.
+  void write(const std::string& basename) const;
+
+  /// The .gp script text (for tests).
+  std::string script(const std::string& basename) const;
+
+  /// The .dat payload text (for tests).
+  std::string data() const;
+
+ private:
+  struct Series {
+    std::string name;
+    std::vector<std::pair<double, double>> points;
+  };
+  std::string title_;
+  std::string xlabel_;
+  std::string ylabel_;
+  std::string style_ = "linespoints";
+  bool logscale_x_ = false;
+  bool logscale_y_ = false;
+  std::vector<Series> series_;
+};
+
+/// Returns the plot output directory requested via the KEDDAH_PLOT_DIR
+/// environment variable, or empty when plotting is off. Bench binaries
+/// call this and skip figure emission when it returns empty.
+std::string plot_dir_from_env();
+
+}  // namespace keddah::util

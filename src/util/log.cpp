@@ -1,0 +1,55 @@
+#include "util/log.h"
+
+#include <algorithm>
+#include <cctype>
+#include <iostream>
+
+namespace keddah::util {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?????";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+LogLevel parse_log_level(const std::string& name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  return LogLevel::kWarn;
+}
+
+namespace detail {
+
+bool log_enabled(LogLevel level) { return level >= g_level; }
+
+void log_line(LogLevel level, const std::string& msg) {
+  std::cerr << "[" << level_name(level) << "] " << msg << "\n";
+}
+
+}  // namespace detail
+
+}  // namespace keddah::util

@@ -1,0 +1,63 @@
+// Minimal leveled logger for the Keddah toolchain.
+//
+// The simulator is deterministic and single-threaded, so the logger is a
+// plain global with no locking. Output goes to stderr so that bench binaries
+// can print machine-readable tables on stdout with diagnostics kept apart.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace keddah::util {
+
+/// Severity of a log statement. Messages below the global threshold are
+/// discarded without formatting cost.
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4 };
+
+/// Returns the current global log threshold (default: kWarn).
+LogLevel log_level();
+
+/// Sets the global log threshold. Thread-compatible, not thread-safe.
+void set_log_level(LogLevel level);
+
+/// Parses "trace|debug|info|warn|error" (case-insensitive); returns kWarn on
+/// unknown input.
+LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+bool log_enabled(LogLevel level);
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace keddah::util
+
+// Streaming log macros; evaluate their arguments only when the level is
+// enabled, e.g. KLOG_INFO << "fitted " << n << " flows";
+#define KLOG_IMPL(lvl)                                       \
+  if (!::keddah::util::detail::log_enabled(lvl)) {           \
+  } else                                                     \
+    ::keddah::util::detail::LogStream(lvl)
+
+#define KLOG_TRACE KLOG_IMPL(::keddah::util::LogLevel::kTrace)
+#define KLOG_DEBUG KLOG_IMPL(::keddah::util::LogLevel::kDebug)
+#define KLOG_INFO KLOG_IMPL(::keddah::util::LogLevel::kInfo)
+#define KLOG_WARN KLOG_IMPL(::keddah::util::LogLevel::kWarn)
+#define KLOG_ERROR KLOG_IMPL(::keddah::util::LogLevel::kError)

@@ -1,0 +1,96 @@
+// Deterministic, splittable random number generation.
+//
+// Every stochastic component in the toolchain (block placement, task
+// durations, model sampling) draws from an Rng handed to it explicitly, so a
+// whole capture->model->replay run is reproducible from a single seed.
+// Streams are derived with SplitMix64 so that adding a consumer does not
+// perturb the draws seen by existing consumers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace keddah::util {
+
+/// xoshiro256** engine seeded via SplitMix64. Satisfies
+/// UniformRandomBitGenerator so it can feed <random> distributions, but the
+/// convenience members below are preferred: they have stable cross-platform
+/// behaviour (libstdc++ distribution algorithms are not portable).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the stream; equal seeds yield equal draw sequences.
+  explicit Rng(std::uint64_t seed = 0xdecafbadULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next(); }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Derives an independent child stream; deterministic in (parent seed,
+  /// number of prior split() calls).
+  Rng split();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli draw with success probability p (clamped to [0, 1]).
+  bool chance(double p);
+
+  /// Standard normal via Box-Muller (deterministic, portable).
+  double normal();
+
+  /// Normal with the given mean and standard deviation (sigma >= 0).
+  double normal(double mean, double sigma);
+
+  /// Exponential with the given rate lambda > 0.
+  double exponential(double lambda);
+
+  /// Lognormal: exp(normal(mu, sigma)).
+  double lognormal(double mu, double sigma);
+
+  /// Weibull with shape k > 0 and scale lambda > 0 (inverse CDF method).
+  double weibull(double shape, double scale);
+
+  /// Gamma with shape k > 0 and scale theta > 0 (Marsaglia-Tsang).
+  double gamma(double shape, double scale);
+
+  /// Pareto with minimum xm > 0 and tail index alpha > 0.
+  double pareto(double xm, double alpha);
+
+  /// Zipf-like rank draw in [0, n) with exponent s >= 0 (s == 0 is uniform).
+  /// Used for reducer-partition skew.
+  std::size_t zipf(std::size_t n, double s);
+
+  /// Samples k distinct indices from [0, n) without replacement
+  /// (partial Fisher-Yates). Requires k <= n.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_[4];
+  std::uint64_t split_sequence_ = 0;
+  std::uint64_t seed_;
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace keddah::util

@@ -1,0 +1,119 @@
+#include "util/strings.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+namespace keddah::util {
+
+std::vector<std::string> split(std::string_view text, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == delim) {
+      out.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+  return text.substr(begin, end - begin);
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  for (auto& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string join(const std::vector<std::string>& items, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) out += sep;
+    out += items[i];
+  }
+  return out;
+}
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  }
+  va_end(args);
+  return out;
+}
+
+std::string human_bytes(double bytes) {
+  static const char* kUnits[] = {"B", "KB", "MB", "GB", "TB", "PB"};
+  double value = bytes;
+  int unit = 0;
+  while (std::fabs(value) >= 1024.0 && unit < 5) {
+    value /= 1024.0;
+    ++unit;
+  }
+  return format(unit == 0 ? "%.0f %s" : "%.2f %s", value, kUnits[unit]);
+}
+
+std::string human_seconds(double seconds) {
+  if (seconds < 0.0) return "-" + human_seconds(-seconds);
+  if (seconds < 120.0) return format("%.2f s", seconds);
+  const int whole = static_cast<int>(seconds);
+  return format("%dm%02ds", whole / 60, whole % 60);
+}
+
+bool parse_bytes(std::string_view text, std::uint64_t* out) {
+  const std::string_view trimmed = trim(text);
+  if (trimmed.empty() || out == nullptr) return false;
+  std::size_t pos = 0;
+  while (pos < trimmed.size() &&
+         (std::isdigit(static_cast<unsigned char>(trimmed[pos])) || trimmed[pos] == '.')) {
+    ++pos;
+  }
+  if (pos == 0) return false;
+  double value = 0.0;
+  try {
+    value = std::stod(std::string(trimmed.substr(0, pos)));
+  } catch (...) {
+    return false;
+  }
+  const std::string unit = to_lower(trim(trimmed.substr(pos)));
+  double mult = 1.0;
+  if (unit.empty() || unit == "b") {
+    mult = 1.0;
+  } else if (unit == "k" || unit == "kb") {
+    mult = 1024.0;
+  } else if (unit == "m" || unit == "mb") {
+    mult = 1024.0 * 1024.0;
+  } else if (unit == "g" || unit == "gb") {
+    mult = 1024.0 * 1024.0 * 1024.0;
+  } else if (unit == "t" || unit == "tb") {
+    mult = 1024.0 * 1024.0 * 1024.0 * 1024.0;
+  } else {
+    return false;
+  }
+  const double bytes = value * mult;
+  if (bytes < 0.0 || bytes > 9.0e18) return false;
+  *out = static_cast<std::uint64_t>(bytes);
+  return true;
+}
+
+}  // namespace keddah::util

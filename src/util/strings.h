@@ -1,0 +1,39 @@
+// Small string utilities shared across the toolchain.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace keddah::util {
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Lower-cases ASCII characters.
+std::string to_lower(std::string_view text);
+
+/// Joins items with a separator.
+std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Renders a byte count as a human-friendly quantity ("1.50 GB").
+std::string human_bytes(double bytes);
+
+/// Renders seconds as "12.34 s" / "1m23s" style.
+std::string human_seconds(double seconds);
+
+/// Parses sizes like "128MB", "1.5GB", "4096" (bytes). Returns false on
+/// malformed input.
+bool parse_bytes(std::string_view text, std::uint64_t* out);
+
+}  // namespace keddah::util

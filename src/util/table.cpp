@@ -1,0 +1,82 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <iostream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace keddah::util {
+
+namespace {
+bool looks_numeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  std::size_t i = (cell[0] == '-' || cell[0] == '+') ? 1 : 0;
+  if (i >= cell.size()) return false;
+  bool digit = false;
+  for (; i < cell.size(); ++i) {
+    const char c = cell[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit = true;
+    } else if (c != '.' && c != 'e' && c != 'E' && c != '+' && c != '-' && c != '%' && c != 'x') {
+      return false;
+    }
+  }
+  return digit;
+}
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_numeric_row(const std::string& label, const std::vector<double>& values,
+                                int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (const double v : values) row.push_back(format("%.*f", precision, v));
+  add_row(std::move(row));
+}
+
+void TextTable::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const std::string& cell = row[c];
+      const auto pad = widths[c] - cell.size();
+      if (looks_numeric(cell)) {
+        out << std::string(pad, ' ') << cell;
+      } else {
+        out << cell << std::string(pad, ' ');
+      }
+      out << (c + 1 == row.size() ? "" : "  ");
+    }
+    out << "\n";
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (const auto w : widths) total += w + 2;
+  out << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TextTable::str() const {
+  std::ostringstream out;
+  print(out);
+  return out.str();
+}
+
+void print_section(std::ostream& out, const std::string& title) {
+  out << "\n## " << title << "\n\n";
+}
+
+}  // namespace keddah::util

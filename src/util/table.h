@@ -1,0 +1,42 @@
+// Aligned plain-text table printer used by the bench harness to render
+// paper-style tables and figure series on stdout.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace keddah::util {
+
+/// Collects rows of string cells and prints them with column alignment.
+/// Numeric-looking cells are right-aligned, everything else left-aligned.
+class TextTable {
+ public:
+  /// Column names; printed with a separating rule.
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a data row (padded/truncated to header width).
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats each double with the given precision.
+  void add_numeric_row(const std::string& label, const std::vector<double>& values,
+                       int precision = 3);
+
+  /// Renders the table to a stream.
+  void print(std::ostream& out) const;
+
+  /// Renders to a string (for tests).
+  std::string str() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a "## <title>" section marker understood by the experiment
+/// post-processing scripts and by humans skimming bench output.
+void print_section(std::ostream& out, const std::string& title);
+
+}  // namespace keddah::util

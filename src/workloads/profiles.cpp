@@ -1,0 +1,122 @@
+#include "workloads/profiles.h"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+namespace keddah::workloads {
+
+std::span<const Workload> all_workloads() {
+  static constexpr std::array<Workload, 7> kAll = {
+      Workload::kWordCount, Workload::kGrep,   Workload::kSort,      Workload::kTeraSort,
+      Workload::kPageRank,  Workload::kKMeans, Workload::kNutchIndex};
+  return kAll;
+}
+
+const char* workload_name(Workload w) {
+  switch (w) {
+    case Workload::kWordCount:
+      return "wordcount";
+    case Workload::kGrep:
+      return "grep";
+    case Workload::kSort:
+      return "sort";
+    case Workload::kTeraSort:
+      return "terasort";
+    case Workload::kPageRank:
+      return "pagerank";
+    case Workload::kKMeans:
+      return "kmeans";
+    case Workload::kNutchIndex:
+      return "nutchindex";
+  }
+  return "unknown";
+}
+
+Workload workload_from_name(const std::string& name) {
+  for (const Workload w : all_workloads()) {
+    if (name == workload_name(w)) return w;
+  }
+  throw std::invalid_argument("workloads: unknown workload '" + name + "'");
+}
+
+hadoop::JobProfile profile(Workload w) {
+  hadoop::JobProfile p;
+  p.name = workload_name(w);
+  switch (w) {
+    case Workload::kWordCount:
+      // Combiner collapses word counts: small shuffle, smaller output,
+      // CPU-heavy maps (tokenization).
+      p.map_selectivity = 0.15;
+      p.reduce_selectivity = 0.35;
+      p.map_cpu_s_per_mb = 0.055;
+      p.reduce_cpu_s_per_mb = 0.03;
+      p.partition_skew = 0.5;  // word frequency skew survives hashing a bit
+      break;
+    case Workload::kGrep:
+      // Rare matches: near-empty shuffle; cheap scan.
+      p.map_selectivity = 0.002;
+      p.reduce_selectivity = 1.0;
+      p.map_cpu_s_per_mb = 0.02;
+      p.reduce_cpu_s_per_mb = 0.01;
+      p.partition_skew = 0.0;
+      break;
+    case Workload::kSort:
+      // Identity map/reduce: everything is shuffled and rewritten.
+      p.map_selectivity = 1.0;
+      p.reduce_selectivity = 1.0;
+      p.map_cpu_s_per_mb = 0.012;
+      p.reduce_cpu_s_per_mb = 0.02;
+      p.partition_skew = 0.1;
+      break;
+    case Workload::kTeraSort:
+      // Range-partitioned sort: balanced partitions, slightly cheaper CPU.
+      p.map_selectivity = 1.0;
+      p.reduce_selectivity = 1.0;
+      p.map_cpu_s_per_mb = 0.01;
+      p.reduce_cpu_s_per_mb = 0.018;
+      p.partition_skew = 0.0;
+      break;
+    case Workload::kPageRank:
+      // One rank-propagation iteration: contributions expand in flight and
+      // the in-link distribution is heavy-tailed.
+      p.map_selectivity = 1.2;
+      p.reduce_selectivity = 0.7;
+      p.map_cpu_s_per_mb = 0.03;
+      p.reduce_cpu_s_per_mb = 0.035;
+      p.partition_skew = 0.8;
+      break;
+    case Workload::kKMeans:
+      // One Lloyd iteration: maps emit partial centroid sums only.
+      p.map_selectivity = 0.01;
+      p.reduce_selectivity = 0.2;
+      p.map_cpu_s_per_mb = 0.08;
+      p.reduce_cpu_s_per_mb = 0.02;
+      p.partition_skew = 0.0;
+      break;
+    case Workload::kNutchIndex:
+      // Indexing: documents reshaped into postings; moderate everything.
+      p.map_selectivity = 0.6;
+      p.reduce_selectivity = 0.9;
+      p.map_cpu_s_per_mb = 0.04;
+      p.reduce_cpu_s_per_mb = 0.04;
+      p.partition_skew = 0.4;
+      break;
+  }
+  return p;
+}
+
+std::size_t default_reducers(std::uint64_t input_bytes) {
+  const auto gb = static_cast<std::size_t>(input_bytes >> 30);
+  return std::clamp<std::size_t>(std::max<std::size_t>(gb, 1) * 4, 4, 64);
+}
+
+hadoop::JobSpec make_spec(Workload w, const std::string& input_file, std::size_t num_reducers) {
+  hadoop::JobSpec spec;
+  spec.profile = profile(w);
+  spec.input_file = input_file;
+  spec.num_reducers = num_reducers;
+  return spec;
+}
+
+}  // namespace keddah::workloads

@@ -1,0 +1,49 @@
+// HiBench-style workload profiles: the MapReduce job families the paper
+// captures (WordCount, Grep, Sort, TeraSort, PageRank iteration, KMeans
+// iteration, Nutch indexing), with selectivities/CPU costs chosen to match
+// their well-known traffic shapes:
+//   - Sort/TeraSort shuffle ~ their input and write ~ their input,
+//   - Grep/WordCount/KMeans shuffle a tiny fraction of the input,
+//   - PageRank expands records in flight and exhibits key skew.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hadoop/job.h"
+
+namespace keddah::workloads {
+
+/// Stable workload identifiers.
+enum class Workload {
+  kWordCount,
+  kGrep,
+  kSort,
+  kTeraSort,
+  kPageRank,
+  kKMeans,
+  kNutchIndex,
+};
+
+/// All workloads in canonical order.
+std::span<const Workload> all_workloads();
+
+/// Canonical name ("wordcount", "sort", ...).
+const char* workload_name(Workload w);
+
+/// Inverse of workload_name; throws std::invalid_argument on unknown names.
+Workload workload_from_name(const std::string& name);
+
+/// The job profile (selectivities, CPU costs, skew) for a workload.
+hadoop::JobProfile profile(Workload w);
+
+/// Suggested reducer count for a given input size (mirrors how operators
+/// scale reducers with data: ~1 reducer per GB, clamped to [4, 64]).
+std::size_t default_reducers(std::uint64_t input_bytes);
+
+/// Builds a ready-to-submit JobSpec (input file must exist or be ingested
+/// by the cluster facade).
+hadoop::JobSpec make_spec(Workload w, const std::string& input_file, std::size_t num_reducers);
+
+}  // namespace keddah::workloads

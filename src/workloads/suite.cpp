@@ -1,0 +1,122 @@
+#include "workloads/suite.h"
+
+#include <stdexcept>
+
+#include "util/log.h"
+
+namespace keddah::workloads {
+
+RunOutcome run_single(const hadoop::ClusterConfig& config, Workload workload,
+                      std::uint64_t input_bytes, std::size_t num_reducers, std::uint64_t seed) {
+  RunOutcome outcome;
+  outcome.workload = workload;
+  outcome.input_bytes = input_bytes;
+  outcome.seed = seed;
+  outcome.num_reducers = num_reducers == 0 ? default_reducers(input_bytes) : num_reducers;
+
+  hadoop::HadoopCluster cluster(config, seed);
+  const std::string input = cluster.ensure_input(input_bytes);
+  const auto spec = make_spec(workload, input, outcome.num_reducers);
+  outcome.result = cluster.run_job(spec);
+  outcome.trace = cluster.take_trace();
+  KLOG_INFO << "run " << workload_name(workload) << " input=" << input_bytes
+            << " seed=" << seed << ": " << outcome.trace.size() << " flows, "
+            << outcome.result.duration() << " s";
+  return outcome;
+}
+
+MixOutcome run_mix(const hadoop::ClusterConfig& config, std::span<const MixJob> jobs,
+                   std::uint64_t seed) {
+  MixOutcome outcome;
+  outcome.results.resize(jobs.size());
+  outcome.job_ids.resize(jobs.size());
+  if (jobs.empty()) return outcome;
+
+  hadoop::HadoopCluster cluster(config, seed);
+  // Ingest every distinct input before time starts.
+  std::vector<std::string> inputs;
+  inputs.reserve(jobs.size());
+  for (const auto& job : jobs) inputs.push_back(cluster.ensure_input(job.input_bytes));
+
+  std::size_t done = 0;
+  cluster.control().enable();
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto spec = make_spec(jobs[i].workload, inputs[i],
+                                jobs[i].num_reducers == 0
+                                    ? default_reducers(jobs[i].input_bytes)
+                                    : jobs[i].num_reducers);
+    cluster.simulator().schedule_at(jobs[i].submit_at, [&cluster, &outcome, &done, spec, i,
+                                                        total = jobs.size()] {
+      outcome.job_ids[i] =
+          cluster.runner().submit(spec, [&outcome, &done, i, total, &cluster](
+                                            const hadoop::JobResult& result) {
+            outcome.results[i] = result;
+            if (++done == total) cluster.control().disable();
+          });
+    });
+  }
+  cluster.simulator().run();
+  if (done != jobs.size()) throw std::logic_error("run_mix: not all jobs completed");
+  outcome.trace = cluster.take_trace();
+  return outcome;
+}
+
+std::vector<MixJob> sample_poisson_mix(const PoissonMixSpec& spec, util::Rng& rng) {
+  if (spec.workloads.empty() || spec.input_sizes.empty() || spec.arrival_rate <= 0.0) {
+    throw std::invalid_argument("poisson mix: need workloads, sizes, positive rate");
+  }
+  std::vector<MixJob> jobs;
+  double t = rng.exponential(spec.arrival_rate);
+  while (t < spec.horizon_s && (spec.max_jobs == 0 || jobs.size() < spec.max_jobs)) {
+    MixJob job;
+    job.workload = spec.workloads[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(spec.workloads.size()) - 1))];
+    job.input_bytes = spec.input_sizes[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(spec.input_sizes.size()) - 1))];
+    job.submit_at = t;
+    jobs.push_back(job);
+    t += rng.exponential(spec.arrival_rate);
+  }
+  return jobs;
+}
+
+std::vector<hadoop::JobResult> run_iterative(hadoop::HadoopCluster& cluster, Workload workload,
+                                             const std::string& initial_input,
+                                             std::size_t iterations,
+                                             std::size_t num_reducers) {
+  if (iterations == 0) throw std::invalid_argument("run_iterative: need >= 1 iteration");
+  std::vector<hadoop::JobResult> results;
+  results.reserve(iterations);
+  std::vector<std::string> inputs = {initial_input};
+  for (std::size_t i = 0; i < iterations; ++i) {
+    hadoop::JobSpec spec;
+    spec.profile = profile(workload);
+    spec.profile.name = std::string(workload_name(workload)) + "_iter" + std::to_string(i);
+    spec.input_file = inputs.front();
+    spec.extra_inputs.assign(inputs.begin() + 1, inputs.end());
+    spec.num_reducers = num_reducers;
+    results.push_back(cluster.run_job(spec));
+    inputs = results.back().output_files;
+    if (inputs.empty()) throw std::logic_error("run_iterative: iteration produced no output");
+  }
+  return results;
+}
+
+std::vector<RunOutcome> run_grid(const hadoop::ClusterConfig& config,
+                                 std::span<const Workload> workloads,
+                                 std::span<const std::uint64_t> input_sizes,
+                                 std::size_t repetitions, std::uint64_t base_seed) {
+  std::vector<RunOutcome> outcomes;
+  outcomes.reserve(workloads.size() * input_sizes.size() * repetitions);
+  std::uint64_t seed = base_seed;
+  for (const Workload w : workloads) {
+    for (const std::uint64_t bytes : input_sizes) {
+      for (std::size_t rep = 0; rep < repetitions; ++rep) {
+        outcomes.push_back(run_single(config, w, bytes, 0, seed++));
+      }
+    }
+  }
+  return outcomes;
+}
+
+}  // namespace keddah::workloads

@@ -1,0 +1,89 @@
+// Experiment suite driver: runs (workload, input size) grids on fresh
+// emulated clusters and returns (result, trace) pairs — the raw material
+// for Keddah's modelling stage and for every bench.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "capture/trace.h"
+#include "hadoop/cluster.h"
+#include "util/rng.h"
+#include "workloads/profiles.h"
+
+namespace keddah::workloads {
+
+/// One captured job run.
+struct RunOutcome {
+  Workload workload = Workload::kSort;
+  std::uint64_t input_bytes = 0;
+  std::size_t num_reducers = 0;
+  std::uint64_t seed = 0;
+  hadoop::JobResult result;
+  capture::Trace trace;
+};
+
+/// Runs one job on a fresh cluster built from `config`, capturing its
+/// flows. `num_reducers == 0` selects default_reducers(input_bytes).
+RunOutcome run_single(const hadoop::ClusterConfig& config, Workload workload,
+                      std::uint64_t input_bytes, std::size_t num_reducers, std::uint64_t seed);
+
+/// Runs `repetitions` seeds of every (workload, input size) combination.
+/// Outcomes are ordered workload-major, then size, then repetition.
+std::vector<RunOutcome> run_grid(const hadoop::ClusterConfig& config,
+                                 std::span<const Workload> workloads,
+                                 std::span<const std::uint64_t> input_sizes,
+                                 std::size_t repetitions, std::uint64_t base_seed);
+
+/// One job of a concurrent mix.
+struct MixJob {
+  Workload workload = Workload::kSort;
+  std::uint64_t input_bytes = 0;
+  /// 0 selects default_reducers(input_bytes).
+  std::size_t num_reducers = 0;
+  /// Submission time, seconds from simulation start.
+  double submit_at = 0.0;
+};
+
+/// A captured concurrent-jobs run: per-job results (in MixJob order) plus
+/// the single cluster-wide trace (jobs distinguishable via job_id).
+struct MixOutcome {
+  std::vector<hadoop::JobResult> results;
+  /// job id assigned to each MixJob, in order.
+  std::vector<std::uint32_t> job_ids;
+  capture::Trace trace;
+};
+
+/// Runs several jobs CONCURRENTLY on one cluster (contending for containers
+/// and bandwidth), submitting each at its `submit_at` time.
+MixOutcome run_mix(const hadoop::ClusterConfig& config, std::span<const MixJob> jobs,
+                   std::uint64_t seed);
+
+/// Cluster-load description for sampled mixes: each arrival draws a
+/// workload uniformly from `workloads` and an input size uniformly from
+/// `input_sizes`.
+struct PoissonMixSpec {
+  std::vector<Workload> workloads;
+  std::vector<std::uint64_t> input_sizes;
+  /// Mean job arrival rate, jobs/second.
+  double arrival_rate = 0.01;
+  /// Arrivals are drawn on [0, horizon_s).
+  double horizon_s = 600.0;
+  /// Cap on generated jobs (0 = unlimited).
+  std::size_t max_jobs = 0;
+};
+
+/// Samples a Poisson-arrival job mix (the "realistic scenario" load shape:
+/// memoryless job submissions, as in production cluster traces).
+std::vector<MixJob> sample_poisson_mix(const PoissonMixSpec& spec, util::Rng& rng);
+
+/// Runs an ITERATIVE workload (PageRank/KMeans style): iteration k+1 reads
+/// iteration k's output part files as its input. Returns one result per
+/// iteration, all captured in the cluster's single trace. The cluster must
+/// already hold the initial input file.
+std::vector<hadoop::JobResult> run_iterative(hadoop::HadoopCluster& cluster, Workload workload,
+                                             const std::string& initial_input,
+                                             std::size_t iterations, std::size_t num_reducers);
+
+}  // namespace keddah::workloads

@@ -1,0 +1,266 @@
+// Fault-model tests: stragglers, speculative execution, node failures
+// (scheduler capacity, HDFS re-replication, task reruns, reducer restarts),
+// and map-output compression.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "hadoop/cluster.h"
+#include "workloads/profiles.h"
+
+namespace kh = keddah::hadoop;
+namespace kn = keddah::net;
+namespace kw = keddah::workloads;
+
+namespace {
+
+constexpr std::uint64_t kMiB = 1ull << 20;
+
+kh::ClusterConfig test_config() {
+  kh::ClusterConfig cfg;
+  cfg.racks = 2;
+  cfg.hosts_per_rack = 4;
+  cfg.block_size = 64ull << 20;
+  cfg.containers_per_node = 4;
+  return cfg;
+}
+
+double class_bytes(const keddah::capture::Trace& trace, kn::FlowKind kind) {
+  return trace.class_stats()[static_cast<std::size_t>(kind)].bytes;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- stragglers
+
+TEST(Stragglers, SlowTasksStretchTheMapPhase) {
+  auto run_with = [](double fraction) {
+    kh::ClusterConfig cfg = test_config();
+    cfg.straggler_fraction = fraction;
+    cfg.straggler_slowdown = 10.0;
+    kh::HadoopCluster cluster(cfg, 7);
+    const auto input = cluster.ensure_input(512 * kMiB);
+    return cluster.run_job(kw::make_spec(kw::Workload::kSort, input, 4));
+  };
+  const auto clean = run_with(0.0);
+  const auto slowed = run_with(0.5);
+  EXPECT_GT(slowed.duration(), 1.3 * clean.duration());
+}
+
+// ---------------------------------------------------------------- speculation
+
+TEST(Speculation, BackupAttemptsRescueStragglers) {
+  auto run_with = [](bool speculative) {
+    kh::ClusterConfig cfg = test_config();
+    cfg.straggler_fraction = 0.25;
+    cfg.straggler_slowdown = 20.0;
+    cfg.speculative_execution = speculative;
+    kh::HadoopCluster cluster(cfg, 11);
+    const auto input = cluster.ensure_input(512 * kMiB);
+    const auto result = cluster.run_job(kw::make_spec(kw::Workload::kSort, input, 4));
+    return std::pair(result.duration(), cluster.runner().speculative_attempts());
+  };
+  const auto [slow_duration, no_spec_attempts] = run_with(false);
+  const auto [fast_duration, spec_attempts] = run_with(true);
+  EXPECT_EQ(no_spec_attempts, 0u);
+  EXPECT_GT(spec_attempts, 0u);
+  // Backups shortcut the 20x stragglers.
+  EXPECT_LT(fast_duration, 0.8 * slow_duration);
+}
+
+TEST(Speculation, DuplicateAttemptsAddReadTraffic) {
+  kh::ClusterConfig cfg = test_config();
+  cfg.straggler_fraction = 0.3;
+  cfg.straggler_slowdown = 25.0;
+  cfg.speculative_execution = true;
+  kh::HadoopCluster cluster(cfg, 13);
+  const auto input = cluster.ensure_input(512 * kMiB);
+  const auto result = cluster.run_job(kw::make_spec(kw::Workload::kGrep, input, 2));
+  EXPECT_GT(cluster.runner().speculative_attempts(), 0u);
+  // Job still completes with correct output accounting.
+  EXPECT_GT(result.output_bytes, 0u);
+  EXPECT_EQ(cluster.scheduler().free_slots(), cluster.scheduler().total_slots());
+}
+
+TEST(Speculation, QuietWhenNoStragglers) {
+  kh::ClusterConfig cfg = test_config();
+  cfg.speculative_execution = true;
+  cfg.task_noise_sigma = 0.05;
+  kh::HadoopCluster cluster(cfg, 17);
+  const auto input = cluster.ensure_input(512 * kMiB);
+  cluster.run_job(kw::make_spec(kw::Workload::kSort, input, 4));
+  EXPECT_EQ(cluster.runner().speculative_attempts(), 0u);
+}
+
+// ---------------------------------------------------------------- node failure
+
+TEST(NodeFailure, SchedulerremovesCapacity) {
+  kh::HadoopCluster cluster(test_config(), 19);
+  auto& sched = cluster.scheduler();
+  const auto victim = cluster.workers()[3];
+  EXPECT_TRUE(sched.node_up(victim));
+  const auto total_before = sched.total_slots();
+  cluster.fail_node(victim);
+  EXPECT_FALSE(sched.node_up(victim));
+  EXPECT_EQ(sched.total_slots(), total_before - 4);
+  EXPECT_EQ(sched.free_slots_on(victim), 0u);
+  // Releasing a container that died with the node is a tolerated no-op.
+  sched.release_container(victim);
+  // Idempotent.
+  cluster.fail_node(victim);
+  EXPECT_EQ(sched.total_slots(), total_before - 4);
+}
+
+TEST(NodeFailure, MasterCannotFail) {
+  kh::HadoopCluster cluster(test_config(), 23);
+  EXPECT_THROW(cluster.fail_node(cluster.master()), std::invalid_argument);
+}
+
+TEST(NodeFailure, HdfsReReplicatesLostBlocks) {
+  kh::HadoopCluster cluster(test_config(), 29);
+  const auto input = cluster.ensure_input(512 * kMiB);  // 8 blocks x 3 replicas
+  const auto& info = cluster.hdfs().file_by_name(input);
+  const auto victim = cluster.workers()[5];
+  std::size_t blocks_on_victim = 0;
+  for (const auto& block : info.blocks) {
+    blocks_on_victim += std::count(block.replicas.begin(), block.replicas.end(), victim);
+  }
+  cluster.fail_node(victim);
+  cluster.simulator().run();
+  EXPECT_EQ(cluster.hdfs().rereplications(), blocks_on_victim);
+  EXPECT_EQ(cluster.hdfs().lost_blocks(), 0u);
+  // Every block is back to 3 replicas, none on the dead node.
+  for (const auto& block : cluster.hdfs().file_by_name(input).blocks) {
+    EXPECT_EQ(block.replicas.size(), 3u);
+    EXPECT_EQ(std::count(block.replicas.begin(), block.replicas.end(), victim), 0);
+  }
+  // Repair traffic shows up as HDFS-write flows with job_id 0.
+  const auto& trace = cluster.trace();
+  std::size_t repair_flows = 0;
+  for (const auto& r : trace.records()) {
+    if (r.truth == kn::FlowKind::kHdfsWrite && r.job_id == 0) ++repair_flows;
+  }
+  EXPECT_EQ(repair_flows, blocks_on_victim);
+}
+
+TEST(NodeFailure, ReplicationOneLosesData) {
+  kh::ClusterConfig cfg = test_config();
+  cfg.replication = 1;
+  kh::HadoopCluster cluster(cfg, 31);
+  cluster.ensure_input(512 * kMiB);
+  // Find a worker holding at least one (sole) replica.
+  const auto& info = cluster.hdfs().file_by_name("input_536870912");
+  kn::NodeId victim = kn::kInvalidNode;
+  for (const auto& block : info.blocks) {
+    if (block.replicas[0] != cluster.master()) {
+      victim = block.replicas[0];
+      break;
+    }
+  }
+  ASSERT_NE(victim, kn::kInvalidNode);
+  cluster.fail_node(victim);
+  EXPECT_GT(cluster.hdfs().lost_blocks(), 0u);
+}
+
+TEST(NodeFailure, JobSurvivesMidMapFailure) {
+  kh::ClusterConfig cfg = test_config();
+  cfg.containers_per_node = 2;  // two map waves: failure hits running work
+  kh::HadoopCluster cluster(cfg, 37);
+  const auto input = cluster.ensure_input(1024 * kMiB);  // 16 maps
+  const auto victim = cluster.workers()[6];
+  cluster.fail_node_at(victim, 3.0);  // during the map phase
+  const auto result = cluster.run_job(kw::make_spec(kw::Workload::kSort, input, 4));
+  EXPECT_EQ(result.num_maps, 16u);
+  // Everything still adds up: all output written despite reruns.
+  EXPECT_NEAR(static_cast<double>(result.output_bytes),
+              static_cast<double>(result.input_bytes), 1e5);
+  EXPECT_GT(cluster.runner().failed_attempts() + cluster.runner().map_reruns(), 0u);
+  // No flow in the capture was sourced at or destined to the dead node
+  // after the failure instant (in-flight drains excepted — check new flows
+  // only via start time).
+  for (const auto& r : cluster.trace().records()) {
+    if (r.start > 3.5 && r.truth == kn::FlowKind::kShuffle) {
+      EXPECT_NE(r.src_id, victim);
+      EXPECT_NE(r.dst_id, victim);
+    }
+  }
+}
+
+TEST(NodeFailure, LostMapOutputsAreRerun) {
+  kh::ClusterConfig cfg = test_config();
+  cfg.slowstart = 1.0;  // reducers start only after every map is done
+  kh::HadoopCluster cluster(cfg, 41);
+  const auto input = cluster.ensure_input(512 * kMiB);
+  const auto victim = cluster.workers()[2];
+  // Fail after the map phase likely ended but before the shuffle finishes.
+  cluster.fail_node_at(victim, 9.0);
+  const auto result = cluster.run_job(kw::make_spec(kw::Workload::kSort, input, 4));
+  EXPECT_NEAR(static_cast<double>(result.output_bytes),
+              static_cast<double>(result.input_bytes), 1e5);
+  EXPECT_EQ(cluster.scheduler().free_slots(), cluster.scheduler().total_slots() );
+}
+
+TEST(NodeFailure, ReducerRestartRefetchesShuffle) {
+  kh::ClusterConfig cfg = test_config();
+  kh::HadoopCluster cluster(cfg, 43);
+  const auto input = cluster.ensure_input(1024 * kMiB);
+  // Fail a node mid-shuffle; with 4 reducers over 8 nodes odds are good one
+  // sits on the victim. Run a few victims until a restart happens.
+  bool saw_restart = false;
+  for (const auto victim : {cluster.workers()[1], cluster.workers()[4]}) {
+    kh::HadoopCluster fresh(cfg, 43 + victim);
+    const auto in = fresh.ensure_input(1024 * kMiB);
+    fresh.fail_node_at(victim, 14.0);
+    const auto result = fresh.run_job(kw::make_spec(kw::Workload::kSort, in, 6));
+    EXPECT_NEAR(static_cast<double>(result.output_bytes),
+                static_cast<double>(result.input_bytes), 1e5);
+    saw_restart |= fresh.runner().reducer_restarts() > 0;
+  }
+  (void)input;
+  (void)saw_restart;  // restarts are stochastic; correctness asserted above
+}
+
+TEST(NodeFailure, HeartbeatsStopFromDeadNode) {
+  kh::HadoopCluster cluster(test_config(), 47);
+  const auto input = cluster.ensure_input(256 * kMiB);
+  const auto victim = cluster.workers()[7];
+  cluster.fail_node_at(victim, 2.0);
+  cluster.run_job(kw::make_spec(kw::Workload::kSort, input, 2));
+  for (const auto& r : cluster.trace().records()) {
+    if (r.truth == kn::FlowKind::kControl && r.start > 5.0) {
+      EXPECT_NE(r.src_id, victim) << "dead node still heartbeating at " << r.start;
+    }
+  }
+}
+
+TEST(NodeFailure, MultipleFailuresStillComplete) {
+  kh::ClusterConfig cfg = test_config();
+  cfg.racks = 4;
+  cfg.hosts_per_rack = 4;
+  kh::HadoopCluster cluster(cfg, 53);
+  const auto input = cluster.ensure_input(1024 * kMiB);
+  cluster.fail_node_at(cluster.workers()[3], 4.0);
+  cluster.fail_node_at(cluster.workers()[9], 8.0);
+  const auto result = cluster.run_job(kw::make_spec(kw::Workload::kSort, input, 8));
+  EXPECT_NEAR(static_cast<double>(result.output_bytes),
+              static_cast<double>(result.input_bytes), 1e5);
+}
+
+// ---------------------------------------------------------------- compression
+
+TEST(Compression, ShrinksWireShuffleNotOutput) {
+  auto run_with = [](double ratio) {
+    kh::ClusterConfig cfg = test_config();
+    cfg.map_output_compress_ratio = ratio;
+    kh::HadoopCluster cluster(cfg, 59);
+    const auto input = cluster.ensure_input(512 * kMiB);
+    const auto result = cluster.run_job(kw::make_spec(kw::Workload::kSort, input, 4));
+    return std::pair(class_bytes(cluster.trace(), kn::FlowKind::kShuffle), result.output_bytes);
+  };
+  const auto [raw_shuffle, raw_output] = run_with(1.0);
+  const auto [snappy_shuffle, snappy_output] = run_with(0.35);
+  EXPECT_NEAR(snappy_shuffle / raw_shuffle, 0.35, 0.05);
+  // Logical output is unaffected by wire compression.
+  EXPECT_NEAR(static_cast<double>(snappy_output), static_cast<double>(raw_output),
+              0.01 * static_cast<double>(raw_output));
+}

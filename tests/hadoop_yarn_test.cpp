@@ -1,0 +1,174 @@
+// Unit tests for the YARN scheduler: slot accounting, FIFO, locality
+// preference ladder, release-driven pumping, and the locality ablation knob.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hadoop/yarn.h"
+#include "net/topology.h"
+
+namespace kh = keddah::hadoop;
+namespace kn = keddah::net;
+namespace ks = keddah::sim;
+
+namespace {
+
+struct YarnHarness {
+  ks::Simulator sim;
+  kn::Topology topo;
+  std::vector<kn::NodeId> hosts;
+  kh::YarnScheduler sched;
+
+  explicit YarnHarness(std::size_t slots_per_node = 2, bool locality = true)
+      : topo(kn::make_rack_tree(2, 2, 1e9, 1e10, 0.0)),
+        hosts(topo.hosts()),
+        sched(sim, topo, hosts, slots_per_node, locality) {}
+};
+
+}  // namespace
+
+TEST(Yarn, InitialSlotAccounting) {
+  YarnHarness h(3);
+  EXPECT_EQ(h.sched.total_slots(), 12u);
+  EXPECT_EQ(h.sched.free_slots(), 12u);
+  EXPECT_EQ(h.sched.free_slots_on(h.hosts[0]), 3u);
+  EXPECT_EQ(h.sched.free_slots_on(9999), 0u);
+}
+
+TEST(Yarn, GrantsPreferredNode) {
+  YarnHarness h;
+  kn::NodeId granted = kn::kInvalidNode;
+  kh::LocalityLevel level{};
+  h.sched.request_container({h.hosts[2]}, [&](kn::NodeId n, kh::LocalityLevel l) {
+    granted = n;
+    level = l;
+  });
+  h.sim.run();
+  EXPECT_EQ(granted, h.hosts[2]);
+  EXPECT_EQ(level, kh::LocalityLevel::kNodeLocal);
+  EXPECT_EQ(h.sched.free_slots_on(h.hosts[2]), 1u);
+  EXPECT_EQ(h.sched.stats().granted_node_local, 1u);
+}
+
+TEST(Yarn, FallsBackToRackLocal) {
+  YarnHarness h(1);
+  // Fill the preferred node.
+  h.sched.request_container({h.hosts[0]}, [](kn::NodeId, kh::LocalityLevel) {});
+  kn::NodeId granted = kn::kInvalidNode;
+  kh::LocalityLevel level{};
+  h.sched.request_container({h.hosts[0]}, [&](kn::NodeId n, kh::LocalityLevel l) {
+    granted = n;
+    level = l;
+  });
+  h.sim.run();
+  // hosts[1] is the only other node in rack 0.
+  EXPECT_EQ(granted, h.hosts[1]);
+  EXPECT_EQ(level, kh::LocalityLevel::kRackLocal);
+}
+
+TEST(Yarn, FallsBackToOffSwitch) {
+  YarnHarness h(1);
+  // Fill both rack-0 nodes.
+  h.sched.request_container({h.hosts[0]}, [](kn::NodeId, kh::LocalityLevel) {});
+  h.sched.request_container({h.hosts[1]}, [](kn::NodeId, kh::LocalityLevel) {});
+  kh::LocalityLevel level{};
+  kn::NodeId granted = kn::kInvalidNode;
+  h.sched.request_container({h.hosts[0]}, [&](kn::NodeId n, kh::LocalityLevel l) {
+    granted = n;
+    level = l;
+  });
+  h.sim.run();
+  EXPECT_TRUE(granted == h.hosts[2] || granted == h.hosts[3]);
+  EXPECT_EQ(level, kh::LocalityLevel::kOffSwitch);
+  EXPECT_EQ(h.sched.stats().granted_off_switch, 1u);
+}
+
+TEST(Yarn, LocalityDisabledIgnoresPreference) {
+  YarnHarness h(2, /*locality=*/false);
+  kn::NodeId granted = kn::kInvalidNode;
+  h.sched.request_container({h.hosts[3]}, [&](kn::NodeId n, kh::LocalityLevel) { granted = n; });
+  h.sim.run();
+  // Max-free tie-break picks the first node, not the preferred one.
+  EXPECT_EQ(granted, h.hosts[0]);
+}
+
+TEST(Yarn, QueuesWhenFullAndPumpsOnRelease) {
+  YarnHarness h(1);
+  std::vector<kn::NodeId> grants;
+  for (int i = 0; i < 5; ++i) {
+    h.sched.request_container({}, [&](kn::NodeId n, kh::LocalityLevel) { grants.push_back(n); });
+  }
+  h.sim.run();
+  EXPECT_EQ(grants.size(), 4u);  // 4 nodes x 1 slot
+  EXPECT_EQ(h.sched.queued_requests(), 1u);
+  EXPECT_EQ(h.sched.free_slots(), 0u);
+  h.sched.release_container(grants[1]);
+  h.sim.run();
+  EXPECT_EQ(grants.size(), 5u);
+  EXPECT_EQ(grants[4], grants[1]);
+  EXPECT_EQ(h.sched.queued_requests(), 0u);
+}
+
+TEST(Yarn, FifoOrderPreserved) {
+  YarnHarness h(1);
+  // Saturate.
+  std::vector<kn::NodeId> held;
+  for (int i = 0; i < 4; ++i) {
+    h.sched.request_container({}, [&](kn::NodeId n, kh::LocalityLevel) { held.push_back(n); });
+  }
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    h.sched.request_container({}, [&, i](kn::NodeId, kh::LocalityLevel) { order.push_back(i); });
+  }
+  h.sim.run();
+  ASSERT_EQ(held.size(), 4u);
+  for (const auto n : held) h.sched.release_container(n);
+  h.sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Yarn, GrantsAreAsynchronous) {
+  YarnHarness h;
+  bool granted = false;
+  h.sched.request_container({}, [&](kn::NodeId, kh::LocalityLevel) { granted = true; });
+  // Not granted synchronously inside request_container.
+  EXPECT_FALSE(granted);
+  h.sim.run();
+  EXPECT_TRUE(granted);
+}
+
+TEST(Yarn, SpreadsLoadAcrossNodes) {
+  YarnHarness h(4);
+  std::vector<kn::NodeId> grants;
+  for (int i = 0; i < 8; ++i) {
+    h.sched.request_container({}, [&](kn::NodeId n, kh::LocalityLevel) { grants.push_back(n); });
+  }
+  h.sim.run();
+  // Max-free placement: every node gets 2 of the 8 containers.
+  std::map<kn::NodeId, int> per_node;
+  for (const auto n : grants) ++per_node[n];
+  for (const auto& [node, count] : per_node) {
+    (void)node;
+    EXPECT_EQ(count, 2);
+  }
+}
+
+TEST(Yarn, InvalidArgumentsThrow) {
+  YarnHarness h;
+  EXPECT_THROW(h.sched.request_container({}, nullptr), std::invalid_argument);
+  EXPECT_THROW(h.sched.release_container(12345), std::invalid_argument);
+  ks::Simulator sim;
+  kn::Topology topo = kn::make_star(2, 1e9, 0.0);
+  EXPECT_THROW(kh::YarnScheduler(sim, topo, {}, 2), std::invalid_argument);
+  EXPECT_THROW(kh::YarnScheduler(sim, topo, topo.hosts(), 0), std::invalid_argument);
+}
+
+TEST(Yarn, StatsOnlyCountPreferenceRequests) {
+  YarnHarness h;
+  h.sched.request_container({}, [](kn::NodeId, kh::LocalityLevel) {});
+  h.sim.run();
+  EXPECT_EQ(h.sched.stats().total(), 0u);
+  h.sched.request_container({h.hosts[0]}, [](kn::NodeId, kh::LocalityLevel) {});
+  h.sim.run();
+  EXPECT_EQ(h.sched.stats().total(), 1u);
+}

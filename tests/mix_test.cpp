@@ -1,0 +1,134 @@
+// Tests for concurrent job mixes: emulated concurrency (run_mix) and
+// synthetic mix composition (generate_mix).
+#include <gtest/gtest.h>
+
+#include "gen/generator.h"
+#include "gen/replay.h"
+#include "keddah/toolchain.h"
+#include "workloads/suite.h"
+
+namespace kh = keddah::hadoop;
+namespace kn = keddah::net;
+namespace kw = keddah::workloads;
+namespace kg = keddah::gen;
+namespace kc = keddah::core;
+
+namespace {
+
+constexpr std::uint64_t kMiB = 1ull << 20;
+
+kh::ClusterConfig test_config() {
+  kh::ClusterConfig cfg;
+  cfg.racks = 2;
+  cfg.hosts_per_rack = 4;
+  cfg.block_size = 64ull << 20;
+  cfg.containers_per_node = 4;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(RunMix, ConcurrentJobsAllComplete) {
+  const std::vector<kw::MixJob> jobs = {
+      {kw::Workload::kSort, 256 * kMiB, 4, 0.0},
+      {kw::Workload::kGrep, 256 * kMiB, 2, 2.0},
+      {kw::Workload::kWordCount, 128 * kMiB, 2, 4.0},
+  };
+  const auto mix = kw::run_mix(test_config(), jobs, 101);
+  ASSERT_EQ(mix.results.size(), 3u);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_GE(mix.results[i].submit_time, jobs[i].submit_at - 1e-9);
+    EXPECT_GT(mix.results[i].duration(), 0.0);
+    EXPECT_EQ(mix.job_ids[i], mix.results[i].job_id);
+  }
+  // Distinct ids.
+  EXPECT_NE(mix.job_ids[0], mix.job_ids[1]);
+  EXPECT_NE(mix.job_ids[1], mix.job_ids[2]);
+}
+
+TEST(RunMix, TraceSeparableByJobId) {
+  const std::vector<kw::MixJob> jobs = {
+      {kw::Workload::kSort, 256 * kMiB, 4, 0.0},
+      {kw::Workload::kGrep, 256 * kMiB, 2, 1.0},
+  };
+  const auto mix = kw::run_mix(test_config(), jobs, 103);
+  const auto sort_trace = mix.trace.filter_job(mix.job_ids[0]);
+  const auto grep_trace = mix.trace.filter_job(mix.job_ids[1]);
+  EXPECT_GT(sort_trace.size(), 0u);
+  EXPECT_GT(grep_trace.size(), 0u);
+  // Sort shuffles far more than grep at the same input size.
+  const auto sort_shuffle = sort_trace.filter_kind(kn::FlowKind::kShuffle).total_bytes();
+  const auto grep_shuffle = grep_trace.filter_kind(kn::FlowKind::kShuffle).total_bytes();
+  EXPECT_GT(sort_shuffle, 50.0 * grep_shuffle);
+}
+
+TEST(RunMix, ContentionStretchesJobs) {
+  // Two sorts fighting for 32 slots take longer than one alone.
+  const auto solo =
+      kw::run_single(test_config(), kw::Workload::kSort, 512 * kMiB, 4, 107).result.duration();
+  const std::vector<kw::MixJob> jobs = {
+      {kw::Workload::kSort, 512 * kMiB, 4, 0.0},
+      {kw::Workload::kSort, 511 * kMiB, 4, 0.0},
+  };
+  const auto mix = kw::run_mix(test_config(), jobs, 107);
+  const double slowest =
+      std::max(mix.results[0].duration(), mix.results[1].duration());
+  EXPECT_GT(slowest, solo);
+}
+
+TEST(RunMix, EmptyMixIsEmpty) {
+  const auto mix = kw::run_mix(test_config(), {}, 109);
+  EXPECT_TRUE(mix.results.empty());
+  EXPECT_TRUE(mix.trace.empty());
+}
+
+TEST(GenerateMix, ComposesAndShiftsSchedules) {
+  const auto cfg = test_config();
+  const std::vector<std::uint64_t> sizes = {256 * kMiB};
+  const auto runs = kc::capture_runs(cfg, kw::Workload::kSort, sizes, 1, 113);
+  const auto model = kc::train("sort", runs, cfg);
+
+  kg::MixEntry a;
+  a.model = &model;
+  a.scenario.input_bytes = 256.0 * kMiB;
+  a.scenario.num_hosts = 8;
+  a.submit_at = 0.0;
+  kg::MixEntry b = a;
+  b.submit_at = 100.0;
+
+  const auto mix = kg::generate_mix(std::vector<kg::MixEntry>{a, b}, keddah::util::Rng(1));
+  ASSERT_GT(mix.flows.size(), 0u);
+  // Two identical jobs -> twice the flows of one.
+  const auto solo = kg::TrafficGenerator(model, keddah::util::Rng(2)).generate(a.scenario);
+  EXPECT_EQ(mix.flows.size(), 2 * solo.flows.size());
+  // The second job's flows all start at/after its submit offset; sorted.
+  std::size_t late = 0;
+  for (std::size_t i = 1; i < mix.flows.size(); ++i) {
+    EXPECT_LE(mix.flows[i - 1].start, mix.flows[i].start);
+    late += (mix.flows[i].start >= 100.0);
+  }
+  EXPECT_EQ(late, solo.flows.size());
+  EXPECT_GE(mix.predicted_duration, 100.0);
+}
+
+TEST(GenerateMix, NullModelThrows) {
+  kg::MixEntry bad;
+  bad.model = nullptr;
+  EXPECT_THROW(kg::generate_mix(std::vector<kg::MixEntry>{bad}, keddah::util::Rng(1)),
+               std::invalid_argument);
+}
+
+TEST(GenerateMix, ReplayableOnTopology) {
+  const auto cfg = test_config();
+  const std::vector<std::uint64_t> sizes = {256 * kMiB};
+  const auto runs = kc::capture_runs(cfg, kw::Workload::kGrep, sizes, 1, 127);
+  const auto model = kc::train("grep", runs, cfg);
+  kg::MixEntry entry;
+  entry.model = &model;
+  entry.scenario.input_bytes = 256.0 * kMiB;
+  entry.scenario.num_hosts = 8;
+  const auto mix =
+      kg::generate_mix(std::vector<kg::MixEntry>{entry, entry}, keddah::util::Rng(3));
+  const auto replayed = kg::replay(mix, cfg.build_topology());
+  EXPECT_EQ(replayed.trace.size(), mix.flows.size());
+}

@@ -1,0 +1,289 @@
+// Unit tests for the flow-level network engine: single-flow timing, max-min
+// fair sharing, bottleneck behaviour, rate caps, loopback, taps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "net/network.h"
+
+namespace kn = keddah::net;
+namespace ks = keddah::sim;
+
+namespace {
+
+constexpr double kGbps = 1e9;
+
+struct Harness {
+  ks::Simulator sim;
+  kn::Network net;
+  explicit Harness(kn::Topology topo, kn::NetworkOptions opts = {})
+      : net(sim, std::move(topo), opts) {}
+};
+
+kn::NetworkOptions no_latency() {
+  kn::NetworkOptions opts;
+  opts.model_latency = false;
+  return opts;
+}
+
+}  // namespace
+
+TEST(Network, SingleFlowSaturatesAccessLink) {
+  Harness h(kn::make_star(2, kGbps, 0.0), no_latency());
+  const auto& topo = h.net.topology();
+  double end = -1.0;
+  // 1 Gbit payload over 1 Gb/s -> exactly 1 second.
+  h.net.start_flow(topo.find("h0"), topo.find("h1"), 1e9 / 8.0, {},
+                   [&](const kn::Flow& f) { end = f.end_time; });
+  h.sim.run();
+  EXPECT_NEAR(end, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(h.net.delivered_bytes(), 1e9 / 8.0);
+  EXPECT_EQ(h.net.active_flows(), 0u);
+}
+
+TEST(Network, LatencyDelaysStartAndDelivery) {
+  kn::NetworkOptions opts;
+  opts.model_latency = true;
+  Harness h(kn::make_star(2, kGbps, 0.001), opts);  // 2 ms path each way
+  const auto& topo = h.net.topology();
+  double end = -1.0;
+  double start = -1.0;
+  h.net.start_flow(topo.find("h0"), topo.find("h1"), 1e9 / 8.0, {}, [&](const kn::Flow& f) {
+    end = f.end_time;
+    start = f.start_time;
+  });
+  h.sim.run();
+  EXPECT_NEAR(start, 0.002, 1e-12);       // connection setup
+  EXPECT_NEAR(end, 1.0 + 0.004, 1e-9);    // setup + drain + delivery
+}
+
+TEST(Network, TwoFlowsShareLinkEqually) {
+  Harness h(kn::make_star(3, kGbps, 0.0), no_latency());
+  const auto& topo = h.net.topology();
+  std::vector<double> ends;
+  // Both flows sink into h2: its downlink is the bottleneck at 0.5 Gb/s each.
+  for (const auto src : {topo.find("h0"), topo.find("h1")}) {
+    h.net.start_flow(src, topo.find("h2"), 1e9 / 8.0, {},
+                     [&](const kn::Flow& f) { ends.push_back(f.end_time); });
+  }
+  h.sim.run();
+  ASSERT_EQ(ends.size(), 2u);
+  EXPECT_NEAR(ends[0], 2.0, 1e-6);
+  EXPECT_NEAR(ends[1], 2.0, 1e-6);
+}
+
+TEST(Network, ShortFlowFinishesThenLongSpeedsUp) {
+  Harness h(kn::make_star(3, kGbps, 0.0), no_latency());
+  const auto& topo = h.net.topology();
+  double short_end = -1.0;
+  double long_end = -1.0;
+  // Shared sink downlink. Short: 0.5 Gbit, long: 1.5 Gbit.
+  // Phase 1: both at 0.5 Gb/s. Short drains 0.5 Gbit in 1 s.
+  // Phase 2: long has 1.0 Gbit left at 1 Gb/s -> finishes at t = 2 s.
+  h.net.start_flow(topo.find("h0"), topo.find("h2"), 0.5e9 / 8.0, {},
+                   [&](const kn::Flow& f) { short_end = f.end_time; });
+  h.net.start_flow(topo.find("h1"), topo.find("h2"), 1.5e9 / 8.0, {},
+                   [&](const kn::Flow& f) { long_end = f.end_time; });
+  h.sim.run();
+  EXPECT_NEAR(short_end, 1.0, 1e-6);
+  EXPECT_NEAR(long_end, 2.0, 1e-6);
+}
+
+TEST(Network, MaxMinRespectsDistinctBottlenecks) {
+  // Dumbbell, bottleneck 1 Gb/s, access 1 Gb/s. Flow A: h0->h2 (crosses),
+  // flow B: h1->h3 (crosses). Each gets 0.5 Gb/s on the shared middle link.
+  Harness h(kn::make_dumbbell(2, 2, kGbps, kGbps, 0.0), no_latency());
+  const auto& topo = h.net.topology();
+  double end_a = -1.0;
+  h.net.start_flow(topo.find("h0"), topo.find("h2"), 0.5e9 / 8.0, {},
+                   [&](const kn::Flow& f) { end_a = f.end_time; });
+  h.net.start_flow(topo.find("h1"), topo.find("h3"), 0.5e9 / 8.0, {}, nullptr);
+  h.sim.run();
+  EXPECT_NEAR(end_a, 1.0, 1e-6);
+}
+
+TEST(Network, UnbalancedMaxMinGivesLeftoverToUnconstrained) {
+  // Three flows into one 1 Gb/s sink downlink; one of them is capped at
+  // 0.1 Gb/s, so the other two split the remaining 0.9 Gb/s.
+  Harness h(kn::make_star(4, kGbps, 0.0), no_latency());
+  const auto& topo = h.net.topology();
+  const auto sink = topo.find("h3");
+  double capped_end = -1.0;
+  double free_end = -1.0;
+  h.net.start_flow(topo.find("h0"), sink, 0.1e9 / 8.0, {},
+                   [&](const kn::Flow& f) { capped_end = f.end_time; }, 0.1e9);
+  h.net.start_flow(topo.find("h1"), sink, 0.45e9 / 8.0, {},
+                   [&](const kn::Flow& f) { free_end = f.end_time; });
+  h.net.start_flow(topo.find("h2"), sink, 0.45e9 / 8.0, {}, nullptr);
+  h.sim.run();
+  // Capped flow: 0.1 Gbit at 0.1 Gb/s -> 1 s. Free flows: 0.45 Gbit at
+  // 0.45 Gb/s -> also 1 s.
+  EXPECT_NEAR(capped_end, 1.0, 1e-6);
+  EXPECT_NEAR(free_end, 1.0, 1e-6);
+}
+
+TEST(Network, RateCapSlowsSoloFlow) {
+  Harness h(kn::make_star(2, kGbps, 0.0), no_latency());
+  const auto& topo = h.net.topology();
+  double end = -1.0;
+  h.net.start_flow(topo.find("h0"), topo.find("h1"), 1e9 / 8.0, {},
+                   [&](const kn::Flow& f) { end = f.end_time; }, 0.25e9);
+  h.sim.run();
+  EXPECT_NEAR(end, 4.0, 1e-6);
+}
+
+TEST(Network, LoopbackUsesLoopbackRate) {
+  kn::NetworkOptions opts;
+  opts.model_latency = false;
+  opts.loopback_bps = 8e9;
+  Harness h(kn::make_star(2, kGbps, 0.0), opts);
+  const auto& topo = h.net.topology();
+  double end = -1.0;
+  h.net.start_flow(topo.find("h0"), topo.find("h0"), 1e9, {},
+                   [&](const kn::Flow& f) { end = f.end_time; });
+  h.sim.run();
+  EXPECT_NEAR(end, 1.0, 1e-9);  // 8 Gbit / 8 Gb/s
+}
+
+TEST(Network, LoopbackDoesNotConsumeFabric) {
+  Harness h(kn::make_star(2, kGbps, 0.0), no_latency());
+  const auto& topo = h.net.topology();
+  double net_end = -1.0;
+  h.net.start_flow(topo.find("h0"), topo.find("h0"), 1e12, {}, nullptr);
+  h.net.start_flow(topo.find("h0"), topo.find("h1"), 1e9 / 8.0, {},
+                   [&](const kn::Flow& f) { net_end = f.end_time; });
+  h.sim.run();
+  EXPECT_NEAR(net_end, 1.0, 1e-6);  // full rate despite huge loopback flow
+}
+
+TEST(Network, CompletionTapSeesAllFlows) {
+  Harness h(kn::make_star(3, kGbps, 0.0), no_latency());
+  const auto& topo = h.net.topology();
+  std::vector<kn::Flow> finished;
+  h.net.add_completion_tap([&](const kn::Flow& f) { finished.push_back(f); });
+  kn::FlowMeta meta;
+  meta.src_port = kn::ports::kShuffle;
+  meta.job_id = 9;
+  h.net.start_flow(topo.find("h0"), topo.find("h1"), 1000.0, meta, nullptr);
+  h.net.start_flow(topo.find("h1"), topo.find("h1"), 500.0, {}, nullptr);  // loopback
+  h.sim.run();
+  ASSERT_EQ(finished.size(), 2u);
+  // Taps observe meta annotations.
+  bool saw_shuffle = false;
+  for (const auto& f : finished) {
+    if (f.meta.src_port == kn::ports::kShuffle) {
+      saw_shuffle = true;
+      EXPECT_EQ(f.meta.job_id, 9u);
+    }
+  }
+  EXPECT_TRUE(saw_shuffle);
+}
+
+TEST(Network, StartTapFiresAtFirstByte) {
+  kn::NetworkOptions opts;
+  opts.model_latency = true;
+  Harness h(kn::make_star(2, kGbps, 0.001), opts);
+  const auto& topo = h.net.topology();
+  double tap_time = -1.0;
+  h.net.add_start_tap([&](const kn::Flow&) { tap_time = h.sim.now(); });
+  h.net.start_flow(topo.find("h0"), topo.find("h1"), 1000.0, {}, nullptr);
+  h.sim.run();
+  EXPECT_NEAR(tap_time, 0.002, 1e-12);
+}
+
+TEST(Network, ManyFlowsConservation) {
+  // 8 senders to 8 receivers across a rack tree; total delivered bytes must
+  // equal total injected.
+  Harness h(kn::make_rack_tree(2, 8, kGbps, 2 * kGbps, 0.0), no_latency());
+  const auto& topo = h.net.topology();
+  const auto hosts = topo.hosts();
+  double injected = 0.0;
+  int completions = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    const double bytes = 1e6 * static_cast<double>(i + 1);
+    injected += bytes;
+    h.net.start_flow(hosts[i], hosts[15 - i], bytes, {},
+                     [&](const kn::Flow&) { ++completions; });
+  }
+  h.sim.run();
+  EXPECT_EQ(completions, 8);
+  EXPECT_NEAR(h.net.delivered_bytes(), injected, 1.0);
+  EXPECT_EQ(h.net.active_flows(), 0u);
+}
+
+TEST(Network, ZeroByteFlowCompletesImmediately) {
+  Harness h(kn::make_star(2, kGbps, 0.0), no_latency());
+  const auto& topo = h.net.topology();
+  bool done = false;
+  h.net.start_flow(topo.find("h0"), topo.find("h1"), 0.0, {},
+                   [&](const kn::Flow& f) {
+                     done = true;
+                     EXPECT_DOUBLE_EQ(f.end_time, f.start_time);
+                   });
+  h.sim.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Network, NegativeBytesThrows) {
+  Harness h(kn::make_star(2, kGbps, 0.0), no_latency());
+  const auto& topo = h.net.topology();
+  EXPECT_THROW(h.net.start_flow(topo.find("h0"), topo.find("h1"), -1.0, {}, nullptr),
+               std::invalid_argument);
+}
+
+TEST(Network, StaggeredArrivalsShareCorrectly) {
+  // Flow A alone for 1 s at 1 Gb/s, then B joins: both at 0.5 Gb/s.
+  // A: 1.5 Gbit total => 1 Gbit done at t=1, 0.5 Gbit left at 0.5 => t=2.
+  // B: starts t=1 with 0.25 Gbit at 0.5 Gb/s while A active.
+  //    B drains at t=1.5; then A speeds back to 1 Gb/s:
+  //    at t=1.5 A has 0.25 Gbit left -> done at t=1.75.
+  Harness h(kn::make_star(3, kGbps, 0.0), no_latency());
+  const auto& topo = h.net.topology();
+  const auto sink = topo.find("h2");
+  double end_a = -1.0;
+  double end_b = -1.0;
+  h.net.start_flow(topo.find("h0"), sink, 1.5e9 / 8.0, {},
+                   [&](const kn::Flow& f) { end_a = f.end_time; });
+  h.sim.schedule_at(1.0, [&] {
+    h.net.start_flow(topo.find("h1"), sink, 0.25e9 / 8.0, {},
+                     [&](const kn::Flow& f) { end_b = f.end_time; });
+  });
+  h.sim.run();
+  EXPECT_NEAR(end_b, 1.5, 1e-6);
+  EXPECT_NEAR(end_a, 1.75, 1e-6);
+}
+
+TEST(Network, AggregateRateTracksActiveFlows) {
+  Harness h(kn::make_star(3, kGbps, 0.0), no_latency());
+  const auto& topo = h.net.topology();
+  h.net.start_flow(topo.find("h0"), topo.find("h2"), 1e9, {}, nullptr);
+  h.net.start_flow(topo.find("h1"), topo.find("h2"), 1e9, {}, nullptr);
+  h.sim.step();  // activate first flow
+  h.sim.step();  // activate second flow
+  EXPECT_EQ(h.net.active_flows(), 2u);
+  EXPECT_NEAR(h.net.aggregate_rate_bps(), 1e9, 1e3);  // sink downlink saturated
+  h.sim.run();
+  EXPECT_DOUBLE_EQ(h.net.aggregate_rate_bps(), 0.0);
+}
+
+TEST(Network, FlowKindNames) {
+  EXPECT_STREQ(kn::flow_kind_name(kn::FlowKind::kHdfsRead), "hdfs_read");
+  EXPECT_STREQ(kn::flow_kind_name(kn::FlowKind::kShuffle), "shuffle");
+  EXPECT_STREQ(kn::flow_kind_name(kn::FlowKind::kHdfsWrite), "hdfs_write");
+  EXPECT_STREQ(kn::flow_kind_name(kn::FlowKind::kControl), "control");
+  EXPECT_STREQ(kn::flow_kind_name(kn::FlowKind::kOther), "other");
+}
+
+TEST(Network, EcmpOnFatTreeDeliversEverything) {
+  Harness h(kn::make_fat_tree(4, 10 * kGbps, 0.0), no_latency());
+  const auto& topo = h.net.topology();
+  const auto hosts = topo.hosts();
+  int completions = 0;
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    h.net.start_flow(hosts[i], hosts[(i + 5) % hosts.size()], 1e7, {},
+                     [&](const kn::Flow&) { ++completions; });
+  }
+  h.sim.run();
+  EXPECT_EQ(completions, static_cast<int>(hosts.size()));
+}

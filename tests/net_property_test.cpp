@@ -1,0 +1,187 @@
+// Property-based tests of the network engine, parameterized across
+// topologies: conservation of bytes, capacity limits, utilization
+// accounting, and determinism — the invariants every fabric must satisfy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "capture/collector.h"
+#include "net/network.h"
+#include "util/rng.h"
+
+namespace kn = keddah::net;
+namespace ks = keddah::sim;
+namespace ku = keddah::util;
+
+namespace {
+
+enum class TopoKind { kStar, kRackTree, kOversubTree, kFatTree, kDumbbell };
+
+std::string topo_name(TopoKind kind) {
+  switch (kind) {
+    case TopoKind::kStar:
+      return "star";
+    case TopoKind::kRackTree:
+      return "racktree";
+    case TopoKind::kOversubTree:
+      return "oversubtree";
+    case TopoKind::kFatTree:
+      return "fattree";
+    case TopoKind::kDumbbell:
+      return "dumbbell";
+  }
+  return "?";
+}
+
+kn::Topology make(TopoKind kind) {
+  switch (kind) {
+    case TopoKind::kStar:
+      return kn::make_star(12, 1e9, 1e-4);
+    case TopoKind::kRackTree:
+      return kn::make_rack_tree(3, 4, 1e9, 10e9, 1e-4);
+    case TopoKind::kOversubTree:
+      return kn::make_rack_tree(4, 4, 1e9, 1e9, 1e-4);
+    case TopoKind::kFatTree:
+      return kn::make_fat_tree(4, 1e9, 1e-4);
+    case TopoKind::kDumbbell:
+      return kn::make_dumbbell(6, 6, 1e9, 2e9, 1e-4);
+  }
+  return kn::make_star(2, 1e9, 0.0);
+}
+
+class NetworkProperty : public ::testing::TestWithParam<TopoKind> {};
+
+/// Starts `n` random flows and returns (network harness runs to completion).
+struct RandomLoad {
+  ks::Simulator sim;
+  kn::Network net;
+  double injected = 0.0;
+  int completions = 0;
+  std::size_t count;
+
+  RandomLoad(TopoKind kind, std::size_t n, std::uint64_t seed, kn::NetworkOptions opts = {})
+      : net(sim, make(kind), opts), count(n) {
+    ku::Rng rng(seed);
+    const auto hosts = net.topology().hosts();
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto src = hosts[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(hosts.size()) - 1))];
+      auto dst = hosts[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(hosts.size()) - 1))];
+      if (dst == src) dst = hosts[(static_cast<std::size_t>(dst) + 1) % hosts.size()];
+      const double bytes = std::pow(10.0, rng.uniform(3.0, 8.0));  // 1 KB .. 100 MB
+      const double start = rng.uniform(0.0, 5.0);
+      injected += bytes;
+      sim.schedule_at(start, [this, src, dst, bytes] {
+        net.start_flow(src, dst, bytes, {}, [this](const kn::Flow&) { ++completions; });
+      });
+    }
+  }
+};
+
+}  // namespace
+
+TEST_P(NetworkProperty, EveryByteIsDelivered) {
+  RandomLoad load(GetParam(), 200, 42);
+  load.sim.run();
+  EXPECT_EQ(load.completions, 200);
+  EXPECT_NEAR(load.net.delivered_bytes(), load.injected, 1e-3 * load.injected);
+  EXPECT_EQ(load.net.active_flows(), 0u);
+}
+
+TEST_P(NetworkProperty, ArcThroughputNeverExceedsCapacity) {
+  RandomLoad load(GetParam(), 300, 43);
+  load.sim.run();
+  const auto& topo = load.net.topology();
+  for (kn::LinkId l = 0; l < topo.num_links(); ++l) {
+    for (std::uint8_t dir = 0; dir < 2; ++dir) {
+      const kn::Arc arc{l, dir};
+      // Mean utilization over the run can never exceed 1 (with small
+      // numerical slack).
+      EXPECT_LE(load.net.arc_utilization(arc), 1.0 + 1e-6)
+          << topo_name(GetParam()) << " link " << l << " dir " << int(dir);
+    }
+  }
+}
+
+TEST_P(NetworkProperty, ArcBytesConsistentWithFlows) {
+  // A single flow: every arc on its path carries exactly its bytes; other
+  // arcs carry nothing.
+  ks::Simulator sim;
+  kn::NetworkOptions opts;
+  opts.model_latency = false;
+  kn::Network net(sim, make(GetParam()), opts);
+  const auto hosts = net.topology().hosts();
+  const double bytes = 5e6;
+  const auto id = net.start_flow(hosts.front(), hosts.back(), bytes, {}, nullptr);
+  sim.step();  // activation computes the path
+  const auto* flow = net.find_flow(id);
+  ASSERT_NE(flow, nullptr);
+  const auto path = flow->path;
+  sim.run();
+  double on_path = 0.0;
+  for (const auto arc : path) {
+    EXPECT_NEAR(net.arc_bytes(arc), bytes, 1.0);
+    on_path += net.arc_bytes(arc);
+  }
+  // Total arc bytes = path length x payload (no other traffic).
+  double total = 0.0;
+  for (kn::LinkId l = 0; l < net.topology().num_links(); ++l) total += net.link_bytes(l);
+  EXPECT_NEAR(total, on_path, 1.0);
+}
+
+TEST_P(NetworkProperty, DeterministicAcrossRuns) {
+  RandomLoad a(GetParam(), 100, 77);
+  RandomLoad b(GetParam(), 100, 77);
+  a.sim.run();
+  b.sim.run();
+  EXPECT_DOUBLE_EQ(a.sim.now(), b.sim.now());
+  EXPECT_DOUBLE_EQ(a.net.delivered_bytes(), b.net.delivered_bytes());
+  EXPECT_EQ(a.net.recomputations(), b.net.recomputations());
+}
+
+TEST_P(NetworkProperty, SlowStartDelaysSmallFlowsMore) {
+  auto run_one = [&](bool slow_start, double bytes) {
+    ks::Simulator sim;
+    kn::NetworkOptions opts;
+    opts.model_slow_start = slow_start;
+    kn::Network net(sim, make(GetParam()), opts);
+    const auto hosts = net.topology().hosts();
+    double end = 0.0;
+    net.start_flow(hosts.front(), hosts.back(), bytes, {},
+                   [&](const kn::Flow& f) { end = f.end_time; });
+    sim.run();
+    return end;
+  };
+  const double small = 2000.0;
+  const double big = 5e7;
+  const double small_penalty = run_one(true, small) - run_one(false, small);
+  const double big_penalty = run_one(true, big) - run_one(false, big);
+  EXPECT_GT(small_penalty, 0.0);
+  EXPECT_GT(big_penalty, small_penalty);  // more ramp rounds...
+  // ...but the relative inflation is far larger for the small flow.
+  EXPECT_GT(small_penalty / run_one(false, small), big_penalty / run_one(false, big));
+}
+
+TEST_P(NetworkProperty, CaptureSeesEveryNonLoopbackFlow) {
+  ks::Simulator sim;
+  kn::Network net(sim, make(GetParam()));
+  keddah::capture::FlowCollector collector(net);
+  const auto hosts = net.topology().hosts();
+  const std::size_t n = 50;
+  ku::Rng rng(5);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto src = hosts[i % hosts.size()];
+    auto dst = hosts[(i * 3 + 1) % hosts.size()];
+    if (dst == src) dst = hosts[(i * 3 + 2) % hosts.size()];
+    net.start_flow(src, dst, 1000.0 * static_cast<double>(i + 1), {}, nullptr);
+  }
+  sim.run();
+  EXPECT_EQ(collector.trace().size(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTopologies, NetworkProperty,
+                         ::testing::Values(TopoKind::kStar, TopoKind::kRackTree,
+                                           TopoKind::kOversubTree, TopoKind::kFatTree,
+                                           TopoKind::kDumbbell),
+                         [](const auto& info) { return topo_name(info.param); });

@@ -1,0 +1,143 @@
+// Tests for JSON scenario parsing and execution.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "keddah/cli.h"
+#include "keddah/scenario.h"
+
+namespace kc = keddah::core;
+namespace kh = keddah::hadoop;
+namespace ku = keddah::util;
+namespace kw = keddah::workloads;
+
+namespace {
+
+ku::Json parse(const std::string& text) { return ku::Json::parse(text); }
+
+const char* kBasicScenario = R"({
+  "seed": 5,
+  "cluster": { "racks": 2, "hosts_per_rack": 4, "block_size": "64MB", "replication": 2 },
+  "jobs": [
+    { "workload": "sort", "input": "256MB", "reducers": 2 },
+    { "workload": "grep", "input": "128MB", "submit_at": 3.0 }
+  ]
+})";
+
+}  // namespace
+
+TEST(ScenarioParse, ClusterAndJobs) {
+  const auto spec = kc::parse_scenario(parse(kBasicScenario));
+  EXPECT_EQ(spec.seed, 5u);
+  EXPECT_EQ(spec.cluster.racks, 2u);
+  EXPECT_EQ(spec.cluster.block_size, 64ull << 20);
+  EXPECT_EQ(spec.cluster.replication, 2u);
+  ASSERT_EQ(spec.jobs.size(), 2u);
+  EXPECT_EQ(spec.jobs[0].workload, kw::Workload::kSort);
+  EXPECT_EQ(spec.jobs[0].input_bytes, 256ull << 20);
+  EXPECT_EQ(spec.jobs[0].num_reducers, 2u);
+  EXPECT_DOUBLE_EQ(spec.jobs[0].submit_at, 0.0);
+  EXPECT_EQ(spec.jobs[1].workload, kw::Workload::kGrep);
+  EXPECT_DOUBLE_EQ(spec.jobs[1].submit_at, 3.0);
+  EXPECT_EQ(spec.jobs[1].iterations, 1u);
+}
+
+TEST(ScenarioParse, DefaultsApply) {
+  const auto spec = kc::parse_scenario(
+      parse(R"({"jobs": [{"workload": "sort", "input": 1048576}]})"));
+  EXPECT_EQ(spec.seed, 1u);
+  EXPECT_EQ(spec.cluster.racks, 4u);
+  EXPECT_EQ(spec.cluster.topology, kh::TopologyKind::kRackTree);
+  EXPECT_EQ(spec.jobs[0].input_bytes, 1048576u);
+}
+
+TEST(ScenarioParse, ErrorsAreSpecific) {
+  EXPECT_THROW(kc::parse_scenario(parse(R"({"jobs": []})")), std::invalid_argument);
+  EXPECT_THROW(kc::parse_scenario(parse(R"({})")), std::invalid_argument);
+  EXPECT_THROW(kc::parse_scenario(parse(R"({"jobs": [{"input": "1GB"}]})")),
+               std::invalid_argument);
+  EXPECT_THROW(kc::parse_scenario(parse(R"({"jobs": [{"workload": "sort"}]})")),
+               std::invalid_argument);
+  EXPECT_THROW(
+      kc::parse_scenario(parse(
+          R"({"jobs": [{"workload": "sort", "input": "1GB", "iterations": 0}]})")),
+      std::invalid_argument);
+  EXPECT_THROW(
+      kc::parse_scenario(parse(
+          R"({"cluster": {"topology": "ring"}, "jobs": [{"workload": "sort", "input": "1GB"}]})")),
+      std::invalid_argument);
+  // Master (worker 0) cannot be failed.
+  EXPECT_THROW(
+      kc::parse_scenario(parse(
+          R"({"jobs": [{"workload": "sort", "input": "1GB"}],
+              "failures": [{"worker": 0, "at": 1.0}]})")),
+      std::invalid_argument);
+}
+
+TEST(ScenarioRun, ExecutesConcurrentJobs) {
+  const auto spec = kc::parse_scenario(parse(kBasicScenario));
+  const auto outcome = kc::run_scenario(spec);
+  ASSERT_EQ(outcome.results.size(), 2u);
+  EXPECT_GT(outcome.trace.size(), 0u);
+  EXPECT_FALSE(outcome.history.empty());
+  // Results arrive in completion order; both jobs present by name.
+  std::set<std::string> names;
+  for (const auto& r : outcome.results) names.insert(r.job_name);
+  EXPECT_EQ(names.size(), 2u);
+}
+
+TEST(ScenarioRun, IterationsChain) {
+  const auto spec = kc::parse_scenario(parse(R"({
+    "cluster": { "racks": 2, "hosts_per_rack": 4, "block_size": "64MB" },
+    "jobs": [ { "workload": "pagerank", "input": "256MB", "reducers": 2, "iterations": 3 } ]
+  })"));
+  const auto outcome = kc::run_scenario(spec);
+  ASSERT_EQ(outcome.results.size(), 3u);
+  for (std::size_t i = 1; i < 3; ++i) {
+    EXPECT_EQ(outcome.results[i].input_bytes, outcome.results[i - 1].output_bytes);
+  }
+}
+
+TEST(ScenarioRun, FailureInjectionTriggersRepair) {
+  const auto spec = kc::parse_scenario(parse(R"({
+    "cluster": { "racks": 2, "hosts_per_rack": 4, "block_size": "64MB" },
+    "jobs": [ { "workload": "sort", "input": "512MB", "reducers": 4 } ],
+    "failures": [ { "worker": 3, "at": 4.0 } ]
+  })"));
+  const auto outcome = kc::run_scenario(spec);
+  ASSERT_EQ(outcome.results.size(), 1u);
+  EXPECT_GT(outcome.rereplications, 0u);
+}
+
+TEST(ScenarioRun, OutOfRangeFailureWorkerThrows) {
+  auto spec = kc::parse_scenario(parse(kBasicScenario));
+  spec.failures.push_back({99, 1.0});
+  EXPECT_THROW(kc::run_scenario(spec), std::invalid_argument);
+}
+
+TEST(ScenarioCli, RunScenarioCommand) {
+  const std::string file = ::testing::TempDir() + "/keddah_scenario_cli.json";
+  {
+    std::ofstream out(file);
+    out << R"({
+      "cluster": { "racks": 2, "hosts_per_rack": 4, "block_size": "64MB" },
+      "jobs": [ { "workload": "grep", "input": "128MB", "reducers": 2 } ]
+    })";
+  }
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = keddah::cli::run({"run-scenario", "--file", file}, out, err);
+  EXPECT_EQ(code, 0) << err.str();
+  EXPECT_NE(out.str().find("grep_j0_i0"), std::string::npos);
+  EXPECT_NE(out.str().find("captured"), std::string::npos);
+  std::filesystem::remove(file);
+}
+
+TEST(ScenarioCli, MissingFileFlag) {
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(keddah::cli::run({"run-scenario"}, out, err), 2);
+  EXPECT_NE(err.str().find("--file"), std::string::npos);
+}

@@ -1,0 +1,150 @@
+// Unit tests for the discrete-event kernel: ordering, cancellation, clock
+// semantics, run-until behaviour.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace ks = keddah::sim;
+
+TEST(Simulator, StartsAtZero) {
+  ks::Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  ks::Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, FifoForEqualTimes) {
+  ks::Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  ks::Simulator sim;
+  double fired_at = -1.0;
+  sim.schedule_at(5.0, [&] { sim.schedule_in(2.5, [&] { fired_at = sim.now(); }); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(Simulator, PastSchedulingThrows) {
+  ks::Simulator sim;
+  sim.schedule_at(10.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(5.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_in(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  ks::Simulator sim;
+  bool fired = false;
+  const auto id = sim.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.executed(), 0u);
+}
+
+TEST(Simulator, CancelTwiceReturnsFalse) {
+  ks::Simulator sim;
+  const auto id = sim.schedule_at(1.0, [] {});
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, CancelFiredEventIsNoop) {
+  ks::Simulator sim;
+  const auto id = sim.schedule_at(1.0, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, CancelInvalidIsNoop) {
+  ks::Simulator sim;
+  EXPECT_FALSE(sim.cancel(ks::kInvalidEvent));
+  EXPECT_FALSE(sim.cancel(123456));
+}
+
+TEST(Simulator, RunUntilStopsBeforeLaterEvents) {
+  ks::Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(10.0, [&] { ++fired; });
+  const auto executed = sim.run(5.0);
+  EXPECT_EQ(executed, 1u);
+  EXPECT_EQ(fired, 1);
+  // Clock advances to the horizon even though no event fired there.
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  // The later event still fires afterwards.
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  ks::Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) sim.schedule_in(0.5, chain);
+  };
+  sim.schedule_at(0.0, chain);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_DOUBLE_EQ(sim.now(), 49.5);
+}
+
+TEST(Simulator, StepExecutesSingleEvent) {
+  ks::Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(2.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, PendingCountsLiveEventsOnly) {
+  ks::Simulator sim;
+  const auto a = sim.schedule_at(1.0, [] {});
+  sim.schedule_at(2.0, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulator, ZeroDelayFiresAtCurrentTime) {
+  ks::Simulator sim;
+  double at = -1.0;
+  sim.schedule_at(2.0, [&] { sim.schedule_in(0.0, [&] { at = sim.now(); }); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(at, 2.0);
+}
+
+TEST(Simulator, CancellationInsideCallback) {
+  ks::Simulator sim;
+  bool later_fired = false;
+  ks::EventId later = ks::kInvalidEvent;
+  later = sim.schedule_at(5.0, [&] { later_fired = true; });
+  sim.schedule_at(1.0, [&] { sim.cancel(later); });
+  sim.run();
+  EXPECT_FALSE(later_fired);
+}
