@@ -19,7 +19,7 @@ int main() {
   for (const auto job :
        {workloads::Workload::kSort, workloads::Workload::kWordCount,
         workloads::Workload::kPageRank}) {
-    const auto runs = core::capture_runs(cfg, job, sizes, 2, seed);
+    const auto runs = bench::capture(cfg, job, sizes, 2, seed);
     seed += 10;
 
     // Train twice: once forcing parametric (huge threshold), once forcing
@@ -32,8 +32,10 @@ int main() {
     const auto model_p = core::train(workloads::workload_name(job), runs, cfg, parametric);
     const auto model_e = core::train(workloads::workload_name(job), runs, cfg, empirical);
 
-    const auto report_p = core::validate_model(model_p, runs[0], cfg, seed++);
-    const auto report_e = core::validate_model(model_e, runs[0], cfg, seed++);
+    const auto report_p =
+        core::validate_model(model_p, runs[0], cfg, core::ValidateSpec{.seed = seed++});
+    const auto report_e =
+        core::validate_model(model_e, runs[0], cfg, core::ValidateSpec{.seed = seed++});
     for (const auto kind :
          {net::FlowKind::kShuffle, net::FlowKind::kHdfsWrite, net::FlowKind::kControl}) {
       const auto& pp = report_p.of(kind);

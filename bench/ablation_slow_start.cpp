@@ -17,7 +17,7 @@ int main() {
   bench::banner("Ablation: slow start", "fluid vs slow-start-aware replay (Sort, 8 GB)");
   const auto cfg = bench::default_config();
   const std::vector<std::uint64_t> sizes = {8 * kGiB};
-  const auto runs = core::capture_runs(cfg, workloads::Workload::kSort, sizes, 2, 19000);
+  const auto runs = bench::capture(cfg, workloads::Workload::kSort, sizes, 2, 19000);
   const auto model = core::train("sort", runs, cfg);
   gen::Scenario scenario;
   scenario.input_bytes = static_cast<double>(8 * kGiB);

@@ -12,9 +12,12 @@
 #include <cstdint>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "capture/trace.h"
 #include "hadoop/config.h"
+#include "keddah/toolchain.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -47,6 +50,21 @@ inline double class_bytes(const capture::Trace& trace, net::FlowKind kind) {
 /// Classified per-class flow count of a trace.
 inline std::size_t class_flows(const capture::Trace& trace, net::FlowKind kind) {
   return trace.class_stats()[static_cast<std::size_t>(kind)].flows;
+}
+
+/// Capture a training grid through the spec API, fanned across all cores
+/// (threads = 0). Deterministic for a given seed regardless of core count.
+inline std::vector<model::TrainingRun> capture(const hadoop::ClusterConfig& cfg,
+                                               workloads::Workload workload,
+                                               std::vector<std::uint64_t> input_sizes,
+                                               std::size_t repetitions, std::uint64_t seed) {
+  core::CaptureSpec spec;
+  spec.workload = workload;
+  spec.input_sizes = std::move(input_sizes);
+  spec.repetitions = repetitions;
+  spec.seed = seed;
+  spec.threads = 0;
+  return core::capture_runs(cfg, spec);
 }
 
 /// Standard bench banner.

@@ -22,17 +22,24 @@ int main() {
       workloads::Workload::kWordCount, workloads::Workload::kSort, workloads::Workload::kGrep};
   const auto cfg = bench::default_config();
 
+  // The whole jobs x sizes grid is one parallel sweep (threads 0 = all
+  // cores); outcomes come back workload-major then size, so the per-job
+  // sections below just walk the vector in order.
+  const auto outcomes = workloads::run_grid(cfg, jobs, sizes, /*repetitions=*/1,
+                                            /*base_seed=*/2000, /*threads=*/0);
+
   const std::string plot_dir = util::plot_dir_from_env();
-  for (const auto job : jobs) {
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const auto job = jobs[j];
     util::print_section(std::cout, std::string("series: ") + workloads::workload_name(job));
     util::TextTable table(
         {"input_gb", "total", "hdfs_read", "shuffle", "hdfs_write", "control", "job_s"});
     std::vector<double> xs;
     std::vector<double> totals;
-    std::uint64_t seed = 2000;
     std::vector<std::array<double, 4>> rows;
-    for (const auto bytes : sizes) {
-      const auto outcome = workloads::run_single(cfg, job, bytes, 0, seed++);
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
+      const std::uint64_t bytes = sizes[s];
+      const auto& outcome = outcomes[j * sizes.size() + s];
       const auto& trace = outcome.trace;
       const double gb = static_cast<double>(bytes) / kGiB;
       xs.push_back(gb);

@@ -20,16 +20,22 @@ int main() {
   std::uint64_t seed = 7000;
   for (const auto job : {workloads::Workload::kWordCount, workloads::Workload::kSort}) {
     util::print_section(std::cout, std::string("job: ") + workloads::workload_name(job));
-    const auto runs = core::capture_runs(cfg, job, sizes, /*repetitions=*/3, seed);
+    core::CaptureSpec capture;
+    capture.workload = job;
+    capture.input_sizes = sizes;
+    capture.repetitions = 3;
+    capture.seed = seed;
+    capture.threads = 0;
+    const auto runs = core::capture_runs(cfg, capture);
     seed += 10;
     const auto model = core::train(workloads::workload_name(job), runs, cfg);
-    gen::Scenario scenario;
-    scenario.input_bytes = static_cast<double>(8 * kGiB);
-    scenario.num_maps = runs[0].num_maps;
-    scenario.num_reducers = runs[0].num_reducers;
-    scenario.num_hosts = cfg.num_workers();
-    const auto reproduced =
-        core::generate_and_replay(model, scenario, cfg.build_topology(), seed++);
+    core::ReproduceSpec reproduce;
+    reproduce.scenario.input_bytes = static_cast<double>(8 * kGiB);
+    reproduce.scenario.num_maps = runs[0].num_maps;
+    reproduce.scenario.num_reducers = runs[0].num_reducers;
+    reproduce.scenario.num_hosts = cfg.num_workers();
+    reproduce.seed = seed++;
+    const auto reproduced = core::generate_and_replay(model, reproduce, cfg.build_topology());
 
     for (const auto kind :
          {net::FlowKind::kHdfsRead, net::FlowKind::kShuffle, net::FlowKind::kHdfsWrite}) {

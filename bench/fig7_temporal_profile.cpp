@@ -41,15 +41,16 @@ int main() {
   bench::banner("Figure 7", "aggregate throughput over job lifetime, captured vs generated");
   const auto cfg = bench::default_config();
   const std::vector<std::uint64_t> sizes = {8 * kGiB};
-  const auto runs = core::capture_runs(cfg, workloads::Workload::kSort, sizes, 2, 9000);
+  const auto runs = bench::capture(cfg, workloads::Workload::kSort, sizes, 2, 9000);
   const auto model = core::train("sort", runs, cfg);
 
-  gen::Scenario scenario;
-  scenario.input_bytes = static_cast<double>(8 * kGiB);
-  scenario.num_maps = runs[0].num_maps;
-  scenario.num_reducers = runs[0].num_reducers;
-  scenario.num_hosts = cfg.num_workers();
-  const auto reproduced = core::generate_and_replay(model, scenario, cfg.build_topology(), 9100);
+  core::ReproduceSpec reproduce;
+  reproduce.scenario.input_bytes = static_cast<double>(8 * kGiB);
+  reproduce.scenario.num_maps = runs[0].num_maps;
+  reproduce.scenario.num_reducers = runs[0].num_reducers;
+  reproduce.scenario.num_hosts = cfg.num_workers();
+  reproduce.seed = 9100;
+  const auto reproduced = core::generate_and_replay(model, reproduce, cfg.build_topology());
 
   const double cap_span = runs[0].trace.last_end() - runs[0].trace.first_start();
   const double gen_span =

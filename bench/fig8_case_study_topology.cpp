@@ -16,7 +16,7 @@ int main() {
   bench::banner("Figure 8", "one Sort model replayed on alternative fabrics (8 GB)");
   const auto cfg = bench::default_config();
   const std::vector<std::uint64_t> sizes = {8 * kGiB};
-  const auto runs = core::capture_runs(cfg, workloads::Workload::kSort, sizes, 2, 10000);
+  const auto runs = bench::capture(cfg, workloads::Workload::kSort, sizes, 2, 10000);
   const auto model = core::train("sort", runs, cfg);
 
   gen::Scenario scenario;

@@ -46,7 +46,7 @@ int main() {
   std::uint64_t seed = 14200;
   for (const auto& job : mix_jobs) {
     const std::vector<std::uint64_t> sizes = {job.input_bytes};
-    const auto runs = core::capture_runs(cfg, job.workload, sizes, 2, seed);
+    const auto runs = bench::capture(cfg, job.workload, sizes, 2, seed);
     seed += 10;
     models.push_back(core::train(workloads::workload_name(job.workload), runs, cfg));
   }

@@ -5,6 +5,8 @@
 #include <benchmark/benchmark.h>
 
 #include "gen/replay.h"
+#include "keddah/scenario.h"
+#include "keddah/sweep.h"
 #include "keddah/toolchain.h"
 #include "net/network.h"
 #include "sim/simulator.h"
@@ -110,16 +112,51 @@ void BM_FullToolchainIteration(benchmark::State& state) {
   const std::vector<std::uint64_t> sizes = {512ull << 20};
   std::uint64_t seed = 100;
   for (auto _ : state) {
-    const auto runs = core::capture_runs(cfg, workloads::Workload::kSort, sizes, 1, seed++);
+    core::CaptureSpec capture;
+    capture.workload = workloads::Workload::kSort;
+    capture.input_sizes = sizes;
+    capture.seed = seed++;
+    const auto runs = core::capture_runs(cfg, capture);
     const auto model = core::train("sort", runs, cfg);
-    gen::Scenario scenario;
-    scenario.input_bytes = static_cast<double>(sizes[0]);
-    scenario.num_hosts = 8;
-    const auto result = core::generate_and_replay(model, scenario, cfg.build_topology(), seed);
+    core::ReproduceSpec reproduce;
+    reproduce.scenario.input_bytes = static_cast<double>(sizes[0]);
+    reproduce.scenario.num_hosts = 8;
+    reproduce.seed = seed;
+    const auto result = core::generate_and_replay(model, reproduce, cfg.build_topology());
     benchmark::DoNotOptimize(result.replay.makespan);
   }
 }
 BENCHMARK(BM_FullToolchainIteration)->Unit(benchmark::kMillisecond);
+
+// Parallel sweep throughput: how many full scenario simulations per second
+// the SweepRunner sustains on a fixed 16-scenario batch, serial (Arg=1) vs
+// parallel (Arg=2, Arg=4). Real time is the honest axis here — total CPU
+// time is ~constant, wall clock is what the thread pool buys down.
+void BM_SweepThroughput(benchmark::State& state) {
+  constexpr std::size_t kScenarios = 16;
+  std::vector<core::ScenarioSpec> specs;
+  specs.reserve(kScenarios);
+  for (std::size_t i = 0; i < kScenarios; ++i) {
+    core::ScenarioSpec spec;
+    spec.cluster.racks = 2;
+    spec.cluster.hosts_per_rack = 4;
+    spec.cluster.block_size = 64ull << 20;
+    spec.seed = 7000 + i;
+    core::ScenarioSpec::JobEntry job;
+    job.workload = workloads::Workload::kSort;
+    job.input_bytes = 256ull << 20;
+    spec.jobs.push_back(job);
+    specs.push_back(std::move(spec));
+  }
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const auto outcomes = core::run_scenarios(specs, threads);
+    benchmark::DoNotOptimize(outcomes.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kScenarios));
+  state.SetLabel("scenarios/sec is items_per_second");
+}
+BENCHMARK(BM_SweepThroughput)->Arg(1)->Arg(2)->Arg(4)->UseRealTime()->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

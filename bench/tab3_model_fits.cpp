@@ -19,7 +19,7 @@ int main() {
   const std::vector<std::uint64_t> sizes = {8 * kGiB};
   std::uint64_t seed = 6000;
   for (const auto w : workloads::all_workloads()) {
-    const auto runs = core::capture_runs(cfg, w, sizes, /*repetitions=*/2, seed);
+    const auto runs = bench::capture(cfg, w, sizes, /*repetitions=*/2, seed);
     seed += 10;
     const auto model = core::train(workloads::workload_name(w), runs, cfg);
     for (const auto kind : model::kModelledClasses) {

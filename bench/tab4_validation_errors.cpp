@@ -22,13 +22,22 @@ int main() {
   std::uint64_t seed = 8000;
   double worst_count_err = 0.0;
   for (const auto w : workloads::all_workloads()) {
-    const auto runs = core::capture_runs(cfg, w, sizes, /*repetitions=*/3, seed);
+    core::CaptureSpec capture;
+    capture.workload = w;
+    capture.input_sizes = sizes;
+    capture.repetitions = 3;
+    capture.seed = seed;
+    capture.threads = 0;
+    const auto runs = core::capture_runs(cfg, capture);
     seed += 10;
     const auto model = core::train(workloads::workload_name(w), runs, cfg);
-    const auto plain = core::validate_model(model, runs[0], cfg, seed++);
-    gen::GeneratorOptions normalize;
-    normalize.normalize_volume = true;
-    const auto normalized = core::validate_model(model, runs[0], cfg, seed++, normalize);
+    core::ValidateSpec plain_spec;
+    plain_spec.seed = seed++;
+    const auto plain = core::validate_model(model, runs[0], cfg, plain_spec);
+    core::ValidateSpec norm_spec;
+    norm_spec.seed = seed++;
+    norm_spec.gen_options.normalize_volume = true;
+    const auto normalized = core::validate_model(model, runs[0], cfg, norm_spec);
     for (const auto kind : model::kModelledClasses) {
       const auto& cc = plain.of(kind);
       if (cc.captured_flows == 0 && cc.generated_flows == 0) continue;

@@ -20,9 +20,19 @@ int main() {
   std::uint64_t seed = 11000;
   util::TextTable table({"job", "quantity", "measured@16GB", "predicted@16GB", "error"});
   for (const auto job : {workloads::Workload::kWordCount, workloads::Workload::kSort}) {
-    const auto train_runs = core::capture_runs(cfg, job, train_sizes, 2, seed);
+    core::CaptureSpec train_spec;
+    train_spec.workload = job;
+    train_spec.input_sizes = train_sizes;
+    train_spec.repetitions = 2;
+    train_spec.seed = seed;
+    train_spec.threads = 0;  // fan the size x repetition grid across all cores
+    const auto train_runs = core::capture_runs(cfg, train_spec);
     seed += 20;
-    const auto test_runs = core::capture_runs(cfg, job, test_sizes, 1, seed);
+    core::CaptureSpec test_spec;
+    test_spec.workload = job;
+    test_spec.input_sizes = test_sizes;
+    test_spec.seed = seed;
+    const auto test_runs = core::capture_runs(cfg, test_spec);
     seed += 20;
     const auto model = core::train(workloads::workload_name(job), train_runs, cfg);
     const auto& reference = test_runs[0];

@@ -30,7 +30,13 @@ int main() {
   const std::vector<std::uint64_t> train_sizes = {2 * kGiB};
   for (const auto w :
        {workloads::Workload::kSort, workloads::Workload::kWordCount, workloads::Workload::kGrep}) {
-    const auto runs = core::capture_runs(config, w, train_sizes, 2, seed);
+    core::CaptureSpec capture;
+    capture.workload = w;
+    capture.input_sizes = train_sizes;
+    capture.repetitions = 2;
+    capture.seed = seed;
+    capture.threads = 0;
+    const auto runs = core::capture_runs(config, capture);
     seed += 10;
     bank.add(core::train(workloads::workload_name(w), runs, config));
   }

@@ -31,8 +31,13 @@ int main(int argc, char** argv) {
     config.racks = 4;
     config.hosts_per_rack = 4;
     config.containers_per_node = 4;
-    const std::vector<std::uint64_t> sizes = {2 * kGiB, 4 * kGiB};
-    const auto runs = core::capture_runs(config, workloads::Workload::kSort, sizes, 2, 3);
+    core::CaptureSpec capture;
+    capture.workload = workloads::Workload::kSort;
+    capture.input_sizes = {2 * kGiB, 4 * kGiB};
+    capture.repetitions = 2;
+    capture.seed = 3;
+    capture.threads = 0;
+    const auto runs = core::capture_runs(config, capture);
     model = core::train("sort", runs, config);
   }
 

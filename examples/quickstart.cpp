@@ -25,11 +25,14 @@ int main() {
   config.hosts_per_rack = 4;
 
   // --- 1. CAPTURE ------------------------------------------------------
-  const std::vector<std::uint64_t> sizes = {1ull << 30, 2ull << 30};  // 1 and 2 GB
   std::cout << "Capturing Sort runs at 1 GB and 2 GB inputs...\n";
-  const auto runs =
-      core::capture_runs(config, workloads::Workload::kSort, sizes, /*repetitions=*/2,
-                         /*seed=*/42);
+  core::CaptureSpec capture;
+  capture.workload = workloads::Workload::kSort;
+  capture.input_sizes = {1ull << 30, 2ull << 30};  // 1 and 2 GB
+  capture.repetitions = 2;
+  capture.seed = 42;
+  capture.threads = 0;  // fan the 2 sizes x 2 repetitions across all cores
+  const auto runs = core::capture_runs(config, capture);
   for (const auto& run : runs) {
     std::cout << "  input " << util::human_bytes(run.input_bytes) << ": " << run.trace.size()
               << " flows, " << util::human_bytes(run.trace.total_bytes()) << " on the wire, job "
@@ -55,11 +58,11 @@ int main() {
   std::cout << "\nModel saved to /tmp/keddah_sort_model.json\n";
 
   // --- 3. REPRODUCE ----------------------------------------------------
-  gen::Scenario scenario;
-  scenario.input_bytes = 2.0 * (1ull << 30);
-  scenario.num_hosts = config.num_workers();
-  const auto reproduced =
-      core::generate_and_replay(model, scenario, config.build_topology(), /*seed=*/7);
+  core::ReproduceSpec reproduce;
+  reproduce.scenario.input_bytes = 2.0 * (1ull << 30);
+  reproduce.scenario.num_hosts = config.num_workers();
+  reproduce.seed = 7;
+  const auto reproduced = core::generate_and_replay(model, reproduce, config.build_topology());
   std::cout << "\nGenerated " << reproduced.schedule.flows.size()
             << " synthetic flows; replayed makespan "
             << util::human_seconds(reproduced.replay.makespan) << "\n";

@@ -20,8 +20,13 @@ int main() {
   config.containers_per_node = 4;
 
   std::cout << "Training a Sort traffic model (2 runs x {2, 4} GB)...\n";
-  const std::vector<std::uint64_t> sizes = {2 * kGiB, 4 * kGiB};
-  const auto runs = core::capture_runs(config, workloads::Workload::kSort, sizes, 2, 21);
+  core::CaptureSpec capture;
+  capture.workload = workloads::Workload::kSort;
+  capture.input_sizes = {2 * kGiB, 4 * kGiB};
+  capture.repetitions = 2;
+  capture.seed = 21;
+  capture.threads = 0;
+  const auto runs = core::capture_runs(config, capture);
   const auto model = core::train("sort", runs, config);
 
   // Question 1: how does the same 4 GB job behave on candidate fabrics?

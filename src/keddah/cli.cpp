@@ -11,11 +11,13 @@
 #include "gen/ns3_export.h"
 #include "hadoop/attribution.h"
 #include "keddah/scenario.h"
+#include "keddah/sweep.h"
 #include "model/calibration.h"
 #include "keddah/toolchain.h"
 #include "stats/fitting.h"
 #include "stats/summary.h"
 #include "util/args.h"
+#include "util/rng.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -75,12 +77,29 @@ int cmd_capture(const util::Args& args, std::ostream& out, std::ostream& err) {
   const auto reps = static_cast<std::size_t>(args.get_int("reps", 1));
   const auto reducers = static_cast<std::size_t>(args.get_int("reducers", 0));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const auto threads = static_cast<std::size_t>(args.get_int("threads", 1));
   const std::string out_base = args.get("out", "keddah_run");
   if (const int rc = reject_unused(args, err)) return rc;
 
-  for (std::size_t rep = 0; rep < reps; ++rep) {
-    const auto outcome = workloads::run_single(cfg, workload, input, reducers, seed + rep);
-    const auto run = core::to_training_run(outcome);
+  core::CaptureSpec spec;
+  spec.workload = workload;
+  spec.input_sizes = {input};
+  spec.repetitions = reps;
+  spec.seed = seed;
+  spec.threads = threads;
+  // `capture` ignores --reducers only in the auto (0) case; a non-default
+  // reducer count needs per-run control, so fall back to single runs.
+  std::vector<model::TrainingRun> runs;
+  if (reducers == 0) {
+    runs = core::capture_runs(cfg, spec);
+  } else {
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      runs.push_back(core::to_training_run(workloads::run_single(
+          cfg, workload, input, reducers, util::derive_seed(seed, rep))));
+    }
+  }
+  for (std::size_t rep = 0; rep < runs.size(); ++rep) {
+    const auto& run = runs[rep];
     const std::string basename = util::format("%s_%zu", out_base.c_str(), rep);
     core::save_run(run, basename);
     out << "captured " << workloads::workload_name(workload) << " rep " << rep << ": "
@@ -183,7 +202,10 @@ int cmd_validate(const util::Args& args, std::ostream& out, std::ostream& err) {
   const auto cfg = config_from_args(args);
   const std::string model_path = args.get("model", "keddah_model.json");
   const std::string run_base = args.get("run", "");
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  core::ValidateSpec spec;
+  spec.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  spec.repetitions = static_cast<std::size_t>(args.get_int("reps", 1));
+  spec.threads = static_cast<std::size_t>(args.get_int("threads", 0));
   if (const int rc = reject_unused(args, err)) return rc;
   if (run_base.empty()) {
     err << "error: --run <basename> is required\n";
@@ -191,7 +213,7 @@ int cmd_validate(const util::Args& args, std::ostream& out, std::ostream& err) {
   }
   const auto model = model::KeddahModel::load(model_path);
   const auto reference = core::load_run(run_base);
-  const auto report = core::validate_model(model, reference, cfg, seed);
+  const auto report = core::validate_model(model, reference, cfg, spec);
   report.print(out);
   return 0;
 }
@@ -313,18 +335,7 @@ int cmd_calibrate(const util::Args& args, std::ostream& out, std::ostream& err) 
   return 0;
 }
 
-int cmd_run_scenario(const util::Args& args, std::ostream& out, std::ostream& err) {
-  const std::string file = args.get("file", "");
-  const std::string trace_path = args.get("trace-out", "");
-  const std::string history_path = args.get("history-out", "");
-  if (const int rc = reject_unused(args, err)) return rc;
-  if (file.empty()) {
-    err << "error: --file <scenario.json> is required\n";
-    return 2;
-  }
-  const auto spec = core::load_scenario(file);
-  const auto outcome = core::run_scenario(spec);
-
+void print_scenario_outcome(const core::ScenarioOutcome& outcome, std::ostream& out) {
   util::TextTable table({"job", "id", "submit_s", "duration_s", "maps", "reducers", "input",
                          "output"});
   for (const auto& r : outcome.results) {
@@ -346,12 +357,37 @@ int cmd_run_scenario(const util::Args& args, std::ostream& out, std::ostream& er
     out << "; " << outcome.rereplications << " re-replication transfers";
   }
   out << "\n";
+}
+
+int cmd_run_scenario(const util::Args& args, std::ostream& out, std::ostream& err) {
+  const std::string file = args.get("file", "");
+  const std::string trace_path = args.get("trace-out", "");
+  const std::string history_path = args.get("history-out", "");
+  // Overrides the scenarios' own "threads" fields for the batch sweep.
+  const auto threads = static_cast<std::size_t>(args.get_int("threads", 0));
+  if (const int rc = reject_unused(args, err)) return rc;
+  if (file.empty()) {
+    err << "error: --file <scenario.json>[,more.json...] is required\n";
+    return 2;
+  }
+  const auto files = split_list(file);
+  std::vector<core::ScenarioSpec> specs;
+  specs.reserve(files.size());
+  for (const auto& path : files) specs.push_back(core::load_scenario(path));
+  const auto outcomes = core::run_scenarios(specs, threads);
+
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    if (outcomes.size() > 1) out << (i > 0 ? "\n" : "") << "=== " << files[i] << " ===\n";
+    print_scenario_outcome(outcomes[i], out);
+  }
+  // Artefact outputs keep their single-scenario meaning: with several
+  // scenarios the first one's capture is written (one file, one trace).
   if (!trace_path.empty()) {
-    outcome.trace.save(trace_path);
+    outcomes.front().trace.save(trace_path);
     out << "trace written: " << trace_path << "\n";
   }
   if (!history_path.empty()) {
-    outcome.history.save(history_path);
+    outcomes.front().history.save(history_path);
     out << "history written: " << history_path << "\n";
   }
   return 0;
@@ -408,7 +444,7 @@ std::string usage() {
       "subcommands:\n"
       "  capture    run emulated MapReduce jobs and capture their flows\n"
       "             --job NAME --input SIZE [--reps N] [--reducers N] [--seed N]\n"
-      "             [--out BASENAME] [cluster flags]\n"
+      "             [--threads N] [--out BASENAME] [cluster flags]\n"
       "  train      fit a Keddah model from captured runs\n"
       "             --runs base0,base1,... --name NAME [--out FILE]\n"
       "             [--size-model parametric|empirical] [cluster flags]\n"
@@ -418,15 +454,20 @@ std::string usage() {
       "  replay     replay a schedule on a simulated fabric\n"
       "             --schedule FILE [cluster flags]\n"
       "  validate   compare generated traffic against a captured run\n"
-      "             --model FILE --run BASENAME [cluster flags]\n"
+      "             --model FILE --run BASENAME [--reps N] [--threads N]\n"
+      "             [cluster flags]\n"
       "  export-ns3 emit an ns-3 replay program + schedule CSV\n"
       "             --schedule FILE [--out BASENAME] [--hosts N]\n"
       "             [--link-rate R] [--link-delay D]\n"
       "  report     summarize a trained model (fits, laws, phases)\n"
       "             --model FILE\n"
-      "  run-scenario  execute a JSON-described experiment (cluster, job\n"
-      "             mix, iterations, fault injections; see src/keddah/scenario.h)\n"
-      "             --file FILE [--trace-out FILE] [--history-out FILE]\n"
+      "  run-scenario  execute JSON-described experiments (cluster, job\n"
+      "             mix, iterations, fault injections; see src/keddah/scenario.h).\n"
+      "             Several comma-separated files run in parallel across\n"
+      "             --threads workers (0 = all cores); results print in file\n"
+      "             order and are identical at any thread count.\n"
+      "             --file FILE[,FILE...] [--threads N]\n"
+      "             [--trace-out FILE] [--history-out FILE]\n"
       "  analyze    characterize a captured trace (classes, fits, hotspots,\n"
       "             temporal profile; attribution when a history is given)\n"
       "             --trace FILE [--history FILE] [--hosts N]\n"

@@ -63,6 +63,7 @@ ScenarioSpec parse_scenario(const util::Json& doc) {
   ScenarioSpec spec;
   spec.cluster = parse_cluster(doc);
   spec.seed = static_cast<std::uint64_t>(doc.get_number("seed", 1));
+  spec.threads = static_cast<std::size_t>(doc.get_number("threads", 0));
   if (!doc.contains("jobs") || doc.at("jobs").size() == 0) {
     throw std::invalid_argument("scenario: needs a non-empty 'jobs' array");
   }

@@ -7,6 +7,13 @@
 // Schema (all fields optional unless noted):
 //   {
 //     "seed": 42,
+//     "threads": 0,                  // worker threads when this scenario is
+//                                    // part of a batch sweep (run_scenarios /
+//                                    // `keddah run-scenario --file a.json,b.json`);
+//                                    // 0 = hardware concurrency. A single
+//                                    // scenario is one deterministic
+//                                    // simulation and always runs serially.
+//                                    // CLI --threads overrides this field.
 //     "cluster": {
 //       "topology": "racktree" | "star" | "fattree",
 //       "racks": 4, "hosts_per_rack": 4, "fat_tree_k": 4,
@@ -42,6 +49,9 @@ namespace keddah::core {
 struct ScenarioSpec {
   hadoop::ClusterConfig cluster;
   std::uint64_t seed = 1;
+  /// Worker-thread budget when this scenario runs as part of a batch sweep
+  /// (core::run_scenarios); 0 = hardware concurrency.
+  std::size_t threads = 0;
 
   struct JobEntry {
     workloads::Workload workload = workloads::Workload::kSort;

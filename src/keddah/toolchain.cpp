@@ -1,8 +1,49 @@
 #include "keddah/toolchain.h"
 
+#include <cmath>
+
 #include "util/log.h"
+#include "util/rng.h"
 
 namespace keddah::core {
+
+namespace {
+
+/// Element-wise mean of per-repetition validation reports. The captured
+/// side is identical in every report (same reference trace); the generated
+/// side is averaged so repeated validation damps sampling noise.
+ValidationReport mean_report(std::span<const ValidationReport> reports) {
+  ValidationReport mean = reports[0];
+  if (reports.size() == 1) return mean;
+  const double n = static_cast<double>(reports.size());
+  for (std::size_t k = 0; k < mean.classes.size(); ++k) {
+    double flows = 0.0;
+    double bytes = 0.0;
+    double ks = 0.0;
+    double pvalue = 0.0;
+    for (const auto& report : reports) {
+      flows += static_cast<double>(report.classes[k].generated_flows);
+      bytes += report.classes[k].generated_bytes;
+      ks += report.classes[k].size_ks;
+      pvalue += report.classes[k].size_ks_pvalue;
+    }
+    mean.classes[k].generated_flows = static_cast<std::size_t>(std::llround(flows / n));
+    mean.classes[k].generated_bytes = bytes / n;
+    mean.classes[k].size_ks = ks / n;
+    mean.classes[k].size_ks_pvalue = pvalue / n;
+  }
+  double total_bytes = 0.0;
+  double span_s = 0.0;
+  for (const auto& report : reports) {
+    total_bytes += report.generated_total_bytes;
+    span_s += report.generated_span_s;
+  }
+  mean.generated_total_bytes = total_bytes / n;
+  mean.generated_span_s = span_s / n;
+  return mean;
+}
+
+}  // namespace
 
 model::TrainingRun to_training_run(const workloads::RunOutcome& outcome) {
   model::TrainingRun run;
@@ -16,11 +57,11 @@ model::TrainingRun to_training_run(const workloads::RunOutcome& outcome) {
 }
 
 std::vector<model::TrainingRun> capture_runs(const hadoop::ClusterConfig& config,
-                                             workloads::Workload workload,
-                                             std::span<const std::uint64_t> input_sizes,
-                                             std::size_t repetitions, std::uint64_t seed) {
+                                             const CaptureSpec& spec) {
+  const workloads::Workload workload = spec.workload;
   const auto outcomes =
-      workloads::run_grid(config, std::span(&workload, 1), input_sizes, repetitions, seed);
+      workloads::run_grid(config, std::span(&workload, 1), spec.input_sizes, spec.repetitions,
+                          spec.seed, spec.threads, spec.progress);
   std::vector<model::TrainingRun> runs;
   runs.reserve(outcomes.size());
   for (const auto& outcome : outcomes) runs.push_back(to_training_run(outcome));
@@ -37,29 +78,36 @@ model::KeddahModel train(const std::string& job_name, std::span<const model::Tra
   return model::build_model(job_name, runs, options);
 }
 
-ReproduceResult generate_and_replay(const model::KeddahModel& model,
-                                    const gen::Scenario& scenario,
-                                    const net::Topology& topology, std::uint64_t seed,
-                                    gen::GeneratorOptions gen_options) {
+ReproduceResult generate_and_replay(const model::KeddahModel& model, const ReproduceSpec& spec,
+                                    const net::Topology& topology) {
   ReproduceResult result;
-  gen::TrafficGenerator generator(model, util::Rng(seed), gen_options);
-  result.schedule = generator.generate(scenario);
+  gen::TrafficGenerator generator(model, util::Rng(spec.seed), spec.gen_options);
+  result.schedule = generator.generate(spec.scenario);
   result.replay = gen::replay(result.schedule, topology);
   return result;
 }
 
 ValidationReport validate_model(const model::KeddahModel& model,
                                 const model::TrainingRun& reference,
-                                const hadoop::ClusterConfig& config, std::uint64_t seed,
-                                gen::GeneratorOptions gen_options) {
+                                const hadoop::ClusterConfig& config, const ValidateSpec& spec) {
   gen::Scenario scenario;
   scenario.input_bytes = reference.input_bytes;
   scenario.num_maps = reference.num_maps;
   scenario.num_reducers = reference.num_reducers;
   scenario.num_hosts = config.num_workers();
-  const auto reproduced =
-      generate_and_replay(model, scenario, config.build_topology(), seed, gen_options);
-  return compare_traces(reference.trace, reproduced.replay.trace);
+  const net::Topology topology = config.build_topology();
+
+  const std::size_t repetitions = spec.repetitions == 0 ? 1 : spec.repetitions;
+  SweepRunner runner({.threads = spec.threads, .progress = spec.progress});
+  const auto reports = runner.map(repetitions, [&](std::size_t rep) {
+    ReproduceSpec reproduce;
+    reproduce.scenario = scenario;
+    reproduce.seed = util::derive_seed(spec.seed, rep);
+    reproduce.gen_options = spec.gen_options;
+    const auto reproduced = generate_and_replay(model, reproduce, topology);
+    return compare_traces(reference.trace, reproduced.replay.trace);
+  });
+  return mean_report(reports);
 }
 
 void save_run(const model::TrainingRun& run, const std::string& basename) {

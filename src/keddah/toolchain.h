@@ -1,10 +1,19 @@
 // The Keddah toolchain facade: capture -> model -> reproduce in three calls.
 //
-//   auto runs  = keddah::core::capture_runs(cfg, workload, sizes, reps, seed);
+//   core::CaptureSpec capture{.workload = workloads::Workload::kSort,
+//                             .input_sizes = {1ull << 30},
+//                             .repetitions = 2, .seed = 42, .threads = 0};
+//   auto runs  = keddah::core::capture_runs(cfg, capture);
 //   auto model = keddah::core::train(workload_name, runs, cfg);
-//   auto replayed = keddah::core::generate_and_replay(model, scenario, topo, seed);
+//   auto replayed = keddah::core::generate_and_replay(
+//       model, core::ReproduceSpec{.scenario = scenario, .seed = 7}, topo);
 //
-// This is the public API the examples and benches drive.
+// This is the public API the examples and benches drive. Knobs live in spec
+// structs (CaptureSpec / ReproduceSpec / ValidateSpec) so new options —
+// thread counts, progress callbacks — never grow an argument list again.
+// Sweep-shaped calls (capture_runs, validate_model repetitions) fan out
+// across cores via core::SweepRunner; per-task seeds come from
+// util::derive_seed, so output is bit-identical at any thread count.
 #pragma once
 
 #include <span>
@@ -15,6 +24,7 @@
 #include "gen/replay.h"
 #include "hadoop/config.h"
 #include "keddah/compare.h"
+#include "keddah/sweep.h"
 #include "model/builder.h"
 #include "workloads/suite.h"
 
@@ -23,12 +33,39 @@ namespace keddah::core {
 /// Adapts a suite run into the trainer's input form.
 model::TrainingRun to_training_run(const workloads::RunOutcome& outcome);
 
-/// CAPTURE: runs `repetitions` jobs of `workload` for every input size on
-/// fresh emulated clusters, capturing each run's flows.
+/// What to capture: `repetitions` jobs of `workload` at every input size,
+/// each on a fresh emulated cluster seeded with derive_seed(seed, index).
+struct CaptureSpec {
+  workloads::Workload workload = workloads::Workload::kSort;
+  std::vector<std::uint64_t> input_sizes;
+  std::size_t repetitions = 1;
+  std::uint64_t seed = 1;
+  /// Worker threads for the size x repetition sweep; 0 = hardware
+  /// concurrency. Results are identical at any value.
+  std::size_t threads = 0;
+  SweepProgress progress;
+};
+
+/// CAPTURE: runs the spec's sweep, capturing each run's flows. Outcomes are
+/// ordered size-major then repetition, independent of thread count.
 std::vector<model::TrainingRun> capture_runs(const hadoop::ClusterConfig& config,
-                                             workloads::Workload workload,
-                                             std::span<const std::uint64_t> input_sizes,
-                                             std::size_t repetitions, std::uint64_t seed);
+                                             const CaptureSpec& spec);
+
+/// Deprecated positional facade; forwards to the CaptureSpec overload
+/// (serially — old call sites predate the thread knob).
+[[deprecated("use capture_runs(config, CaptureSpec)")]]
+inline std::vector<model::TrainingRun> capture_runs(const hadoop::ClusterConfig& config,
+                                                    workloads::Workload workload,
+                                                    std::span<const std::uint64_t> input_sizes,
+                                                    std::size_t repetitions, std::uint64_t seed) {
+  CaptureSpec spec;
+  spec.workload = workload;
+  spec.input_sizes.assign(input_sizes.begin(), input_sizes.end());
+  spec.repetitions = repetitions;
+  spec.seed = seed;
+  spec.threads = 1;
+  return capture_runs(config, spec);
+}
 
 /// MODEL: trains a KeddahModel from captured runs, recording the cluster
 /// configuration in the model context.
@@ -36,23 +73,67 @@ model::KeddahModel train(const std::string& job_name, std::span<const model::Tra
                          const hadoop::ClusterConfig& config,
                          const model::BuilderOptions& base_options = {});
 
-/// REPRODUCE: samples the model for `scenario` and replays the schedule on
-/// `topology`, returning both the schedule and the replay capture.
+/// What to reproduce: one scenario sampled from a model with `seed`.
+struct ReproduceSpec {
+  gen::Scenario scenario;
+  std::uint64_t seed = 1;
+  gen::GeneratorOptions gen_options;
+};
+
+/// REPRODUCE: samples the model for the spec's scenario and replays the
+/// schedule on `topology`, returning both the schedule and the capture.
 struct ReproduceResult {
   gen::SyntheticTrafficSchedule schedule;
   gen::ReplayResult replay;
 };
-ReproduceResult generate_and_replay(const model::KeddahModel& model,
-                                    const gen::Scenario& scenario,
-                                    const net::Topology& topology, std::uint64_t seed,
-                                    gen::GeneratorOptions gen_options = {});
+ReproduceResult generate_and_replay(const model::KeddahModel& model, const ReproduceSpec& spec,
+                                    const net::Topology& topology);
 
-/// End-to-end validation: captures fresh runs at `validation_input`, trains
-/// on `runs`, reproduces at the same scale, and compares.
+/// Deprecated positional facade; forwards to the ReproduceSpec overload.
+[[deprecated("use generate_and_replay(model, ReproduceSpec, topology)")]]
+inline ReproduceResult generate_and_replay(const model::KeddahModel& model,
+                                           const gen::Scenario& scenario,
+                                           const net::Topology& topology, std::uint64_t seed,
+                                           gen::GeneratorOptions gen_options = {}) {
+  ReproduceSpec spec;
+  spec.scenario = scenario;
+  spec.seed = seed;
+  spec.gen_options = gen_options;
+  return generate_and_replay(model, spec, topology);
+}
+
+/// How to validate: reproduce the reference run `repetitions` times (seeds
+/// derive_seed(seed, rep), fanned across `threads` workers) and compare
+/// against the capture. With repetitions > 1 the generated-side columns of
+/// the report are means over the repetitions, damping sampling noise.
+struct ValidateSpec {
+  std::uint64_t seed = 1;
+  std::size_t repetitions = 1;
+  /// Worker threads for the repetition sweep; 0 = hardware concurrency.
+  std::size_t threads = 0;
+  gen::GeneratorOptions gen_options;
+  SweepProgress progress;
+};
+
+/// End-to-end validation: reproduces at the reference run's scale on the
+/// config's topology and compares generated against captured traffic.
 ValidationReport validate_model(const model::KeddahModel& model,
                                 const model::TrainingRun& reference,
-                                const hadoop::ClusterConfig& config, std::uint64_t seed,
-                                gen::GeneratorOptions gen_options = {});
+                                const hadoop::ClusterConfig& config, const ValidateSpec& spec);
+
+/// Deprecated positional facade; forwards to the ValidateSpec overload
+/// (one repetition, serial).
+[[deprecated("use validate_model(model, reference, config, ValidateSpec)")]]
+inline ValidationReport validate_model(const model::KeddahModel& model,
+                                       const model::TrainingRun& reference,
+                                       const hadoop::ClusterConfig& config, std::uint64_t seed,
+                                       gen::GeneratorOptions gen_options = {}) {
+  ValidateSpec spec;
+  spec.seed = seed;
+  spec.gen_options = gen_options;
+  spec.threads = 1;
+  return validate_model(model, reference, config, spec);
+}
 
 /// Persists a captured run as `<basename>.csv` (flows) plus
 /// `<basename>.meta.json` (job-log metadata), the on-disk interchange

@@ -74,7 +74,10 @@ FlowId Network::start_flow(NodeId src, NodeId dst, double bytes, FlowMeta meta,
   flow.meta = meta;
   flow.submit_time = sim_.now();
   flow.remaining_bits = bytes * 8.0;
-  flow.rate_cap_bps = rate_cap_bps > 0.0 ? rate_cap_bps : 1.0;
+  // A non-positive cap means "uncapped": callers that compute a cap of 0.0
+  // (e.g. a disabled throttle) must not end up with a 1 bps near-deadlock.
+  flow.rate_cap_bps =
+      rate_cap_bps > 0.0 ? rate_cap_bps : std::numeric_limits<double>::infinity();
 
   if (flow.loopback()) {
     // Local transfer: never touches the fabric; drain at the loopback rate.

@@ -58,7 +58,8 @@ class Network {
 
   /// Starts a flow of `bytes` payload from src to dst. `on_complete` (may be
   /// null) fires when the last byte is delivered. `rate_cap_bps` bounds the
-  /// flow below its fair share (application/disk limited senders).
+  /// flow below its fair share (application/disk limited senders); any
+  /// value <= 0 means uncapped, same as the infinite default.
   FlowId start_flow(NodeId src, NodeId dst, double bytes, FlowMeta meta,
                     CompletionCallback on_complete = nullptr,
                     double rate_cap_bps = std::numeric_limits<double>::infinity());

@@ -1,13 +1,19 @@
 #include "util/log.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <iostream>
+#include <mutex>
 
 namespace keddah::util {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+// Atomic so worker threads of a parallel sweep can check the threshold
+// while a driver thread (re)configures it; a mutex keeps emitted lines
+// whole when several workers log at once.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_output_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -26,9 +32,9 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
 LogLevel parse_log_level(const std::string& name) {
   std::string lower(name);
@@ -44,9 +50,10 @@ LogLevel parse_log_level(const std::string& name) {
 
 namespace detail {
 
-bool log_enabled(LogLevel level) { return level >= g_level; }
+bool log_enabled(LogLevel level) { return level >= g_level.load(std::memory_order_relaxed); }
 
 void log_line(LogLevel level, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(g_output_mutex);
   std::cerr << "[" << level_name(level) << "] " << msg << "\n";
 }
 

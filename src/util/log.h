@@ -1,8 +1,10 @@
 // Minimal leveled logger for the Keddah toolchain.
 //
-// The simulator is deterministic and single-threaded, so the logger is a
-// plain global with no locking. Output goes to stderr so that bench binaries
-// can print machine-readable tables on stdout with diagnostics kept apart.
+// Each simulation is deterministic and single-threaded, but parallel sweeps
+// run many simulations on worker threads at once: the level is an atomic and
+// emission is serialized so concurrent log lines stay whole. Output goes to
+// stderr so that bench binaries can print machine-readable tables on stdout
+// with diagnostics kept apart.
 #pragma once
 
 #include <sstream>
@@ -17,7 +19,7 @@ enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4 }
 /// Returns the current global log threshold (default: kWarn).
 LogLevel log_level();
 
-/// Sets the global log threshold. Thread-compatible, not thread-safe.
+/// Sets the global log threshold. Safe to call while worker threads log.
 void set_log_level(LogLevel level);
 
 /// Parses "trace|debug|info|warn|error" (case-insensitive); returns kWarn on

@@ -20,6 +20,13 @@ std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); 
 
 }  // namespace
 
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t task_index) {
+  // +1 keeps task 0 from collapsing onto the bare base seed, so the parent
+  // stream and the first child stream never coincide.
+  std::uint64_t x = base_seed + 0x9e3779b97f4a7c15ULL * (task_index + 1);
+  return splitmix64(x);
+}
+
 Rng::Rng(std::uint64_t seed) : seed_(seed) {
   std::uint64_t s = seed;
   for (auto& w : state_) w = splitmix64(s);

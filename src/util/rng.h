@@ -12,6 +12,13 @@
 
 namespace keddah::util {
 
+/// Derives an independent per-task seed from a base seed and a task index
+/// (SplitMix64 finalizer over base + golden-ratio stride). Pure function of
+/// its inputs, identical on every platform and at every thread count — the
+/// foundation of the parallel sweep determinism guarantee: task i draws the
+/// same stream whether it runs serially or on any worker thread.
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t task_index);
+
 /// xoshiro256** engine seeded via SplitMix64. Satisfies
 /// UniformRandomBitGenerator so it can feed <random> distributions, but the
 /// convenience members below are preferred: they have stable cross-platform

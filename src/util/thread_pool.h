@@ -1,0 +1,60 @@
+// Fixed-size worker thread pool for fan-out of independent tasks.
+//
+// The pool is deliberately minimal: submit() enqueues a task, wait_idle()
+// blocks until the queue is drained AND every worker has finished its
+// current task, after which the pool is reusable for the next batch.
+// Determinism is the caller's job — the pool makes no ordering promises
+// about *execution*, so callers that need reproducible output must write
+// results into per-task slots keyed by task index (see core::SweepRunner).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace keddah::util {
+
+/// Resolves a requested thread count: 0 means "use hardware concurrency"
+/// (at least 1); any other value is returned unchanged.
+std::size_t resolved_threads(std::size_t requested);
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 is clamped to 1). Workers live until
+  /// destruction.
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task. Tasks must not throw (wrap and capture exceptions at
+  /// the call site); an escaping exception terminates the process.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no worker is mid-task. The pool
+  /// accepts new work afterwards.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  // signalled when work arrives / shutdown
+  std::condition_variable idle_cv_;  // signalled when the pool may be idle
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace keddah::util

@@ -105,18 +105,18 @@ std::vector<hadoop::JobResult> run_iterative(hadoop::HadoopCluster& cluster, Wor
 std::vector<RunOutcome> run_grid(const hadoop::ClusterConfig& config,
                                  std::span<const Workload> workloads,
                                  std::span<const std::uint64_t> input_sizes,
-                                 std::size_t repetitions, std::uint64_t base_seed) {
-  std::vector<RunOutcome> outcomes;
-  outcomes.reserve(workloads.size() * input_sizes.size() * repetitions);
-  std::uint64_t seed = base_seed;
-  for (const Workload w : workloads) {
-    for (const std::uint64_t bytes : input_sizes) {
-      for (std::size_t rep = 0; rep < repetitions; ++rep) {
-        outcomes.push_back(run_single(config, w, bytes, 0, seed++));
-      }
-    }
-  }
-  return outcomes;
+                                 std::size_t repetitions, std::uint64_t base_seed,
+                                 std::size_t threads, core::SweepProgress progress) {
+  const std::size_t cells = workloads.size() * input_sizes.size() * repetitions;
+  core::SweepRunner runner({.threads = threads, .progress = std::move(progress)});
+  // Flattened (workload, size, repetition) cell -> independent simulation;
+  // the derived seed depends only on the cell index, never on scheduling.
+  return runner.map(cells, [&](std::size_t cell) {
+    const std::size_t per_workload = input_sizes.size() * repetitions;
+    const Workload w = workloads[cell / per_workload];
+    const std::uint64_t bytes = input_sizes[(cell % per_workload) / repetitions];
+    return run_single(config, w, bytes, 0, util::derive_seed(base_seed, cell));
+  });
 }
 
 }  // namespace keddah::workloads

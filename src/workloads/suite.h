@@ -9,6 +9,7 @@
 
 #include "capture/trace.h"
 #include "hadoop/cluster.h"
+#include "keddah/sweep.h"
 #include "util/rng.h"
 #include "workloads/profiles.h"
 
@@ -29,12 +30,17 @@ struct RunOutcome {
 RunOutcome run_single(const hadoop::ClusterConfig& config, Workload workload,
                       std::uint64_t input_bytes, std::size_t num_reducers, std::uint64_t seed);
 
-/// Runs `repetitions` seeds of every (workload, input size) combination.
-/// Outcomes are ordered workload-major, then size, then repetition.
+/// Runs `repetitions` seeds of every (workload, input size) combination,
+/// fanned out across `threads` workers (0 = hardware concurrency, 1 =
+/// serial). Each cell runs on a fresh cluster seeded with
+/// util::derive_seed(base_seed, cell index), so the outcome vector —
+/// ordered workload-major, then size, then repetition — is bit-identical
+/// at any thread count.
 std::vector<RunOutcome> run_grid(const hadoop::ClusterConfig& config,
                                  std::span<const Workload> workloads,
                                  std::span<const std::uint64_t> input_sizes,
-                                 std::size_t repetitions, std::uint64_t base_seed);
+                                 std::size_t repetitions, std::uint64_t base_seed,
+                                 std::size_t threads = 1, core::SweepProgress progress = {});
 
 /// One job of a concurrent mix.
 struct MixJob {

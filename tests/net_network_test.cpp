@@ -254,6 +254,29 @@ TEST(Network, StaggeredArrivalsShareCorrectly) {
   EXPECT_NEAR(end_a, 1.75, 1e-6);
 }
 
+TEST(Network, ZeroRateCapMeansUncapped) {
+  // Regression: a caller-computed cap of exactly 0.0 (e.g. a disabled
+  // throttle) used to be coerced to a 1 bps cap, near-deadlocking the flow.
+  // Any cap <= 0 must behave exactly like the uncapped default.
+  Harness h(kn::make_star(2, kGbps, 0.0), no_latency());
+  const auto& topo = h.net.topology();
+  double end_zero = -1.0;
+  h.net.start_flow(topo.find("h0"), topo.find("h1"), 1e9 / 8.0, {},
+                   [&](const kn::Flow& f) { end_zero = f.end_time; },
+                   /*rate_cap_bps=*/0.0);
+  h.sim.run();
+  EXPECT_NEAR(end_zero, 1.0, 1e-9);  // full line rate, not 1 bps
+
+  Harness h2(kn::make_star(2, kGbps, 0.0), no_latency());
+  const auto& topo2 = h2.net.topology();
+  double end_negative = -1.0;
+  h2.net.start_flow(topo2.find("h0"), topo2.find("h1"), 1e9 / 8.0, {},
+                    [&](const kn::Flow& f) { end_negative = f.end_time; },
+                    /*rate_cap_bps=*/-5.0);
+  h2.sim.run();
+  EXPECT_NEAR(end_negative, 1.0, 1e-9);
+}
+
 TEST(Network, AggregateRateTracksActiveFlows) {
   Harness h(kn::make_star(3, kGbps, 0.0), no_latency());
   const auto& topo = h.net.topology();

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Build with a sanitizer and run the parallel-subsystem tests under it.
+#
+# Usage: tools/check_sanitize.sh [thread|address]   (default: thread)
+#
+# ThreadSanitizer is the one that matters for this repo: the SweepRunner /
+# ThreadPool layer promises bit-identical parallel results, and TSan is how
+# we know that promise isn't resting on a benign-looking data race. The
+# build goes into build-<san>san/ so it never disturbs the primary build/.
+set -euo pipefail
+
+SAN="${1:-thread}"
+case "${SAN}" in
+  thread|address) ;;
+  *) echo "usage: $0 [thread|address]" >&2; exit 2 ;;
+esac
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${ROOT}/build-${SAN}san"
+
+cmake -B "${BUILD}" -S "${ROOT}" -DKEDDAH_SANITIZE="${SAN}" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${BUILD}" --target parallel_test net_network_test -j"$(nproc)"
+
+# The parallel subsystem plus the network layer it drives concurrently.
+ctest --test-dir "${BUILD}" --output-on-failure \
+      -R 'ThreadPool|SweepRunner|ParallelDeterminism|DeriveSeed|ResolvedThreads|Network'
+
+echo "OK: ${SAN} sanitizer run clean"
