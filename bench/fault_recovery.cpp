@@ -1,0 +1,109 @@
+// Fault-recovery bench (extension experiment): traffic per class plus the
+// recovery counters for clean vs crash vs transient-outage vs degraded-link
+// runs of the same Sort job.
+//
+// Expected shape: a permanent crash loses map outputs and replicas, so it
+// adds rerun reads, refetch shuffle traffic and background repair writes. A
+// transient outage keeps the disk, so recovery is fetch retries/backoff (and
+// map reruns only if the fetch-failure threshold trips) with no repair
+// traffic. A degraded link moves no extra bytes at all -- it just stretches
+// every flow crossing it, so only the duration column shifts.
+#include <iostream>
+
+#include "bench_common.h"
+#include "hadoop/cluster.h"
+#include "hadoop/faults.h"
+#include "workloads/profiles.h"
+
+namespace {
+
+struct Row {
+  double read;
+  double shuffle;
+  double write;
+  double repair;
+  double duration;
+  keddah::hadoop::FaultStats faults;
+};
+
+Row run(const keddah::hadoop::ClusterConfig& cfg, const keddah::hadoop::FaultPlan& plan,
+        std::uint64_t seed) {
+  using namespace keddah;
+  using bench::kGiB;
+  hadoop::HadoopCluster cluster(cfg, seed);
+  const auto input = cluster.ensure_input(8 * kGiB);
+  cluster.schedule_fault_plan(plan);
+  const auto result =
+      cluster.run_job(workloads::make_spec(workloads::Workload::kSort, input, 16));
+  const auto& trace = cluster.trace();
+  Row row{};
+  row.read = bench::class_bytes(trace, net::FlowKind::kHdfsRead);
+  row.shuffle = bench::class_bytes(trace, net::FlowKind::kShuffle);
+  row.write = bench::class_bytes(trace, net::FlowKind::kHdfsWrite);
+  for (const auto& r : trace.records()) {
+    if (r.truth == net::FlowKind::kHdfsWrite && r.job_id == 0) row.repair += r.bytes;
+  }
+  row.duration = result.duration();
+  row.faults = cluster.fault_stats();
+  return row;
+}
+
+keddah::hadoop::FaultPlan plan_of(keddah::hadoop::FaultEvent event) {
+  keddah::hadoop::FaultPlan plan;
+  plan.events.push_back(event);
+  return plan;
+}
+
+}  // namespace
+
+int main() {
+  using namespace keddah;
+  using hadoop::FaultEvent;
+  using hadoop::FaultKind;
+
+  bench::banner("Fault recovery",
+                "traffic and recovery counters per fault class (Sort, 8 GB, worker 5)");
+  auto cfg = bench::default_config();
+  cfg.fetch_retry_initial_s = 0.5;
+  cfg.fetch_retry_cap_s = 4.0;
+
+  // Injection times picked against the clean run's phases for this seed:
+  // shuffle fetches against worker 5 are in flight around t=5..13s, the
+  // replicated output write around t=25..40s.
+  const std::vector<std::pair<std::string, hadoop::FaultPlan>> scenarios = {
+      {"clean", {}},
+      {"crash @ t=8s (shuffle)",
+       plan_of({.kind = FaultKind::kCrash, .worker = 5, .at = 8.0})},
+      {"outage @ t=8s for 5s (shuffle)",
+       plan_of({.kind = FaultKind::kOutage, .worker = 5, .at = 8.0, .duration = 5.0})},
+      {"outage @ t=30s for 5s (write)",
+       plan_of({.kind = FaultKind::kOutage, .worker = 5, .at = 30.0, .duration = 5.0})},
+      {"link at 10% @ t=15s for 20s",
+       plan_of({.kind = FaultKind::kDegradeLink, .worker = 5, .at = 15.0, .duration = 20.0,
+                .factor = 0.1})},
+  };
+
+  util::TextTable table({"scenario", "hdfs_read", "shuffle", "hdfs_write", "repair(bg)",
+                         "job_s", "aborted", "retries", "backoff_s", "reruns", "rebuilds"});
+  // One seed for every row: runs are deterministic, so the faulted rows
+  // differ from the clean one only by the injected event.
+  const std::uint64_t seed = 21000;
+  for (const auto& [label, plan] : scenarios) {
+    const Row row = run(cfg, plan, seed);
+    table.add_row({label, util::human_bytes(row.read), util::human_bytes(row.shuffle),
+                   util::human_bytes(row.write), util::human_bytes(row.repair),
+                   util::format("%.1f", row.duration),
+                   std::to_string(row.faults.aborted_flows),
+                   std::to_string(row.faults.fetch_retries),
+                   util::format("%.1f", row.faults.fetch_backoff_s),
+                   std::to_string(row.faults.map_reruns),
+                   std::to_string(row.faults.pipeline_rebuilds)});
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: only the crash row moves repair bytes; the shuffle-phase\n"
+               "outage recovers through fetch retries/backoff (maps rerun only where the\n"
+               "fetch-failure threshold trips) with the disk intact; the write-phase\n"
+               "outage shows up purely as pipeline rebuilds; the degraded-link row\n"
+               "shifts no byte counts, only the job duration.\n";
+  return 0;
+}

@@ -20,6 +20,9 @@ void FlowCollector::on_flow(const net::Flow& flow, const net::Topology& topo) {
     return;
   }
   if (!options_.include_control && flow.meta.kind == net::FlowKind::kControl) return;
+  // A connect that failed before any payload moved leaves nothing in a real
+  // pcap; aborted flows with partial payload are kept (truncated transfer).
+  if (flow.aborted && flow.bytes <= 0.0) return;
   FlowRecord r;
   r.src = topo.node(flow.src).name;
   r.dst = topo.node(flow.dst).name;

@@ -8,9 +8,13 @@
 #include <string>
 #include <vector>
 
+#include <unordered_map>
+#include <unordered_set>
+
 #include "capture/collector.h"
 #include "hadoop/config.h"
 #include "hadoop/control.h"
+#include "hadoop/faults.h"
 #include "hadoop/hdfs.h"
 #include "hadoop/joblog.h"
 #include "hadoop/jobrunner.h"
@@ -68,15 +72,50 @@ class HadoopCluster {
   /// next run starts a fresh capture.
   capture::Trace take_trace() { return collector_->take(); }
 
-  /// Fails a worker immediately: the NodeManager's containers die (tasks
-  /// rerun elsewhere), its DataNode's replicas are re-replicated, and its
-  /// heartbeats stop. The master (worker 0) cannot be failed.
+  /// Fails a worker immediately and permanently: the NodeManager's
+  /// containers die (tasks rerun elsewhere), its DataNode's replicas are
+  /// re-replicated, in-flight flows touching the node are aborted with
+  /// partial-byte accounting, and its heartbeats stop. The master (worker 0)
+  /// cannot be failed.
   void fail_node(net::NodeId node);
 
   /// Schedules fail_node(node) at an absolute simulation time.
   void fail_node_at(net::NodeId node, double time);
 
+  /// Takes a worker down transiently: attempts die and in-flight flows abort
+  /// as for a crash, but map outputs and HDFS replicas survive on disk —
+  /// shuffle fetches against the host fail and retry with backoff until the
+  /// node recovers `duration` seconds later (or the fetch-failure threshold
+  /// declares the outputs lost first).
+  void fail_node_transient(net::NodeId node, double duration);
+
+  /// Brings a transiently-down worker back: the network forwards its flows
+  /// again, the scheduler re-adds its (empty) container slots, and its
+  /// heartbeats resume.
+  void recover_node(net::NodeId node);
+
+  /// Cuts the worker's access-link capacity to `factor` (in (0,1)) of
+  /// nominal for `duration` seconds, then restores it.
+  void degrade_link(net::NodeId node, double factor, double duration);
+
+  /// Makes compute on the worker run `factor` (> 1) times slower for
+  /// `duration` seconds (straggler injection).
+  void slow_node(net::NodeId node, double factor, double duration);
+
+  /// Schedules every event of a validated fault plan onto the simulator.
+  /// Worker indices are resolved against workers(); throws
+  /// std::invalid_argument on out-of-range or master (index 0) targets.
+  void schedule_fault_plan(const FaultPlan& plan);
+
+  /// Snapshot of injected faults and the recovery work they caused, merged
+  /// from the network, HDFS, and job-runner counters.
+  FaultStats fault_stats() const;
+
  private:
+  /// Shared crash/outage entry; `permanent` picks the HDFS + rerun policy.
+  /// Returns false when the node was already down (nothing happened).
+  bool take_node_down(net::NodeId node, bool permanent);
+  void restore_link(net::LinkId link);
   ClusterConfig config_;
   sim::Simulator sim_;
   std::unique_ptr<net::Network> network_;
@@ -88,6 +127,13 @@ class HadoopCluster {
   std::unique_ptr<ControlPlane> control_;
   JobHistoryLog history_;
   util::Rng rng_;
+  /// Injection counters (recovery counters live in the subsystems).
+  FaultStats injected_;
+  /// Nominal capacity of links currently degraded, for restore_link.
+  std::unordered_map<net::LinkId, double> degraded_links_;
+  /// Permanently crashed nodes; a pending outage recovery must not revive
+  /// a node that crashed for good inside its window.
+  std::unordered_set<net::NodeId> crashed_;
 };
 
 }  // namespace keddah::hadoop

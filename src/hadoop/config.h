@@ -73,6 +73,19 @@ struct ClusterConfig {
   /// node-local slot before degrading to rack-local/off-switch.
   double locality_delay_s = 3.0;
 
+  // ---- failure recovery ----
+  /// Shuffle fetch retry backoff: a reducer that fails to fetch a map
+  /// output waits min(initial * 2^n, cap) seconds before retry n+1
+  /// (mapreduce.reduce.shuffle.retry analog).
+  double fetch_retry_initial_s = 1.0;
+  double fetch_retry_cap_s = 10.0;
+  /// Fetch failures against one map output before the AM declares the map
+  /// lost and reruns it (mapreduce.reduce.shuffle.maxfetchfailures analog).
+  std::uint32_t fetch_failure_threshold = 3;
+  /// Wait before retrying an HDFS block read whose source DataNode died
+  /// mid-transfer (dfs.client retry window analog).
+  double hdfs_read_retry_s = 3.0;
+
   // ---- control plane ----
   bool control_traffic = true;
   double nm_heartbeat_s = 1.0;     // NodeManager -> ResourceManager

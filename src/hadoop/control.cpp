@@ -23,6 +23,16 @@ void ControlPlane::mark_node_down(net::NodeId node) {
   }
 }
 
+void ControlPlane::mark_node_up(net::NodeId node) {
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    if (workers_[i] != node || !node_down_[i]) continue;
+    node_down_[i] = false;
+    if (!enabled_) continue;
+    schedule_tick(i, /*nm_channel=*/true, rng_.uniform(0.0, config_.nm_heartbeat_s));
+    schedule_tick(i, /*nm_channel=*/false, rng_.uniform(0.0, config_.dn_heartbeat_s));
+  }
+}
+
 void ControlPlane::enable() {
   if (enabled_ || !config_.control_traffic) return;
   enabled_ = true;

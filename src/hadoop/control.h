@@ -37,6 +37,10 @@ class ControlPlane {
   /// Silences a failed worker (its heartbeats stop, like a dead NM/DN).
   void mark_node_down(net::NodeId node);
 
+  /// Resumes heartbeats from a recovered worker (idempotent; a fresh tick
+  /// is scheduled only while the plane is enabled).
+  void mark_node_up(net::NodeId node);
+
  private:
   void schedule_tick(std::size_t worker_index, bool nm_channel, double delay);
   void fire(std::size_t worker_index, bool nm_channel);

@@ -1,0 +1,149 @@
+#include "hadoop/faults.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace keddah::hadoop {
+
+namespace {
+
+/// "context: faults[i]" prefix shared by every complaint about one event.
+std::string where(const std::string& context, std::size_t index) {
+  return util::format("%s: faults[%zu]", context.c_str(), index);
+}
+
+double finite_number(const util::Json& entry, const std::string& key, double fallback,
+                     const std::string& prefix) {
+  if (!entry.contains(key)) return fallback;
+  const auto& field = entry.at(key);
+  if (!field.is_number()) {
+    throw std::invalid_argument(prefix + "." + key + " must be a number");
+  }
+  const double value = field.as_number();
+  if (!std::isfinite(value)) {
+    throw std::invalid_argument(prefix + "." + key + " must be finite (got NaN/inf)");
+  }
+  return value;
+}
+
+void validate_event(const FaultEvent& event, std::size_t num_workers,
+                    const std::string& prefix) {
+  if (event.worker == 0) {
+    throw std::invalid_argument(prefix +
+                                ".worker must be >= 1 (worker 0 hosts the master)");
+  }
+  if (num_workers != 0 && event.worker >= num_workers) {
+    throw std::invalid_argument(util::format("%s.worker %zu out of range (cluster has %zu workers)",
+                                             prefix.c_str(), event.worker, num_workers));
+  }
+  if (!std::isfinite(event.at) || event.at < 0.0) {
+    throw std::invalid_argument(prefix + ".at must be a finite time >= 0");
+  }
+  if (!std::isfinite(event.duration) || event.duration < 0.0) {
+    throw std::invalid_argument(prefix + ".duration must be a finite time >= 0");
+  }
+  switch (event.kind) {
+    case FaultKind::kCrash:
+      break;  // duration/factor ignored
+    case FaultKind::kOutage:
+      if (event.duration <= 0.0) {
+        throw std::invalid_argument(prefix +
+                                    ".duration must be > 0 for an outage (its recovery time)");
+      }
+      break;
+    case FaultKind::kDegradeLink:
+      if (event.duration <= 0.0) {
+        throw std::invalid_argument(prefix + ".duration must be > 0 for degrade_link");
+      }
+      if (!std::isfinite(event.factor) || event.factor <= 0.0 || event.factor >= 1.0) {
+        throw std::invalid_argument(
+            prefix + ".factor must be in (0, 1) for degrade_link (capacity multiplier)");
+      }
+      break;
+    case FaultKind::kSlowNode:
+      if (event.duration <= 0.0) {
+        throw std::invalid_argument(prefix + ".duration must be > 0 for slow_node");
+      }
+      if (!std::isfinite(event.factor) || event.factor <= 1.0) {
+        throw std::invalid_argument(
+            prefix + ".factor must be > 1 for slow_node (compute slowdown)");
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kOutage:
+      return "outage";
+    case FaultKind::kDegradeLink:
+      return "degrade_link";
+    case FaultKind::kSlowNode:
+      return "slow_node";
+  }
+  return "unknown";
+}
+
+FaultKind fault_kind_from_name(const std::string& name) {
+  if (name == "crash") return FaultKind::kCrash;
+  if (name == "outage") return FaultKind::kOutage;
+  if (name == "degrade_link") return FaultKind::kDegradeLink;
+  if (name == "slow_node") return FaultKind::kSlowNode;
+  throw std::invalid_argument("faults: unknown kind '" + name +
+                              "' (want crash|outage|degrade_link|slow_node)");
+}
+
+void validate_fault_plan(const FaultPlan& plan, std::size_t num_workers,
+                         const std::string& context) {
+  for (std::size_t i = 0; i < plan.events.size(); ++i) {
+    validate_event(plan.events[i], num_workers, where(context, i));
+  }
+}
+
+FaultPlan parse_fault_plan(const util::Json& array, const std::string& context) {
+  if (!array.is_array()) {
+    throw std::invalid_argument(context + ": faults must be an array");
+  }
+  FaultPlan plan;
+  for (std::size_t i = 0; i < array.size(); ++i) {
+    const auto& entry = array.at(i);
+    const std::string prefix = where(context, i);
+    if (!entry.is_object()) {
+      throw std::invalid_argument(prefix + " must be an object");
+    }
+    FaultEvent event;
+    if (entry.contains("kind")) {
+      try {
+        event.kind = fault_kind_from_name(entry.at("kind").as_string());
+      } catch (const std::invalid_argument& e) {
+        throw std::invalid_argument(prefix + ".kind: " + e.what());
+      }
+    } else {
+      event.kind = FaultKind::kCrash;  // legacy {"worker", "at"} crash entry
+    }
+    if (!entry.contains("worker")) {
+      throw std::invalid_argument(prefix + " missing required key 'worker'");
+    }
+    const double worker = finite_number(entry, "worker", 0.0, prefix);
+    if (worker < 0.0) {
+      throw std::invalid_argument(prefix + ".worker must be >= 0");
+    }
+    event.worker = static_cast<std::size_t>(worker);
+    event.at = finite_number(entry, "at", 0.0, prefix);
+    event.duration = finite_number(entry, "duration", 0.0, prefix);
+    event.factor = finite_number(entry, "factor", 0.0, prefix);
+    // Parameter-range checks happen here too (worker range waits for the
+    // cluster size, passed as 0 = unknown).
+    validate_event(event, /*num_workers=*/0, prefix);
+    plan.events.push_back(event);
+  }
+  return plan;
+}
+
+}  // namespace keddah::hadoop

@@ -1,0 +1,100 @@
+// Scripted fault injection: a FaultPlan is a validated list of fault events
+// — permanent crashes, transient outages with a recovery time, access-link
+// degradation windows, and slow-node (straggler) injection — declared in
+// scenario JSON or on the CLI and scheduled onto a HadoopCluster. FaultStats
+// aggregates the recovery counters (retries, backoff, rebuilds, aborted
+// flows) a faulted run produces, so captures under faults can be compared
+// against clean ones.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace keddah::hadoop {
+
+/// What kind of fault an event injects.
+enum class FaultKind : std::uint8_t {
+  /// Permanent node crash: containers die, replicas re-replicate, the node
+  /// never returns.
+  kCrash = 0,
+  /// Transient outage: as a crash, but data survives on disk and the node
+  /// rejoins after `duration` with empty container slots.
+  kOutage = 1,
+  /// The worker's access link runs at `factor` x capacity for `duration`.
+  kDegradeLink = 2,
+  /// Compute on the worker runs `factor` times slower for `duration`.
+  kSlowNode = 3,
+};
+
+/// Human-readable kind name ("crash", "outage", "degrade_link", "slow_node").
+const char* fault_kind_name(FaultKind kind);
+
+/// Inverse of fault_kind_name; throws std::invalid_argument on unknown names.
+FaultKind fault_kind_from_name(const std::string& name);
+
+/// One scripted fault.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCrash;
+  /// Worker index into HadoopCluster::workers(). Worker 0 co-hosts the
+  /// master and cannot be faulted.
+  std::size_t worker = 0;
+  /// Injection time, seconds of simulation.
+  double at = 0.0;
+  /// Window length, seconds: recovery time for outages, degradation window
+  /// for degrade_link, slowdown window for slow_node. Ignored for crashes.
+  double duration = 0.0;
+  /// degrade_link: capacity multiplier in (0, 1). slow_node: compute
+  /// multiplier > 1. Ignored for crash/outage.
+  double factor = 0.0;
+};
+
+/// An ordered script of fault events for one run.
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+  std::size_t size() const { return events.size(); }
+};
+
+/// Validates every event against the cluster size and per-kind parameter
+/// ranges (finite non-negative times, positive windows, sane factors).
+/// `context` names the source (file path, "cli", ...) so the error message
+/// points at the offending file and key. Throws std::invalid_argument.
+void validate_fault_plan(const FaultPlan& plan, std::size_t num_workers,
+                         const std::string& context);
+
+/// Parses a JSON array of fault events:
+///   [ {"kind": "outage",       "worker": 3, "at": 10.0, "duration": 15.0},
+///     {"kind": "degrade_link", "worker": 2, "at": 5.0, "duration": 20.0, "factor": 0.1},
+///     {"kind": "slow_node",    "worker": 1, "at": 0.0, "duration": 30.0, "factor": 4.0},
+///     {"kind": "crash",        "worker": 5, "at": 12.5} ]
+/// Entries without "kind" are legacy crash entries ({"worker", "at"}).
+/// Field types and per-kind ranges are checked here with `context`-prefixed
+/// messages; worker indices are range-checked by validate_fault_plan once
+/// the cluster size is known.
+FaultPlan parse_fault_plan(const util::Json& array, const std::string& context);
+
+/// Aggregated fault/recovery counters for one cluster run.
+struct FaultStats {
+  // Injections performed.
+  std::uint64_t crashes = 0;
+  std::uint64_t outages = 0;
+  std::uint64_t link_degradations = 0;
+  std::uint64_t slow_nodes = 0;
+  // Recovery work those injections caused.
+  std::uint64_t aborted_flows = 0;
+  double aborted_bytes = 0.0;
+  std::uint64_t fetch_retries = 0;
+  double fetch_backoff_s = 0.0;
+  std::uint64_t fetch_failure_reruns = 0;
+  std::uint64_t map_reruns = 0;
+  std::uint64_t reducer_restarts = 0;
+  std::uint64_t pipeline_rebuilds = 0;
+  std::uint64_t hdfs_read_retries = 0;
+  std::uint64_t rereplications = 0;
+};
+
+}  // namespace keddah::hadoop

@@ -47,7 +47,7 @@ std::vector<net::NodeId> HdfsCluster::place_replicas(net::NodeId writer) {
   auto pick_where = [&](auto&& pred) -> net::NodeId {
     std::vector<net::NodeId> candidates;
     for (const auto dn : datanodes_) {
-      if (!contains(dn) && pred(dn)) candidates.push_back(dn);
+      if (!contains(dn) && network_.node_up(dn) && pred(dn)) candidates.push_back(dn);
     }
     if (candidates.empty()) return net::kInvalidNode;
     return candidates[static_cast<std::size_t>(
@@ -82,6 +82,9 @@ std::vector<net::NodeId> HdfsCluster::place_replicas(net::NodeId writer) {
     if (extra == net::kInvalidNode) break;
     replicas.push_back(extra);
   }
+  // A fully-down cluster can leave no pickable first replica.
+  replicas.erase(std::remove(replicas.begin(), replicas.end(), net::kInvalidNode),
+                 replicas.end());
   return replicas;
 }
 
@@ -124,7 +127,7 @@ FileId HdfsCluster::write_file(const std::string& name, std::uint64_t bytes, net
   by_name_[name] = id;
   auto [it, inserted] = files_.emplace(id, std::move(info));
   assert(inserted);
-  const FileInfo& stored = it->second;
+  FileInfo& stored = it->second;
 
   if (stored.blocks.empty()) {
     // Empty file: complete on the next tick to keep callback asynchrony.
@@ -137,38 +140,126 @@ FileId HdfsCluster::write_file(const std::string& name, std::uint64_t bytes, net
   // Blocks are written sequentially (HDFS semantics); within a block the
   // pipeline stages writer->r1->r2->r3 run concurrently, and the block is
   // durable when its slowest stage drains. State lives in a shared context
-  // (no lambda self-capture, so no reference cycle).
+  // (no lambda self-capture, so no reference cycle). All blocks of the file
+  // are claimed up front: until the pipeline finishes them, failure repair
+  // belongs to pipeline recovery, not the NameNode re-replicator.
   auto state = std::make_shared<WriteState>();
   state->file = &stored;
   state->writer = writer;
   state->job_id = job_id;
   state->on_complete = std::move(on_complete);
+  for (const auto& block : stored.blocks) blocks_in_flight_.insert(&block);
   start_block_pipeline(state, 0);
   return id;
 }
 
 void HdfsCluster::start_block_pipeline(const std::shared_ptr<WriteState>& state,
                                        std::size_t block_index) {
-  const BlockInfo& block = state->file->blocks[block_index];
+  BlockInfo& block = state->file->blocks[block_index];
+  if (block.replicas.empty()) {
+    // Every placed replica died before the pipeline reached this block:
+    // re-place on whatever is alive now.
+    block.replicas = place_replicas(state->writer);
+  }
+  if (block.replicas.empty()) {
+    // Nowhere to write (cluster-wide outage): skip the block so the write
+    // state machine cannot stall; durability is the casualty.
+    state->stages_left = 1;
+    network_.simulator().schedule_in(
+        0.0, [this, state, block_index] { finish_pipeline_stage(state, block_index); });
+    return;
+  }
   state->stages_left = block.replicas.size();
-  auto stage_done = [this, state, block_index](const net::Flow&) {
-    if (--state->stages_left > 0) return;
-    if (block_index + 1 < state->file->blocks.size()) {
-      start_block_pipeline(state, block_index + 1);
-    } else if (state->on_complete) {
-      state->on_complete();
-    }
-  };
   net::NodeId from = state->writer;
   for (const net::NodeId to : block.replicas) {
-    net::FlowMeta meta;
-    meta.src_port = net::ports::kEphemeralBase;
-    meta.dst_port = net::ports::kDataNodeXfer;
-    meta.job_id = state->job_id;
-    meta.kind = net::FlowKind::kHdfsWrite;
-    network_.start_flow(from, to, static_cast<double>(block.bytes), meta, stage_done,
-                        config_.disk_write_bps);
+    start_pipeline_stage(state, block_index, from, to);
     from = to;
+  }
+}
+
+void HdfsCluster::start_pipeline_stage(const std::shared_ptr<WriteState>& state,
+                                       std::size_t block_index, net::NodeId from, net::NodeId to) {
+  const BlockInfo& block = state->file->blocks[block_index];
+  net::FlowMeta meta;
+  meta.src_port = net::ports::kEphemeralBase;
+  meta.dst_port = net::ports::kDataNodeXfer;
+  meta.job_id = state->job_id;
+  meta.kind = net::FlowKind::kHdfsWrite;
+  network_.start_flow(from, to, static_cast<double>(block.bytes), meta,
+                      [this, state, block_index, to](const net::Flow& flow) {
+                        on_pipeline_stage_done(state, block_index, to, flow);
+                      },
+                      config_.disk_write_bps);
+}
+
+net::NodeId HdfsCluster::pick_replacement(const BlockInfo& block) {
+  std::vector<net::NodeId> candidates;
+  for (const auto dn : datanodes_) {
+    if (!network_.node_up(dn)) continue;
+    if (std::find(block.replicas.begin(), block.replicas.end(), dn) != block.replicas.end()) {
+      continue;
+    }
+    candidates.push_back(dn);
+  }
+  if (candidates.empty()) return net::kInvalidNode;
+  return candidates[static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(candidates.size()) - 1))];
+}
+
+void HdfsCluster::on_pipeline_stage_done(const std::shared_ptr<WriteState>& state,
+                                         std::size_t block_index, net::NodeId to,
+                                         const net::Flow& flow) {
+  if (!flow.aborted) {
+    finish_pipeline_stage(state, block_index);
+    return;
+  }
+  // A pipeline endpoint died mid-block. DFSClient-style recovery: when the
+  // target DataNode is the casualty, swap it for a fresh node; then resend
+  // the whole block from an alive holder.
+  BlockInfo& block = state->file->blocks[block_index];
+  net::NodeId target = to;
+  if (!network_.node_up(to)) {
+    const auto it = std::find(block.replicas.begin(), block.replicas.end(), to);
+    if (it != block.replicas.end()) block.replicas.erase(it);
+    target = pick_replacement(block);
+    if (target == net::kInvalidNode) {
+      // No replacement DataNode available: accept reduced durability for
+      // this block rather than stalling the writer forever.
+      finish_pipeline_stage(state, block_index);
+      return;
+    }
+    block.replicas.push_back(target);
+  }
+  net::NodeId source = net::kInvalidNode;
+  if (network_.node_up(state->writer)) {
+    source = state->writer;
+  } else {
+    for (const auto r : block.replicas) {
+      if (r != target && network_.node_up(r)) {
+        source = r;
+        break;
+      }
+    }
+  }
+  if (source == net::kInvalidNode) {
+    // Writer and every upstream holder are gone: the client is dead and the
+    // job layer reruns the task; don't stall the write state machine.
+    finish_pipeline_stage(state, block_index);
+    return;
+  }
+  ++pipeline_rebuilds_;
+  ++pipeline_rebuilds_by_job_[state->job_id];
+  start_pipeline_stage(state, block_index, source, target);
+}
+
+void HdfsCluster::finish_pipeline_stage(const std::shared_ptr<WriteState>& state,
+                                        std::size_t block_index) {
+  if (--state->stages_left > 0) return;
+  blocks_in_flight_.erase(&state->file->blocks[block_index]);
+  if (block_index + 1 < state->file->blocks.size()) {
+    start_block_pipeline(state, block_index + 1);
+  } else if (state->on_complete) {
+    state->on_complete();
   }
 }
 
@@ -178,11 +269,28 @@ void HdfsCluster::read_block(FileId file, std::size_t block_index, net::NodeId r
   if (block_index >= info.blocks.size()) throw std::out_of_range("hdfs: bad block index");
   const BlockInfo& block = info.blocks[block_index];
   if (block.replicas.empty()) throw std::logic_error("hdfs: block with no replicas");
-  const auto& topo = network_.topology();
+  if (!network_.node_up(reader)) return;  // the reading attempt died with its node
 
-  // Closest replica: node-local, then rack-local, then any.
-  net::NodeId source = net::kInvalidNode;
+  // Only alive replicas can serve; when every holder is down (transient
+  // outage) the client waits out the retry window and tries again.
+  std::vector<net::NodeId> alive;
   for (const auto r : block.replicas) {
+    if (network_.node_up(r)) alive.push_back(r);
+  }
+  if (alive.empty()) {
+    ++read_retries_;
+    network_.simulator().schedule_in(
+        config_.hdfs_read_retry_s,
+        [this, file, block_index, reader, job_id, cb = std::move(on_complete)]() mutable {
+          read_block(file, block_index, reader, job_id, std::move(cb));
+        });
+    return;
+  }
+
+  // Closest alive replica: node-local, then rack-local, then any.
+  const auto& topo = network_.topology();
+  net::NodeId source = net::kInvalidNode;
+  for (const auto r : alive) {
     if (r == reader) {
       source = r;
       break;
@@ -190,15 +298,15 @@ void HdfsCluster::read_block(FileId file, std::size_t block_index, net::NodeId r
   }
   if (source == net::kInvalidNode) {
     std::vector<net::NodeId> rack_local;
-    for (const auto r : block.replicas) {
+    for (const auto r : alive) {
       if (topo.same_rack(r, reader)) rack_local.push_back(r);
     }
     if (!rack_local.empty()) {
       source = rack_local[static_cast<std::size_t>(
           rng_.uniform_int(0, static_cast<std::int64_t>(rack_local.size()) - 1))];
     } else {
-      source = block.replicas[static_cast<std::size_t>(
-          rng_.uniform_int(0, static_cast<std::int64_t>(block.replicas.size()) - 1))];
+      source = alive[static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(alive.size()) - 1))];
     }
   }
 
@@ -208,7 +316,22 @@ void HdfsCluster::read_block(FileId file, std::size_t block_index, net::NodeId r
   meta.job_id = job_id;
   meta.kind = net::FlowKind::kHdfsRead;
   network_.start_flow(source, reader, static_cast<double>(block.bytes), meta,
-                      [cb = std::move(on_complete)](const net::Flow&) {
+                      [this, file, block_index, reader, job_id,
+                       cb = std::move(on_complete)](const net::Flow& flow) mutable {
+                        if (flow.aborted) {
+                          // Source died mid-transfer: retry against another
+                          // replica after the client retry window. (The
+                          // partial bytes stay on the wire, as captured.)
+                          if (!network_.node_up(reader)) return;
+                          ++read_retries_;
+                          network_.simulator().schedule_in(
+                              config_.hdfs_read_retry_s,
+                              [this, file, block_index, reader, job_id,
+                               cb = std::move(cb)]() mutable {
+                                read_block(file, block_index, reader, job_id, std::move(cb));
+                              });
+                          return;
+                        }
                         if (cb) cb();
                       },
                       config_.disk_read_bps);
@@ -226,40 +349,57 @@ std::size_t HdfsCluster::handle_datanode_failure(net::NodeId node) {
       const auto it = std::find(block.replicas.begin(), block.replicas.end(), node);
       if (it == block.replicas.end()) continue;
       block.replicas.erase(it);
+      // A block with an active write pipeline is repaired by pipeline
+      // recovery, not the NameNode re-replicator (and its later blocks may
+      // not even exist yet).
+      if (blocks_in_flight_.count(&block) != 0) continue;
       if (block.replicas.empty()) {
         ++lost_blocks_;
         continue;
       }
-      // Re-replicate from a surviving replica onto a node not yet holding
-      // the block (standard NameNode under-replication repair).
-      std::vector<net::NodeId> candidates;
-      for (const auto dn : datanodes_) {
-        if (std::find(block.replicas.begin(), block.replicas.end(), dn) ==
-            block.replicas.end()) {
-          candidates.push_back(dn);
-        }
-      }
-      if (candidates.empty()) continue;  // every surviving node has a copy
-      const auto source = block.replicas[static_cast<std::size_t>(
-          rng_.uniform_int(0, static_cast<std::int64_t>(block.replicas.size()) - 1))];
-      const auto target = candidates[static_cast<std::size_t>(
-          rng_.uniform_int(0, static_cast<std::int64_t>(candidates.size()) - 1))];
-      net::FlowMeta meta;
-      meta.src_port = net::ports::kEphemeralBase;
-      meta.dst_port = net::ports::kDataNodeXfer;
-      meta.job_id = 0;  // background repair, not attributable to a job
-      meta.kind = net::FlowKind::kHdfsWrite;
-      BlockInfo* block_ptr = &block;
-      network_.start_flow(source, target, static_cast<double>(block.bytes), meta,
-                          [block_ptr, target](const net::Flow&) {
-                            block_ptr->replicas.push_back(target);
-                          },
-                          config_.disk_write_bps);
-      ++transfers;
-      ++rereplications_;
+      const std::size_t before = rereplications_;
+      start_rereplication(&block);
+      if (rereplications_ > before) ++transfers;
     }
   }
   return transfers;
+}
+
+void HdfsCluster::start_rereplication(BlockInfo* block) {
+  // Re-replicate from an alive surviving replica onto an alive node not yet
+  // holding the block (standard NameNode under-replication repair).
+  std::vector<net::NodeId> sources;
+  for (const auto r : block->replicas) {
+    if (network_.node_up(r)) sources.push_back(r);
+  }
+  const net::NodeId target = pick_replacement(*block);
+  if (sources.empty() || target == net::kInvalidNode) return;
+  const auto source = sources[static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(sources.size()) - 1))];
+  net::FlowMeta meta;
+  meta.src_port = net::ports::kEphemeralBase;
+  meta.dst_port = net::ports::kDataNodeXfer;
+  meta.job_id = 0;  // background repair, not attributable to a job
+  meta.kind = net::FlowKind::kHdfsWrite;
+  network_.start_flow(source, target, static_cast<double>(block->bytes), meta,
+                      [this, block, target](const net::Flow& flow) {
+                        if (flow.aborted) {
+                          // Repair itself hit a failure; try again after the
+                          // retry window with fresh endpoints.
+                          network_.simulator().schedule_in(
+                              config_.hdfs_read_retry_s,
+                              [this, block] { start_rereplication(block); });
+                          return;
+                        }
+                        block->replicas.push_back(target);
+                      },
+                      config_.disk_write_bps);
+  ++rereplications_;
+}
+
+std::uint64_t HdfsCluster::pipeline_rebuilds(std::uint32_t job_id) const {
+  const auto it = pipeline_rebuilds_by_job_.find(job_id);
+  return it == pipeline_rebuilds_by_job_.end() ? 0 : it->second;
 }
 
 std::unordered_map<net::NodeId, std::uint64_t> HdfsCluster::datanode_usage() const {

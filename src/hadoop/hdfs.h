@@ -12,6 +12,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "hadoop/config.h"
@@ -56,9 +57,12 @@ class HdfsCluster {
   FileId write_file(const std::string& name, std::uint64_t bytes, net::NodeId writer,
                     std::uint32_t job_id, std::function<void()> on_complete);
 
-  /// Reads one block to `reader`. Chooses the closest replica (node-local,
-  /// then rack-local, then remote). Node-local reads are loopback (invisible
-  /// to capture). `on_complete` fires when the block is at the reader.
+  /// Reads one block to `reader`. Chooses the closest *alive* replica
+  /// (node-local, then rack-local, then remote). Node-local reads are
+  /// loopback (invisible to capture). `on_complete` fires when the block is
+  /// at the reader. A read whose source DataNode dies mid-transfer retries
+  /// against another replica after `hdfs_read_retry_s`; a read whose reader
+  /// is down is dropped (its task attempt died with the node).
   void read_block(FileId file, std::size_t block_index, net::NodeId reader, std::uint32_t job_id,
                   std::function<void()> on_complete);
 
@@ -87,6 +91,15 @@ class HdfsCluster {
   /// Re-replication transfers started since construction.
   std::size_t rereplications() const { return rereplications_; }
 
+  /// Write pipelines rebuilt with a replacement DataNode after losing an
+  /// endpoint mid-block, total and per job.
+  std::uint64_t pipeline_rebuilds() const { return pipeline_rebuilds_; }
+  std::uint64_t pipeline_rebuilds(std::uint32_t job_id) const;
+
+  /// Block reads retried because a source DataNode was down or died
+  /// mid-transfer.
+  std::uint64_t read_retries() const { return read_retries_; }
+
   /// Stored bytes per DataNode (sum of replica sizes it holds).
   std::unordered_map<net::NodeId, std::uint64_t> datanode_usage() const;
 
@@ -107,7 +120,7 @@ class HdfsCluster {
  private:
   /// In-flight write_file() bookkeeping shared by its pipeline callbacks.
   struct WriteState {
-    const FileInfo* file = nullptr;
+    FileInfo* file = nullptr;
     net::NodeId writer = net::kInvalidNode;
     std::uint32_t job_id = 0;
     std::function<void()> on_complete;
@@ -118,8 +131,28 @@ class HdfsCluster {
   /// block when all stages of this one drain.
   void start_block_pipeline(const std::shared_ptr<WriteState>& state, std::size_t block_index);
 
+  /// One pipeline stage transfer (from -> to) for the given block.
+  void start_pipeline_stage(const std::shared_ptr<WriteState>& state, std::size_t block_index,
+                            net::NodeId from, net::NodeId to);
+
+  /// Stage completion: either counts the stage done or, on an aborted flow,
+  /// rebuilds the pipeline with a replacement DataNode and resends.
+  void on_pipeline_stage_done(const std::shared_ptr<WriteState>& state, std::size_t block_index,
+                              net::NodeId to, const net::Flow& flow);
+
+  /// Marks one stage drained; chains to the next block / fires on_complete.
+  void finish_pipeline_stage(const std::shared_ptr<WriteState>& state, std::size_t block_index);
+
+  /// An alive DataNode not yet holding the block; kInvalidNode when none.
+  net::NodeId pick_replacement(const BlockInfo& block);
+
+  /// Starts (or restarts, after an aborted transfer) one background
+  /// re-replication of `block` onto an alive non-holder.
+  void start_rereplication(BlockInfo* block);
+
   /// Standard placement: first replica on the writer (when it is a
   /// DataNode), second on a different rack, third on the second's rack.
+  /// Down nodes are never chosen.
   std::vector<net::NodeId> place_replicas(net::NodeId writer);
 
   net::Network& network_;
@@ -131,6 +164,13 @@ class HdfsCluster {
   FileId next_file_id_ = 1;
   std::size_t lost_blocks_ = 0;
   std::size_t rereplications_ = 0;
+  std::uint64_t pipeline_rebuilds_ = 0;
+  std::uint64_t read_retries_ = 0;
+  std::unordered_map<std::uint32_t, std::uint64_t> pipeline_rebuilds_by_job_;
+  /// Blocks with an active write pipeline: their recovery belongs to the
+  /// pipeline rebuild path, so handle_datanode_failure leaves them alone.
+  /// Pointers are stable (block vectors never resize after creation).
+  std::unordered_set<const BlockInfo*> blocks_in_flight_;
 };
 
 }  // namespace keddah::hadoop

@@ -70,6 +70,20 @@ struct JobResult {
   /// map-only) — feedable as the next iteration's input.
   std::vector<std::string> output_files;
 
+  // ---- recovery accounting (all zero on a clean run) ----
+  /// Shuffle fetches retried after a failure against a down/failed host.
+  std::uint64_t fetch_retries = 0;
+  /// Total time reducers spent in fetch-retry backoff, seconds.
+  double fetch_backoff_s = 0.0;
+  /// Maps re-executed because fetch failures crossed the threshold.
+  std::uint64_t fetch_failure_reruns = 0;
+  /// Maps re-executed for any reason (node loss included).
+  std::uint64_t map_reruns = 0;
+  /// Reducers restarted after losing partial shuffle state.
+  std::uint64_t reducer_restarts = 0;
+  /// HDFS write pipelines rebuilt with a replacement DataNode.
+  std::uint64_t pipeline_rebuilds = 0;
+
   double duration() const { return end_time - submit_time; }
 };
 

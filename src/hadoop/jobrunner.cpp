@@ -49,6 +49,9 @@ struct JobRunner::Execution {
     std::uint32_t pending_requests = 0;  // container requests not yet granted
     double first_attempt_start = 0.0;
     bool backup_launched = false;
+    /// Fetch failures reported against this map's current output (the AM's
+    /// per-map counter; crossing the threshold reruns the map).
+    std::uint32_t fetch_failures = 0;
   };
   std::vector<MapState> maps;
   std::size_t completed_maps = 0;
@@ -76,6 +79,8 @@ struct JobRunner::Execution {
     std::size_t inflight = 0;
     std::size_t fetched = 0;
     double shuffle_bytes = 0.0;
+    /// Failed-fetch retries so far, per map (drives exponential backoff).
+    std::vector<std::uint32_t> retry_counts;
   };
   std::vector<ReducerState> reducers;
   std::size_t reducers_done = 0;
@@ -224,12 +229,13 @@ void JobRunner::run_map_attempt(const ExecPtr& exec, std::size_t map_index, net:
         hdfs_.read_block(
             exec->splits[map_index].file, exec->splits[map_index].block_index, node,
             exec->result.job_id,
-            [this, exec, map_index, attempt_id, straggles, task_rng]() mutable {
+            [this, exec, map_index, node, attempt_id, straggles, task_rng]() mutable {
               if (!exec->attempt_valid(attempt_id)) return;
               const double input_mb = static_cast<double>(exec->splits[map_index].bytes) / kMiB;
               double compute = exec->spec.profile.map_cpu_s_per_mb * input_mb *
                                std::exp(task_rng.normal(0.0, config_.task_noise_sigma));
               if (straggles) compute *= config_.straggler_slowdown;
+              compute *= node_slowdown(node);
               network_.simulator().schedule_in(
                   std::max(compute, 0.01),
                   [this, exec, attempt_id] { on_map_attempt_complete(exec, attempt_id); });
@@ -349,6 +355,7 @@ void JobRunner::start_reducer(const ExecPtr& exec, std::size_t reducer_index, ne
                   TaskEvent::Kind::kReduceStart, r.node,
                   static_cast<std::uint32_t>(reducer_index));
         r.claimed.assign(exec->num_maps, false);
+        r.retry_counts.assign(exec->num_maps, 0);
         r.pending.clear();
         for (std::size_t m = 0; m < exec->num_maps; ++m) {
           if (exec->maps[m].done) r.pending.push_back(m);
@@ -382,9 +389,16 @@ void JobRunner::pump_fetches(const ExecPtr& exec, std::size_t reducer_index) {
     const std::uint32_t generation = red.generation;
     network_.start_flow(
         ms.host, red.node, wire_bytes, meta,
-        [this, exec, reducer_index, generation, payload](const net::Flow&) {
+        [this, exec, reducer_index, map_index, generation, payload](const net::Flow& flow) {
           auto& r = exec->reducers[reducer_index];
           if (exec->finished || r.generation != generation) return;  // stale fetch
+          if (flow.aborted) {
+            // The reducer's own death is handled wholesale by its restart;
+            // a dead/failed source is a fetch failure.
+            if (!network_.node_up(r.node)) return;
+            on_fetch_failed(exec, reducer_index, map_index);
+            return;
+          }
           --r.inflight;
           ++r.fetched;
           r.shuffle_bytes += payload;
@@ -399,13 +413,65 @@ void JobRunner::pump_fetches(const ExecPtr& exec, std::size_t reducer_index) {
   }
 }
 
+void JobRunner::on_fetch_failed(const ExecPtr& exec, std::size_t reducer_index,
+                                std::size_t map_index) {
+  auto& red = exec->reducers[reducer_index];
+  auto& ms = exec->maps[map_index];
+  red.claimed[map_index] = false;  // the whole map output must be refetched
+  if (red.inflight > 0) --red.inflight;
+
+  if (!ms.done) {
+    // The map is already being rerun (another reducer crossed the
+    // threshold, or the host failed permanently); its fresh output will be
+    // re-announced to every unclaimed reducer.
+    pump_fetches(exec, reducer_index);
+    return;
+  }
+
+  if (++ms.fetch_failures >= config_.fetch_failure_threshold) {
+    // The AM declares this map output lost and reruns the map, as real
+    // MapReduce does past mapreduce.reduce.shuffle.maxfetchfailures.
+    ms.fetch_failures = 0;
+    ms.done = false;
+    ms.host = net::kInvalidNode;
+    --exec->completed_maps;
+    ++fetch_failure_reruns_;
+    ++exec->result.fetch_failure_reruns;
+    ++map_reruns_;
+    ++exec->result.map_reruns;
+    KLOG_DEBUG << "job " << exec->result.job_id << ": fetch failures exhausted, rerunning map "
+               << map_index;
+    launch_map_attempt(exec, map_index);
+    pump_fetches(exec, reducer_index);
+    return;
+  }
+
+  // Capped exponential backoff, then requeue the fetch.
+  const std::uint32_t tries = red.retry_counts[map_index]++;
+  const double backoff = std::min(config_.fetch_retry_initial_s * std::pow(2.0, tries),
+                                  config_.fetch_retry_cap_s);
+  ++fetch_retries_;
+  ++exec->result.fetch_retries;
+  fetch_backoff_s_ += backoff;
+  exec->result.fetch_backoff_s += backoff;
+  const std::uint32_t generation = red.generation;
+  network_.simulator().schedule_in(backoff, [this, exec, reducer_index, map_index, generation] {
+    auto& r = exec->reducers[reducer_index];
+    if (exec->finished || r.generation != generation || r.finished) return;
+    r.pending.push_back(map_index);
+    pump_fetches(exec, reducer_index);
+  });
+  pump_fetches(exec, reducer_index);  // the freed slot can serve other maps
+}
+
 void JobRunner::finish_reducer_shuffle(const ExecPtr& exec, std::size_t reducer_index) {
   auto& red = exec->reducers[reducer_index];
   const std::uint32_t generation = red.generation;
   util::Rng task_rng = exec->task_rng();
   const double shuffle_mb = red.shuffle_bytes / kMiB;
   const double compute = exec->spec.profile.reduce_cpu_s_per_mb * shuffle_mb *
-                         std::exp(task_rng.normal(0.0, config_.task_noise_sigma));
+                         std::exp(task_rng.normal(0.0, config_.task_noise_sigma)) *
+                         node_slowdown(red.node);
   network_.simulator().schedule_in(
       std::max(compute, 0.01), [this, exec, reducer_index, generation] {
         auto& r = exec->reducers[reducer_index];
@@ -452,6 +518,16 @@ void JobRunner::check_speculation(const ExecPtr& exec) {
 }
 
 void JobRunner::handle_node_failure(net::NodeId node) {
+  handle_node_event(node, /*outputs_lost=*/true);
+}
+
+void JobRunner::handle_node_outage(net::NodeId node) {
+  // Outputs stay on the host's disk across an NM restart; the fetch-retry
+  // and threshold machinery decides whether they are ever declared lost.
+  handle_node_event(node, /*outputs_lost=*/false);
+}
+
+void JobRunner::handle_node_event(net::NodeId node, bool outputs_lost) {
   for (const auto& weak : active_) {
     const ExecPtr exec = weak.lock();
     if (!exec || exec->finished) continue;
@@ -473,20 +549,23 @@ void JobRunner::handle_node_failure(net::NodeId node) {
       if (ms.done || ms.pending_requests > 0) continue;
       if (exec->valid_attempts_for(m) == 0 && ms.attempts_started > 0) {
         ++map_reruns_;
+        ++exec->result.map_reruns;
         launch_map_attempt(exec, m);
       }
     }
     // Lost map outputs: any completed map hosted on the dead node must be
     // rerun while the shuffle still needs it (fetch failures in real
     // Hadoop trigger exactly this).
-    if (exec->num_reducers > 0 && exec->reducers_done < exec->num_reducers) {
+    if (outputs_lost && exec->num_reducers > 0 && exec->reducers_done < exec->num_reducers) {
       for (std::size_t m = 0; m < exec->num_maps; ++m) {
         auto& ms = exec->maps[m];
         if (!ms.done || ms.host != node) continue;
         ms.done = false;
         ms.host = net::kInvalidNode;
+        ms.fetch_failures = 0;
         --exec->completed_maps;
         ++map_reruns_;
+        ++exec->result.map_reruns;
         launch_map_attempt(exec, m);
       }
     }
@@ -503,6 +582,7 @@ void JobRunner::handle_node_failure(net::NodeId node) {
       red.shuffle_bytes = 0.0;
       red.pending.clear();
       ++reducer_restarts_;
+      ++exec->result.reducer_restarts;
       request_reducer(exec, r, red.generation);
     }
     // Note: the ApplicationMaster is treated as RM-side state; failing its
@@ -511,6 +591,19 @@ void JobRunner::handle_node_failure(net::NodeId node) {
   }
   // Prune dead executions.
   std::erase_if(active_, [](const std::weak_ptr<Execution>& w) { return w.expired(); });
+}
+
+void JobRunner::set_node_slowdown(net::NodeId node, double factor) {
+  if (factor <= 1.0) {
+    slowdown_.erase(node);
+  } else {
+    slowdown_[node] = factor;
+  }
+}
+
+double JobRunner::node_slowdown(net::NodeId node) const {
+  const auto it = slowdown_.find(node);
+  return it == slowdown_.end() ? 1.0 : it->second;
 }
 
 void JobRunner::finish_job(const ExecPtr& exec) {
@@ -527,6 +620,7 @@ void JobRunner::finish_job(const ExecPtr& exec) {
     scheduler_.release_container(exec->am_node);
   }
   exec->result.end_time = network_.simulator().now();
+  exec->result.pipeline_rebuilds = hdfs_.pipeline_rebuilds(exec->result.job_id);
   log_event(exec->result.end_time, exec->result.job_id, TaskEvent::Kind::kJobFinish);
   --running_;
   if (exec->on_complete) exec->on_complete(exec->result);

@@ -5,11 +5,16 @@
 //
 // Fault model: speculative execution launches backup attempts for straggling
 // maps (first finisher wins; the loser's read traffic stays on the wire).
-// A NodeManager failure kills its running attempts, loses the map outputs it
-// hosted (forcing reruns for any reducer that had not fetched them), and
-// restarts reducers that were running there (full shuffle refetch).
-// In-flight network transfers from a failed node are allowed to drain — a
-// documented simplification (see DESIGN.md).
+// A NodeManager *failure* kills its running attempts, loses the map outputs
+// it hosted (forcing reruns for any reducer that had not fetched them), and
+// restarts reducers that were running there (full shuffle refetch). A
+// transient *outage* kills attempts and restarts reducers the same way but
+// keeps completed map outputs: shuffle fetches against the down host fail
+// and retry with capped exponential backoff, and once a map output
+// accumulates `fetch_failure_threshold` failures the AM declares it lost and
+// reruns the map — exactly the real framework's fetch-failure machinery.
+// In-flight transfers touching a failed node are aborted at the network
+// layer with partial-byte accounting (see DESIGN.md fault model).
 #pragma once
 
 #include <functional>
@@ -45,9 +50,21 @@ class JobRunner {
   /// Jobs currently executing.
   std::size_t running_jobs() const { return running_; }
 
-  /// Reacts to a NodeManager failure: reruns lost work on surviving nodes.
-  /// (HDFS/scheduler/control-plane bookkeeping is the cluster facade's job.)
+  /// Reacts to a permanent NodeManager failure: reruns lost work on
+  /// surviving nodes, including completed maps whose outputs died with the
+  /// host. (HDFS/scheduler/control-plane bookkeeping is the cluster
+  /// facade's job.)
   void handle_node_failure(net::NodeId node);
+
+  /// Reacts to a transient outage: running attempts are killed and reducers
+  /// restarted as for a failure, but completed map outputs survive on the
+  /// host's disk — the fetch-retry/threshold machinery decides whether they
+  /// are ever declared lost.
+  void handle_node_outage(net::NodeId node);
+
+  /// Injects a compute slowdown on `node`: map/reduce compute there runs
+  /// `factor` times slower (straggler injection). `factor <= 1` clears it.
+  void set_node_slowdown(net::NodeId node, double factor);
 
   /// Backup attempts launched by speculative execution.
   std::uint64_t speculative_attempts() const { return speculative_attempts_; }
@@ -57,6 +74,12 @@ class JobRunner {
   std::uint64_t map_reruns() const { return map_reruns_; }
   /// Reducers restarted after their host died.
   std::uint64_t reducer_restarts() const { return reducer_restarts_; }
+  /// Shuffle fetches that failed and were retried after backoff.
+  std::uint64_t fetch_retries() const { return fetch_retries_; }
+  /// Total reducer time spent waiting in fetch-retry backoff, seconds.
+  double fetch_backoff_s() const { return fetch_backoff_s_; }
+  /// Maps declared lost (and rerun) by the fetch-failure threshold.
+  std::uint64_t fetch_failure_reruns() const { return fetch_failure_reruns_; }
 
   /// Attaches a job-history sink (task/job lifecycle events, as the real
   /// framework's history files record). Borrowed; may be null.
@@ -78,9 +101,17 @@ class JobRunner {
   void start_reducer(const ExecPtr& exec, std::size_t reducer_index, net::NodeId node,
                      std::uint32_t expected_generation);
   void pump_fetches(const ExecPtr& exec, std::size_t reducer_index);
+  /// A fetch against map `map_index` failed (source down or transfer
+  /// aborted): unclaims it and either schedules a backoff retry or, past
+  /// the fetch-failure threshold, declares the map output lost and reruns.
+  void on_fetch_failed(const ExecPtr& exec, std::size_t reducer_index, std::size_t map_index);
   void finish_reducer_shuffle(const ExecPtr& exec, std::size_t reducer_index);
   void check_speculation(const ExecPtr& exec);
   void finish_job(const ExecPtr& exec);
+  /// Shared crash/outage reaction; `outputs_lost` distinguishes them.
+  void handle_node_event(net::NodeId node, bool outputs_lost);
+  /// Injected compute slowdown factor for a node (>= 1.0).
+  double node_slowdown(net::NodeId node) const;
 
   /// Emits a history event when a log is attached.
   void log_event(double time, std::uint32_t job_id, TaskEvent::Kind kind,
@@ -98,6 +129,10 @@ class JobRunner {
   std::uint64_t failed_attempts_ = 0;
   std::uint64_t map_reruns_ = 0;
   std::uint64_t reducer_restarts_ = 0;
+  std::uint64_t fetch_retries_ = 0;
+  double fetch_backoff_s_ = 0.0;
+  std::uint64_t fetch_failure_reruns_ = 0;
+  std::unordered_map<net::NodeId, double> slowdown_;
   JobHistoryLog* history_ = nullptr;
 };
 

@@ -62,6 +62,18 @@ void YarnScheduler::mark_node_down(net::NodeId node) {
   pump();
 }
 
+void YarnScheduler::mark_node_up(net::NodeId node) {
+  if (down_.count(node) == 0) {
+    if (free_.count(node) != 0) return;  // already up
+    throw std::invalid_argument("yarn: unknown node");
+  }
+  down_.erase(node);
+  free_[node] = containers_per_node_;
+  free_slots_ += containers_per_node_;
+  total_slots_ += containers_per_node_;
+  pump();
+}
+
 bool YarnScheduler::node_up(net::NodeId node) const { return down_.count(node) == 0; }
 
 net::NodeId YarnScheduler::most_free_node() const {

@@ -73,6 +73,11 @@ class YarnScheduler {
   /// running containers are lost. Idempotent.
   void mark_node_down(net::NodeId node);
 
+  /// Returns a recovered NodeManager to service with a full (empty) slot
+  /// quota — its previous containers were lost with the outage. Idempotent;
+  /// throws on a node that was never part of the cluster.
+  void mark_node_up(net::NodeId node);
+
   /// True if the node is still in service.
   bool node_up(net::NodeId node) const;
 

@@ -10,6 +10,7 @@
 #include "capture/matrix.h"
 #include "gen/ns3_export.h"
 #include "hadoop/attribution.h"
+#include "hadoop/faults.h"
 #include "keddah/scenario.h"
 #include "keddah/sweep.h"
 #include "model/calibration.h"
@@ -39,6 +40,10 @@ hadoop::ClusterConfig config_from_args(const util::Args& args) {
   cfg.map_output_compress_ratio = args.get_double("compress-ratio", 1.0);
   cfg.speculative_execution = args.get_bool("speculative", false);
   cfg.straggler_fraction = args.get_double("straggler-fraction", 0.0);
+  cfg.fetch_failure_threshold =
+      static_cast<std::uint32_t>(args.get_int("fetch-failure-threshold", 3));
+  cfg.fetch_retry_initial_s = args.get_double("fetch-backoff", 1.0);
+  cfg.fetch_retry_cap_s = args.get_double("fetch-backoff-cap", 10.0);
   const std::string topo = args.get("topology", "racktree");
   if (topo == "star") {
     cfg.topology = hadoop::TopologyKind::kStar;
@@ -61,6 +66,17 @@ std::vector<std::string> split_list(const std::string& text) {
   return out;
 }
 
+/// Loads `--faults FILE` (a JSON array of fault events, same schema as a
+/// scenario's "faults" field) and range-checks it against the cluster size.
+hadoop::FaultPlan faults_from_args(const util::Args& args,
+                                   const hadoop::ClusterConfig& cfg) {
+  const std::string path = args.get("faults", "");
+  if (path.empty()) return {};
+  const auto plan = hadoop::parse_fault_plan(util::Json::load_file(path), path);
+  hadoop::validate_fault_plan(plan, cfg.num_workers(), path);
+  return plan;
+}
+
 int reject_unused(const util::Args& args, std::ostream& err) {
   const auto unused = args.unused_keys();
   if (unused.empty()) return 0;
@@ -79,6 +95,7 @@ int cmd_capture(const util::Args& args, std::ostream& out, std::ostream& err) {
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   const auto threads = static_cast<std::size_t>(args.get_int("threads", 1));
   const std::string out_base = args.get("out", "keddah_run");
+  const auto faults = faults_from_args(args, cfg);
   if (const int rc = reject_unused(args, err)) return rc;
 
   core::CaptureSpec spec;
@@ -87,6 +104,7 @@ int cmd_capture(const util::Args& args, std::ostream& out, std::ostream& err) {
   spec.repetitions = reps;
   spec.seed = seed;
   spec.threads = threads;
+  spec.faults = faults;
   // `capture` ignores --reducers only in the auto (0) case; a non-default
   // reducer count needs per-run control, so fall back to single runs.
   std::vector<model::TrainingRun> runs;
@@ -95,7 +113,7 @@ int cmd_capture(const util::Args& args, std::ostream& out, std::ostream& err) {
   } else {
     for (std::size_t rep = 0; rep < reps; ++rep) {
       runs.push_back(core::to_training_run(workloads::run_single(
-          cfg, workload, input, reducers, util::derive_seed(seed, rep))));
+          cfg, workload, input, reducers, util::derive_seed(seed, rep), faults)));
     }
   }
   for (std::size_t rep = 0; rep < runs.size(); ++rep) {
@@ -357,6 +375,23 @@ void print_scenario_outcome(const core::ScenarioOutcome& outcome, std::ostream& 
     out << "; " << outcome.rereplications << " re-replication transfers";
   }
   out << "\n";
+  const auto& f = outcome.faults;
+  if (f.crashes + f.outages + f.link_degradations + f.slow_nodes > 0) {
+    out << "\nfault injections: " << f.crashes << " crashes, " << f.outages << " outages, "
+        << f.link_degradations << " link degradations, " << f.slow_nodes << " slow nodes\n";
+    util::TextTable recovery({"recovery metric", "value"});
+    recovery.add_row({"aborted flows", std::to_string(f.aborted_flows)});
+    recovery.add_row({"aborted bytes", util::human_bytes(f.aborted_bytes)});
+    recovery.add_row({"fetch retries", std::to_string(f.fetch_retries)});
+    recovery.add_row({"fetch backoff", util::human_seconds(f.fetch_backoff_s)});
+    recovery.add_row({"fetch-failure reruns", std::to_string(f.fetch_failure_reruns)});
+    recovery.add_row({"map reruns", std::to_string(f.map_reruns)});
+    recovery.add_row({"reducer restarts", std::to_string(f.reducer_restarts)});
+    recovery.add_row({"pipeline rebuilds", std::to_string(f.pipeline_rebuilds)});
+    recovery.add_row({"hdfs read retries", std::to_string(f.hdfs_read_retries)});
+    recovery.add_row({"re-replications", std::to_string(f.rereplications)});
+    recovery.print(out);
+  }
 }
 
 int cmd_run_scenario(const util::Args& args, std::ostream& out, std::ostream& err) {
@@ -444,7 +479,10 @@ std::string usage() {
       "subcommands:\n"
       "  capture    run emulated MapReduce jobs and capture their flows\n"
       "             --job NAME --input SIZE [--reps N] [--reducers N] [--seed N]\n"
-      "             [--threads N] [--out BASENAME] [cluster flags]\n"
+      "             [--threads N] [--out BASENAME] [--faults FILE] [cluster flags]\n"
+      "             --faults FILE injects a JSON fault plan (crash / outage /\n"
+      "             degrade_link / slow_node events; see src/hadoop/faults.h)\n"
+      "             into every captured run\n"
       "  train      fit a Keddah model from captured runs\n"
       "             --runs base0,base1,... --name NAME [--out FILE]\n"
       "             [--size-model parametric|empirical] [cluster flags]\n"
@@ -478,7 +516,8 @@ std::string usage() {
       "cluster flags: --topology star|racktree|fattree --racks N\n"
       "  --hosts-per-rack N --access-gbps G --core-gbps G --block-size SIZE\n"
       "  --replication N --containers N --slowstart F --locality-delay S\n"
-      "  --compress-ratio F --speculative --straggler-fraction F --fat-tree-k K\n";
+      "  --compress-ratio F --speculative --straggler-fraction F --fat-tree-k K\n"
+      "  --fetch-failure-threshold N --fetch-backoff S --fetch-backoff-cap S\n";
 }
 
 int run(const std::vector<std::string>& tokens, std::ostream& out, std::ostream& err) {

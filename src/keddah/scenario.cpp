@@ -3,6 +3,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "hadoop/faults.h"
 #include "util/log.h"
 #include "util/strings.h"
 
@@ -59,7 +60,7 @@ hadoop::ClusterConfig parse_cluster(const util::Json& doc) {
 
 }  // namespace
 
-ScenarioSpec parse_scenario(const util::Json& doc) {
+ScenarioSpec parse_scenario(const util::Json& doc, const std::string& context) {
   ScenarioSpec spec;
   spec.cluster = parse_cluster(doc);
   spec.seed = static_cast<std::uint64_t>(doc.get_number("seed", 1));
@@ -81,23 +82,24 @@ ScenarioSpec parse_scenario(const util::Json& doc) {
     if (job.iterations == 0) throw std::invalid_argument("scenario: iterations must be >= 1");
     spec.jobs.push_back(job);
   }
-  if (doc.contains("failures")) {
-    for (const auto& entry : doc.at("failures").as_array()) {
-      ScenarioSpec::Failure failure;
-      failure.worker_index = static_cast<std::size_t>(entry.get_number("worker", 0));
-      failure.at = entry.get_number("at", 0.0);
-      if (failure.worker_index == 0) {
-        throw std::invalid_argument(
-            "scenario: failures.worker must be >= 1 (worker 0 hosts the master)");
-      }
-      spec.failures.push_back(failure);
-    }
+  if (doc.contains("faults")) {
+    spec.faults = hadoop::parse_fault_plan(doc.at("faults"), context);
   }
+  if (doc.contains("failures")) {
+    // Legacy alias: each {"worker", "at"} entry is a permanent crash.
+    const hadoop::FaultPlan legacy =
+        hadoop::parse_fault_plan(doc.at("failures"), context + " (failures)");
+    spec.faults.events.insert(spec.faults.events.end(), legacy.events.begin(),
+                              legacy.events.end());
+  }
+  // Range-check worker indices against the cluster described alongside them,
+  // so a bad scenario file fails at parse time with its own name attached.
+  hadoop::validate_fault_plan(spec.faults, spec.cluster.num_workers(), context);
   return spec;
 }
 
 ScenarioSpec load_scenario(const std::string& path) {
-  return parse_scenario(util::Json::load_file(path));
+  return parse_scenario(util::Json::load_file(path), path);
 }
 
 ScenarioOutcome run_scenario(const ScenarioSpec& spec) {
@@ -108,12 +110,7 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec) {
   std::size_t expected = 0;
   for (const auto& job : spec.jobs) expected += job.iterations;
 
-  for (const auto& failure : spec.failures) {
-    if (failure.worker_index >= cluster.workers().size()) {
-      throw std::invalid_argument("scenario: failure worker index out of range");
-    }
-    cluster.fail_node_at(cluster.workers()[failure.worker_index], failure.at);
-  }
+  cluster.schedule_fault_plan(spec.faults);
 
   std::size_t done = 0;
   cluster.control().enable();
@@ -173,6 +170,7 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec) {
   outcome.trace = cluster.take_trace();
   outcome.history = cluster.history();
   outcome.rereplications = cluster.hdfs().rereplications();
+  outcome.faults = cluster.fault_stats();
   return outcome;
 }
 

@@ -30,7 +30,16 @@
 //         "submit_at": 0.0,
 //         "iterations": 1 }         // > 1 chains output -> input
 //     ],
-//     "failures": [ { "worker": 5, "at": 12.5 } ]
+//     "faults": [                    // scripted fault injections
+//       { "kind": "crash",        "worker": 5, "at": 12.5 },
+//       { "kind": "outage",       "worker": 3, "at": 10.0, "duration": 15.0 },
+//       { "kind": "degrade_link", "worker": 2, "at": 5.0,
+//         "duration": 20.0, "factor": 0.1 },
+//       { "kind": "slow_node",    "worker": 1, "at": 0.0,
+//         "duration": 30.0, "factor": 4.0 }
+//     ],
+//     "failures": [ { "worker": 5, "at": 12.5 } ]   // legacy alias:
+//                                    // each entry is a crash fault
 //   }
 #pragma once
 
@@ -62,18 +71,19 @@ struct ScenarioSpec {
   };
   std::vector<JobEntry> jobs;
 
-  struct Failure {
-    std::size_t worker_index = 0;
-    double at = 0.0;
-  };
-  std::vector<Failure> failures;
+  /// Scripted faults ("faults" array; legacy "failures" entries become crash
+  /// events). Worker indices are validated against the cluster size at parse
+  /// time and again when the plan is scheduled.
+  hadoop::FaultPlan faults;
 };
 
 /// Parses a scenario document; throws std::invalid_argument /
 /// std::runtime_error with a field-specific message on malformed input.
-ScenarioSpec parse_scenario(const util::Json& doc);
+/// `context` names the source (file path, ...) in those messages.
+ScenarioSpec parse_scenario(const util::Json& doc,
+                            const std::string& context = "scenario");
 
-/// Convenience: load + parse a scenario file.
+/// Convenience: load + parse a scenario file. Parse errors name the file.
 ScenarioSpec load_scenario(const std::string& path);
 
 /// Everything a scenario run produces.
@@ -85,6 +95,9 @@ struct ScenarioOutcome {
   hadoop::JobHistoryLog history;
   /// Background repair transfers triggered by injected failures.
   std::size_t rereplications = 0;
+  /// Injected faults and the recovery work they caused (all zero on clean
+  /// runs).
+  hadoop::FaultStats faults;
 };
 
 /// Builds the cluster and runs the whole scenario to completion.

@@ -61,7 +61,7 @@ std::vector<model::TrainingRun> capture_runs(const hadoop::ClusterConfig& config
   const workloads::Workload workload = spec.workload;
   const auto outcomes =
       workloads::run_grid(config, std::span(&workload, 1), spec.input_sizes, spec.repetitions,
-                          spec.seed, spec.threads, spec.progress);
+                          spec.seed, spec.threads, spec.progress, spec.faults);
   std::vector<model::TrainingRun> runs;
   runs.reserve(outcomes.size());
   for (const auto& outcome : outcomes) runs.push_back(to_training_run(outcome));

@@ -44,6 +44,9 @@ struct CaptureSpec {
   /// concurrency. Results are identical at any value.
   std::size_t threads = 0;
   SweepProgress progress;
+  /// Optional fault plan injected into every captured run, so models can be
+  /// trained on traffic as it looks under faults (retries, reruns, repair).
+  hadoop::FaultPlan faults;
 };
 
 /// CAPTURE: runs the spec's sweep, capturing each run's flows. Outcomes are

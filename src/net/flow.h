@@ -76,6 +76,9 @@ struct Flow {
   /// Arcs traversed (empty for loopback flows).
   std::vector<Arc> path;
   bool done = false;
+  /// True when the flow was terminated early (endpoint failure). `bytes` is
+  /// rewritten to the partial payload actually delivered before the abort.
+  bool aborted = false;
 
   bool loopback() const { return src == dst; }
   /// Mean throughput over the flow's life, bits/second.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 #include "util/log.h"
 
@@ -32,6 +33,27 @@ const char* flow_kind_name(FlowKind kind) {
 Network::Network(sim::Simulator& sim, Topology topology, NetworkOptions options)
     : sim_(sim), topology_(std::move(topology)), options_(options) {
   arc_bits_.assign(topology_.num_arcs(), 0.0);
+  node_down_.assign(topology_.num_nodes(), false);
+}
+
+void Network::set_node_down(NodeId node) {
+  if (node >= node_down_.size()) throw std::out_of_range("network: bad node id");
+  node_down_[node] = true;
+}
+
+void Network::set_node_up(NodeId node) {
+  if (node >= node_down_.size()) throw std::out_of_range("network: bad node id");
+  node_down_[node] = false;
+}
+
+bool Network::node_up(NodeId node) const {
+  return node < node_down_.size() ? !node_down_[node] : true;
+}
+
+void Network::set_link_capacity(LinkId link, double capacity_bps) {
+  advance_progress();
+  topology_.set_link_capacity(link, capacity_bps);
+  reshare();
 }
 
 double Network::arc_bytes(Arc arc) const { return arc_bits_.at(arc.index()) / 8.0; }
@@ -113,6 +135,20 @@ FlowId Network::start_flow(NodeId src, NodeId dst, double bytes, FlowMeta meta,
   sim_.schedule_in(latency + ramp,
                    [this, flow = std::move(flow), ramp, cb = std::move(on_complete)]() mutable {
                      flow.start_time = sim_.now() - ramp;
+                     if (!node_up(flow.src) || !node_up(flow.dst)) {
+                       // Endpoint died during connection setup: the connect
+                       // fails and no payload ever moves.
+                       ++aborted_flows_;
+                       aborted_bytes_ += flow.bytes;
+                       flow.bytes = 0.0;
+                       flow.remaining_bits = 0.0;
+                       flow.done = true;
+                       flow.aborted = true;
+                       flow.end_time = sim_.now();
+                       for (const auto& tap : completion_taps_) tap(flow);
+                       if (cb) cb(flow);
+                       return;
+                     }
                      for (const auto& tap : start_taps_) tap(flow);
                      advance_progress();
                      active_.emplace(flow.id, ActiveFlow{std::move(flow), std::move(cb)});
@@ -248,6 +284,55 @@ void Network::on_completion_event() {
     active_.erase(it);
   }
   reshare();
+}
+
+void Network::abort_erased(ActiveFlow& af) {
+  Flow flow = std::move(af.flow);
+  CompletionCallback cb = std::move(af.on_complete);
+  const double delivered = std::max(0.0, flow.bytes - flow.remaining_bits / 8.0);
+  ++aborted_flows_;
+  aborted_bytes_ += flow.bytes - delivered;
+  flow.bytes = delivered;
+  flow.remaining_bits = 0.0;
+  flow.done = true;
+  flow.aborted = true;
+  flow.end_time = sim_.now();
+  delivered_bytes_ += delivered;
+  for (const auto& tap : completion_taps_) tap(flow);
+  if (cb) cb(flow);
+}
+
+bool Network::abort_flow(FlowId id) {
+  auto it = active_.find(id);
+  if (it == active_.end()) return false;
+  advance_progress();
+  ActiveFlow af = std::move(it->second);
+  active_.erase(it);
+  abort_erased(af);
+  reshare();
+  return true;
+}
+
+std::size_t Network::abort_flows_touching(NodeId node) {
+  std::vector<FlowId> victims;
+  for (const auto& [id, af] : active_) {
+    if (af.flow.src == node || af.flow.dst == node) victims.push_back(id);
+  }
+  if (victims.empty()) return 0;
+  // Id order keeps abort callbacks deterministic regardless of hash layout.
+  std::sort(victims.begin(), victims.end());
+  advance_progress();
+  std::size_t aborted = 0;
+  for (const FlowId id : victims) {
+    auto it = active_.find(id);
+    if (it == active_.end()) continue;  // removed by a nested callback
+    ActiveFlow af = std::move(it->second);
+    active_.erase(it);
+    abort_erased(af);
+    ++aborted;
+  }
+  reshare();
+  return aborted;
 }
 
 void Network::finish_flow(ActiveFlow& af) {

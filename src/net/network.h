@@ -70,6 +70,32 @@ class Network {
   /// Registers an observer for flow starts.
   void add_start_tap(Tap tap);
 
+  /// Aborts one active flow: progress is advanced, the flow's `bytes` is
+  /// rewritten to the payload actually delivered, `aborted` is set, and
+  /// completion taps plus the callback fire immediately (a connection reset
+  /// has no delivery tail latency). Returns false when the id is not active
+  /// (already finished, still in connection setup, or unknown).
+  bool abort_flow(FlowId id);
+
+  /// Aborts every active flow whose source or destination is `node`
+  /// (endpoint failure). Flows are aborted in id order with a single rate
+  /// recomputation. Returns the number of flows aborted.
+  std::size_t abort_flows_touching(NodeId node);
+
+  /// Marks a node down/up. While a node is down, flows still in connection
+  /// setup that touch it abort with zero payload at activation time, so a
+  /// dead host sources no bytes. Aborting already-active flows is the
+  /// caller's job (abort_flows_touching); marking up never resurrects flows.
+  void set_node_down(NodeId node);
+  void set_node_up(NodeId node);
+
+  /// False only while `node` is marked down.
+  bool node_up(NodeId node) const;
+
+  /// Rewrites a link's per-direction capacity and recomputes fair shares
+  /// (fault injection: link-degradation windows).
+  void set_link_capacity(LinkId link, double capacity_bps);
+
   /// Number of flows currently holding network capacity.
   std::size_t active_flows() const { return active_.size(); }
 
@@ -81,6 +107,13 @@ class Network {
 
   /// Number of fair-share recomputations (perf counter for benches).
   std::uint64_t recomputations() const { return recomputations_; }
+
+  /// Flows terminated early by abort_flow/abort_flows_touching or by
+  /// activating against a down endpoint.
+  std::uint64_t aborted_flows() const { return aborted_flows_; }
+
+  /// Payload bytes requested but never delivered because of aborts.
+  double aborted_bytes() const { return aborted_bytes_; }
 
   /// Looks up an active flow; returns nullptr if finished or unknown.
   const Flow* find_flow(FlowId id) const;
@@ -117,6 +150,10 @@ class Network {
 
   void finish_flow(ActiveFlow& af);
 
+  /// Terminates an already-erased flow with partial-byte accounting and
+  /// fires taps/callback. Caller advances progress and reshares.
+  void abort_erased(ActiveFlow& af);
+
   sim::Simulator& sim_;
   Topology topology_;
   NetworkOptions options_;
@@ -130,8 +167,12 @@ class Network {
   sim::EventId completion_event_ = sim::kInvalidEvent;
   double delivered_bytes_ = 0.0;
   std::uint64_t recomputations_ = 0;
+  std::uint64_t aborted_flows_ = 0;
+  double aborted_bytes_ = 0.0;
   /// Per-arc transferred bits (indexed by Arc::index()).
   std::vector<double> arc_bits_;
+  /// node_down_[n] is true while node n is marked down.
+  std::vector<bool> node_down_;
 };
 
 }  // namespace keddah::net

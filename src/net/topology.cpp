@@ -1,5 +1,6 @@
 #include "net/topology.h"
 
+#include <algorithm>
 #include <cassert>
 #include <deque>
 #include <stdexcept>
@@ -47,6 +48,26 @@ LinkId Topology::add_link(NodeId a, NodeId b, double capacity_bps, double latenc
   adjacency_[b].emplace_back(a, Arc{id, 1});
   dist_cache_.clear();  // invalidate memoized BFS results
   return id;
+}
+
+void Topology::set_link_capacity(LinkId id, double capacity_bps) {
+  if (id >= links_.size()) throw std::out_of_range("topology: bad link id");
+  if (capacity_bps <= 0.0) throw std::invalid_argument("topology: non-positive capacity");
+  links_[id].capacity_bps = capacity_bps;
+}
+
+std::vector<LinkId> Topology::links_at(NodeId id) const {
+  if (id >= nodes_.size()) throw std::out_of_range("topology: bad node id");
+  std::vector<LinkId> out;
+  for (const auto& [neighbor, arc] : adjacency_[id]) {
+    (void)neighbor;
+    if (arc.dir == 0) out.push_back(arc.link);  // node is endpoint a
+  }
+  for (const auto& link : links_) {
+    if (link.b == id) out.push_back(link.id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 NodeId Topology::find(const std::string& name) const {

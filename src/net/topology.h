@@ -70,6 +70,15 @@ class Topology {
   const Node& node(NodeId id) const { return nodes_.at(id); }
   const Link& link(LinkId id) const { return links_.at(id); }
 
+  /// Rewrites a link's per-direction capacity (fault injection: link
+  /// degradation windows). Routing is unaffected; callers that cache rates
+  /// (the network engine) must recompute shares afterwards.
+  void set_link_capacity(LinkId id, double capacity_bps);
+
+  /// Links incident to a node, in creation order (a host's single entry is
+  /// its access link).
+  std::vector<LinkId> links_at(NodeId id) const;
+
   /// Looks up a node by name; returns kInvalidNode when absent.
   NodeId find(const std::string& name) const;
 

@@ -7,7 +7,8 @@
 namespace keddah::workloads {
 
 RunOutcome run_single(const hadoop::ClusterConfig& config, Workload workload,
-                      std::uint64_t input_bytes, std::size_t num_reducers, std::uint64_t seed) {
+                      std::uint64_t input_bytes, std::size_t num_reducers, std::uint64_t seed,
+                      const hadoop::FaultPlan& faults) {
   RunOutcome outcome;
   outcome.workload = workload;
   outcome.input_bytes = input_bytes;
@@ -16,8 +17,10 @@ RunOutcome run_single(const hadoop::ClusterConfig& config, Workload workload,
 
   hadoop::HadoopCluster cluster(config, seed);
   const std::string input = cluster.ensure_input(input_bytes);
+  cluster.schedule_fault_plan(faults);
   const auto spec = make_spec(workload, input, outcome.num_reducers);
   outcome.result = cluster.run_job(spec);
+  outcome.faults = cluster.fault_stats();
   outcome.trace = cluster.take_trace();
   KLOG_INFO << "run " << workload_name(workload) << " input=" << input_bytes
             << " seed=" << seed << ": " << outcome.trace.size() << " flows, "
@@ -106,7 +109,8 @@ std::vector<RunOutcome> run_grid(const hadoop::ClusterConfig& config,
                                  std::span<const Workload> workloads,
                                  std::span<const std::uint64_t> input_sizes,
                                  std::size_t repetitions, std::uint64_t base_seed,
-                                 std::size_t threads, core::SweepProgress progress) {
+                                 std::size_t threads, core::SweepProgress progress,
+                                 const hadoop::FaultPlan& faults) {
   const std::size_t cells = workloads.size() * input_sizes.size() * repetitions;
   core::SweepRunner runner({.threads = threads, .progress = std::move(progress)});
   // Flattened (workload, size, repetition) cell -> independent simulation;
@@ -115,7 +119,7 @@ std::vector<RunOutcome> run_grid(const hadoop::ClusterConfig& config,
     const std::size_t per_workload = input_sizes.size() * repetitions;
     const Workload w = workloads[cell / per_workload];
     const std::uint64_t bytes = input_sizes[(cell % per_workload) / repetitions];
-    return run_single(config, w, bytes, 0, util::derive_seed(base_seed, cell));
+    return run_single(config, w, bytes, 0, util::derive_seed(base_seed, cell), faults);
   });
 }
 

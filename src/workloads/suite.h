@@ -23,24 +23,30 @@ struct RunOutcome {
   std::uint64_t seed = 0;
   hadoop::JobResult result;
   capture::Trace trace;
+  /// Injected faults and recovery counters (all zero on clean runs).
+  hadoop::FaultStats faults;
 };
 
 /// Runs one job on a fresh cluster built from `config`, capturing its
-/// flows. `num_reducers == 0` selects default_reducers(input_bytes).
+/// flows. `num_reducers == 0` selects default_reducers(input_bytes). A
+/// non-empty `faults` plan is scheduled on the cluster before the job runs.
 RunOutcome run_single(const hadoop::ClusterConfig& config, Workload workload,
-                      std::uint64_t input_bytes, std::size_t num_reducers, std::uint64_t seed);
+                      std::uint64_t input_bytes, std::size_t num_reducers, std::uint64_t seed,
+                      const hadoop::FaultPlan& faults = {});
 
 /// Runs `repetitions` seeds of every (workload, input size) combination,
 /// fanned out across `threads` workers (0 = hardware concurrency, 1 =
 /// serial). Each cell runs on a fresh cluster seeded with
 /// util::derive_seed(base_seed, cell index), so the outcome vector —
 /// ordered workload-major, then size, then repetition — is bit-identical
-/// at any thread count.
+/// at any thread count. The same `faults` plan (if any) is injected into
+/// every cell, so a whole capture grid can run under identical faults.
 std::vector<RunOutcome> run_grid(const hadoop::ClusterConfig& config,
                                  std::span<const Workload> workloads,
                                  std::span<const std::uint64_t> input_sizes,
                                  std::size_t repetitions, std::uint64_t base_seed,
-                                 std::size_t threads = 1, core::SweepProgress progress = {});
+                                 std::size_t threads = 1, core::SweepProgress progress = {},
+                                 const hadoop::FaultPlan& faults = {});
 
 /// One job of a concurrent mix.
 struct MixJob {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 #include <vector>
 
 #include "net/network.h"
@@ -309,4 +310,136 @@ TEST(Network, EcmpOnFatTreeDeliversEverything) {
   }
   h.sim.run();
   EXPECT_EQ(completions, static_cast<int>(hosts.size()));
+}
+
+// --------------------------------------------------------- aborts and faults
+
+TEST(NetworkAbort, AbortMidTransferKeepsPartialBytes) {
+  Harness h(kn::make_star(2, kGbps, 0.0), no_latency());
+  const auto& topo = h.net.topology();
+  kn::Flow seen;
+  bool completed = false;
+  // 1 Gbit at 1 Gb/s would take 1 s; abort halfway.
+  const auto id = h.net.start_flow(topo.find("h0"), topo.find("h1"), 1e9 / 8.0, {},
+                                   [&](const kn::Flow& f) {
+                                     seen = f;
+                                     completed = true;
+                                   });
+  h.sim.schedule_at(0.5, [&] { EXPECT_TRUE(h.net.abort_flow(id)); });
+  h.sim.run();
+  ASSERT_TRUE(completed);
+  EXPECT_TRUE(seen.aborted);
+  // Half the payload was on the wire when the connection died.
+  EXPECT_NEAR(seen.bytes, 0.5e9 / 8.0, 1.0);
+  EXPECT_NEAR(seen.end_time, 0.5, 1e-9);
+  EXPECT_EQ(h.net.aborted_flows(), 1u);
+  EXPECT_NEAR(h.net.aborted_bytes(), 0.5e9 / 8.0, 1.0);
+  EXPECT_NEAR(h.net.delivered_bytes(), 0.5e9 / 8.0, 1.0);
+  EXPECT_EQ(h.net.active_flows(), 0u);
+}
+
+TEST(NetworkAbort, AbortUnknownFlowReturnsFalse) {
+  Harness h(kn::make_star(2, kGbps, 0.0), no_latency());
+  EXPECT_FALSE(h.net.abort_flow(12345));
+}
+
+TEST(NetworkAbort, SurvivorSpeedsUpAfterAbort) {
+  Harness h(kn::make_star(3, kGbps, 0.0), no_latency());
+  const auto& topo = h.net.topology();
+  double survivor_end = -1.0;
+  // Two flows share the sink downlink at 0.5 Gb/s each. Aborting one at
+  // t=0.5 frees the link: survivor has 0.6875 Gbit left at 1 Gb/s.
+  const auto victim = h.net.start_flow(topo.find("h0"), topo.find("h2"), 1e9 / 8.0, {}, nullptr);
+  h.net.start_flow(topo.find("h1"), topo.find("h2"), 1e9 / 8.0, {},
+                   [&](const kn::Flow& f) { survivor_end = f.end_time; });
+  h.sim.schedule_at(0.5, [&] { h.net.abort_flow(victim); });
+  h.sim.run();
+  EXPECT_NEAR(survivor_end, 0.5 + 0.75, 1e-6);
+}
+
+TEST(NetworkAbort, NodeFailureAbortsEveryTouchingFlow) {
+  Harness h(kn::make_star(4, kGbps, 0.0), no_latency());
+  const auto& topo = h.net.topology();
+  const auto dead = topo.find("h1");
+  int aborted = 0;
+  int clean = 0;
+  auto count = [&](const kn::Flow& f) { f.aborted ? ++aborted : ++clean; };
+  h.net.start_flow(dead, topo.find("h0"), 1e9 / 8.0, {}, count);          // from dead
+  h.net.start_flow(topo.find("h2"), dead, 1e9 / 8.0, {}, count);          // into dead
+  h.net.start_flow(topo.find("h3"), topo.find("h0"), 1e9 / 8.0, {}, count);  // unrelated
+  h.sim.schedule_at(0.25, [&] {
+    h.net.set_node_down(dead);
+    EXPECT_EQ(h.net.abort_flows_touching(dead), 2u);
+  });
+  h.sim.run();
+  EXPECT_EQ(aborted, 2);
+  EXPECT_EQ(clean, 1);
+  EXPECT_EQ(h.net.aborted_flows(), 2u);
+  EXPECT_FALSE(h.net.node_up(dead));
+}
+
+TEST(NetworkAbort, FlowToDownNodeDiesWithZeroBytes) {
+  Harness h(kn::make_star(3, kGbps, 0.0), no_latency());
+  const auto& topo = h.net.topology();
+  h.net.set_node_down(topo.find("h1"));
+  kn::Flow seen;
+  bool fired = false;
+  h.net.start_flow(topo.find("h0"), topo.find("h1"), 1e9 / 8.0, {}, [&](const kn::Flow& f) {
+    seen = f;
+    fired = true;
+  });
+  h.sim.run();
+  ASSERT_TRUE(fired);  // failed connect reports immediately
+  EXPECT_TRUE(seen.aborted);
+  EXPECT_DOUBLE_EQ(seen.bytes, 0.0);
+  EXPECT_EQ(h.net.aborted_flows(), 1u);
+  // The whole intended payload counts as aborted, none as delivered.
+  EXPECT_NEAR(h.net.aborted_bytes(), 1e9 / 8.0, 1e-6);
+  EXPECT_DOUBLE_EQ(h.net.delivered_bytes(), 0.0);
+  // After recovery new flows complete normally.
+  h.net.set_node_up(topo.find("h1"));
+  double end = -1.0;
+  h.net.start_flow(topo.find("h0"), topo.find("h1"), 1e9 / 8.0, {},
+                   [&](const kn::Flow& f) { end = f.end_time; });
+  h.sim.run();
+  EXPECT_GT(end, 0.0);
+}
+
+TEST(NetworkAbort, LinkCapacityChangeReshapesActiveFlows) {
+  Harness h(kn::make_star(2, kGbps, 0.0), no_latency());
+  const auto& topo = h.net.topology();
+  const auto h0 = topo.find("h0");
+  const auto access = topo.links_at(h0).front();
+  double end = -1.0;
+  // 1 Gbit: first half at 1 Gb/s (0.5 s), then the link degrades to
+  // 0.1 Gb/s -> remaining 0.5 Gbit takes 5 s more.
+  h.net.start_flow(h0, topo.find("h1"), 1e9 / 8.0, {},
+                   [&](const kn::Flow& f) { end = f.end_time; });
+  h.sim.schedule_at(0.5, [&] { h.net.set_link_capacity(access, 0.1 * kGbps); });
+  h.sim.run();
+  EXPECT_NEAR(end, 5.5, 1e-6);
+}
+
+TEST(NetworkAbort, CapacityRestoreSpeedsBackUp) {
+  Harness h(kn::make_star(2, kGbps, 0.0), no_latency());
+  const auto& topo = h.net.topology();
+  const auto access = topo.links_at(topo.find("h0")).front();
+  double end = -1.0;
+  // Degraded from the start: 0.1 Gb/s for 1 s delivers 0.1 Gbit; restore to
+  // 1 Gb/s -> remaining 0.9 Gbit takes 0.9 s.
+  h.net.set_link_capacity(access, 0.1 * kGbps);
+  h.net.start_flow(topo.find("h0"), topo.find("h1"), 1e9 / 8.0, {},
+                   [&](const kn::Flow& f) { end = f.end_time; });
+  h.sim.schedule_at(1.0, [&] { h.net.set_link_capacity(access, kGbps); });
+  h.sim.run();
+  EXPECT_NEAR(end, 1.9, 1e-6);
+}
+
+TEST(NetworkAbort, BadNodeAndLinkIdsThrow) {
+  Harness h(kn::make_star(2, kGbps, 0.0), no_latency());
+  EXPECT_THROW(h.net.set_node_down(999), std::out_of_range);
+  EXPECT_THROW(h.net.set_node_up(999), std::out_of_range);
+  EXPECT_THROW(h.net.set_link_capacity(999, 1e9), std::out_of_range);
+  EXPECT_THROW(h.net.set_link_capacity(0, -1.0), std::invalid_argument);
+  EXPECT_TRUE(h.net.node_up(999));  // unknown ids read as "up"
 }

@@ -246,6 +246,47 @@ TEST(ParallelDeterminism, RunScenariosMatchesSerialRunScenario) {
   }
 }
 
+TEST(ParallelDeterminism, FaultedScenarioReplaysIdenticallyAcrossThreadCounts) {
+  // A scenario with a transient outage mid-run exercises the whole
+  // fault/recovery path (aborts, retries, backoff, node recovery). Its
+  // capture must still be bit-identical whether it runs serially or in a
+  // multi-threaded batch.
+  const auto make_spec = [](std::uint64_t seed) {
+    kc::ScenarioSpec spec;
+    spec.cluster.racks = 2;
+    spec.cluster.hosts_per_rack = 4;
+    spec.cluster.block_size = 64ull << 20;
+    spec.cluster.containers_per_node = 4;
+    spec.seed = seed;
+    kc::ScenarioSpec::JobEntry job;
+    job.workload = kw::Workload::kSort;
+    job.input_bytes = 256 * kMiB;
+    job.num_reducers = 4;
+    spec.jobs.push_back(job);
+    spec.faults.events.push_back(
+        {keddah::hadoop::FaultKind::kOutage, /*worker=*/3, /*at=*/4.0,
+         /*duration=*/3.0, /*factor=*/0.0});
+    spec.faults.events.push_back(
+        {keddah::hadoop::FaultKind::kDegradeLink, /*worker=*/5, /*at=*/1.0,
+         /*duration=*/8.0, /*factor=*/0.2});
+    return spec;
+  };
+  const std::vector<kc::ScenarioSpec> specs = {make_spec(11), make_spec(12), make_spec(13)};
+  const auto batch = kc::run_scenarios(specs, /*threads=*/3);
+  ASSERT_EQ(batch.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto solo = kc::run_scenario(specs[i]);
+    ASSERT_EQ(batch[i].results.size(), solo.results.size());
+    expect_identical_traces(batch[i].trace, solo.trace);
+    // Recovery accounting replays identically too.
+    EXPECT_EQ(batch[i].faults.fetch_retries, solo.faults.fetch_retries);
+    EXPECT_EQ(batch[i].faults.fetch_backoff_s, solo.faults.fetch_backoff_s);
+    EXPECT_EQ(batch[i].faults.aborted_flows, solo.faults.aborted_flows);
+    EXPECT_EQ(batch[i].faults.aborted_bytes, solo.faults.aborted_bytes);
+    EXPECT_EQ(batch[i].faults.map_reruns, solo.faults.map_reruns);
+  }
+}
+
 TEST(ScenarioSpec, ParsesOptionalThreadsField) {
   const auto doc = keddah::util::Json::parse(
       R"({"threads": 3, "jobs": [{"workload": "sort", "input": "256MB"}]})");

@@ -113,8 +113,145 @@ TEST(ScenarioRun, FailureInjectionTriggersRepair) {
 
 TEST(ScenarioRun, OutOfRangeFailureWorkerThrows) {
   auto spec = kc::parse_scenario(parse(kBasicScenario));
-  spec.failures.push_back({99, 1.0});
+  kh::FaultEvent event;
+  event.kind = kh::FaultKind::kCrash;
+  event.worker = 99;
+  event.at = 1.0;
+  spec.faults.events.push_back(event);
   EXPECT_THROW(kc::run_scenario(spec), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-plan parsing: schema, legacy alias, and per-field rejection paths.
+
+std::string fault_scenario(const std::string& faults_json) {
+  return std::string(R"({
+    "cluster": { "racks": 2, "hosts_per_rack": 4 },
+    "jobs": [ { "workload": "sort", "input": "256MB" } ],
+    "faults": )") +
+         faults_json + "}";
+}
+
+TEST(ScenarioParse, FaultPlanParses) {
+  const auto spec = kc::parse_scenario(parse(fault_scenario(R"([
+    { "kind": "crash",        "worker": 5, "at": 12.5 },
+    { "kind": "outage",       "worker": 3, "at": 10.0, "duration": 15.0 },
+    { "kind": "degrade_link", "worker": 2, "at": 5.0, "duration": 20.0, "factor": 0.1 },
+    { "kind": "slow_node",    "worker": 1, "at": 0.0, "duration": 30.0, "factor": 4.0 }
+  ])")));
+  ASSERT_EQ(spec.faults.size(), 4u);
+  EXPECT_EQ(spec.faults.events[0].kind, kh::FaultKind::kCrash);
+  EXPECT_EQ(spec.faults.events[1].kind, kh::FaultKind::kOutage);
+  EXPECT_DOUBLE_EQ(spec.faults.events[1].duration, 15.0);
+  EXPECT_EQ(spec.faults.events[2].kind, kh::FaultKind::kDegradeLink);
+  EXPECT_DOUBLE_EQ(spec.faults.events[2].factor, 0.1);
+  EXPECT_EQ(spec.faults.events[3].kind, kh::FaultKind::kSlowNode);
+}
+
+TEST(ScenarioParse, LegacyFailuresBecomeCrashFaults) {
+  const auto spec = kc::parse_scenario(parse(R"({
+    "cluster": { "racks": 2, "hosts_per_rack": 4 },
+    "jobs": [ { "workload": "sort", "input": "256MB" } ],
+    "failures": [ { "worker": 5, "at": 12.5 } ]
+  })"));
+  ASSERT_EQ(spec.faults.size(), 1u);
+  EXPECT_EQ(spec.faults.events[0].kind, kh::FaultKind::kCrash);
+  EXPECT_EQ(spec.faults.events[0].worker, 5u);
+  EXPECT_DOUBLE_EQ(spec.faults.events[0].at, 12.5);
+}
+
+/// Expects parse_scenario to throw and the message to contain `needle`.
+void expect_fault_rejection(const std::string& faults_json, const std::string& needle,
+                            const std::string& context = "scenario") {
+  try {
+    kc::parse_scenario(parse(fault_scenario(faults_json)), context);
+    FAIL() << "expected rejection of " << faults_json;
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "message: " << e.what();
+  }
+}
+
+TEST(ScenarioParse, FaultRejectsUnknownKind) {
+  expect_fault_rejection(R"([{ "kind": "meteor", "worker": 1, "at": 0.0 }])",
+                         "unknown kind 'meteor'");
+}
+
+TEST(ScenarioParse, FaultRejectsMasterWorker) {
+  expect_fault_rejection(R"([{ "kind": "crash", "worker": 0, "at": 0.0 }])",
+                         "worker 0 hosts the master");
+}
+
+TEST(ScenarioParse, FaultRejectsOutOfRangeWorker) {
+  // 2 racks x 4 hosts = 8 workers; index 8 is one past the end.
+  expect_fault_rejection(R"([{ "kind": "crash", "worker": 8, "at": 0.0 }])",
+                         "out of range (cluster has 8 workers)");
+}
+
+TEST(ScenarioParse, FaultRejectsNegativeTime) {
+  expect_fault_rejection(R"([{ "kind": "crash", "worker": 1, "at": -2.0 }])",
+                         ".at must be a finite time >= 0");
+}
+
+TEST(ScenarioParse, FaultRejectsNonNumericTime) {
+  expect_fault_rejection(R"([{ "kind": "crash", "worker": 1, "at": "soon" }])",
+                         ".at must be a number");
+}
+
+TEST(ScenarioParse, FaultRejectsZeroOutageDuration) {
+  expect_fault_rejection(R"([{ "kind": "outage", "worker": 1, "at": 0.0 }])",
+                         ".duration must be > 0");
+}
+
+TEST(ScenarioParse, FaultRejectsBadDegradeFactor) {
+  expect_fault_rejection(
+      R"([{ "kind": "degrade_link", "worker": 1, "at": 0.0, "duration": 5.0, "factor": 1.5 }])",
+      ".factor must be in (0, 1)");
+}
+
+TEST(ScenarioParse, FaultRejectsBadSlowFactor) {
+  expect_fault_rejection(
+      R"([{ "kind": "slow_node", "worker": 1, "at": 0.0, "duration": 5.0, "factor": 0.5 }])",
+      ".factor must be > 1");
+}
+
+TEST(ScenarioParse, FaultRejectsMissingWorker) {
+  expect_fault_rejection(R"([{ "kind": "crash", "at": 1.0 }])",
+                         "missing required key 'worker'");
+}
+
+TEST(ScenarioParse, FaultErrorNamesContextAndIndex) {
+  // The error message must point at the offending source and entry, the way
+  // load_scenario reports the file path.
+  expect_fault_rejection(R"([
+      { "kind": "crash", "worker": 1, "at": 0.0 },
+      { "kind": "outage", "worker": 1, "at": 0.0 }
+    ])",
+                         "exp.json: faults[1]", "exp.json");
+}
+
+TEST(ScenarioParse, FaultErrorFromFileNamesFile) {
+  const std::string file = ::testing::TempDir() + "/keddah_bad_faults.json";
+  {
+    std::ofstream out(file);
+    out << fault_scenario(R"([{ "kind": "crash", "worker": 99, "at": 0.0 }])");
+  }
+  try {
+    kc::load_scenario(file);
+    FAIL() << "expected out-of-range rejection";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(file), std::string::npos) << e.what();
+  }
+  std::filesystem::remove(file);
+}
+
+TEST(ScenarioRun, FaultStatsSurfaceInOutcome) {
+  const auto spec = kc::parse_scenario(parse(fault_scenario(
+      R"([{ "kind": "crash", "worker": 3, "at": 4.0 }])")));
+  const auto outcome = kc::run_scenario(spec);
+  ASSERT_EQ(outcome.results.size(), 1u);
+  EXPECT_EQ(outcome.faults.crashes, 1u);
+  EXPECT_EQ(outcome.faults.rereplications, outcome.rereplications);
 }
 
 TEST(ScenarioCli, RunScenarioCommand) {

@@ -1,18 +1,22 @@
 #!/usr/bin/env bash
-# Build with a sanitizer and run the parallel-subsystem tests under it.
+# Build with a sanitizer and run the parallel-subsystem and fault-injection
+# tests under it.
 #
-# Usage: tools/check_sanitize.sh [thread|address]   (default: thread)
+# Usage: tools/check_sanitize.sh [thread|address|undefined]   (default: thread)
 #
-# ThreadSanitizer is the one that matters for this repo: the SweepRunner /
-# ThreadPool layer promises bit-identical parallel results, and TSan is how
-# we know that promise isn't resting on a benign-looking data race. The
-# build goes into build-<san>san/ so it never disturbs the primary build/.
+# ThreadSanitizer is the one that matters most for this repo: the
+# SweepRunner / ThreadPool layer promises bit-identical parallel results,
+# and TSan is how we know that promise isn't resting on a benign-looking
+# data race. ASan/UBSan cover the fault-injection paths, which tear down
+# in-flight flows and re-enter callbacks — exactly where lifetime and UB
+# bugs hide. The build goes into build-<san>san/ so it never disturbs the
+# primary build/.
 set -euo pipefail
 
 SAN="${1:-thread}"
 case "${SAN}" in
-  thread|address) ;;
-  *) echo "usage: $0 [thread|address]" >&2; exit 2 ;;
+  thread|address|undefined) ;;
+  *) echo "usage: $0 [thread|address|undefined]" >&2; exit 2 ;;
 esac
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -20,10 +24,16 @@ BUILD="${ROOT}/build-${SAN}san"
 
 cmake -B "${BUILD}" -S "${ROOT}" -DKEDDAH_SANITIZE="${SAN}" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "${BUILD}" --target parallel_test net_network_test -j"$(nproc)"
+cmake --build "${BUILD}" \
+      --target parallel_test net_network_test fault_injection_test \
+               hadoop_faults_test scenario_test -j"$(nproc)"
 
-# The parallel subsystem plus the network layer it drives concurrently.
+# The parallel subsystem, the network layer it drives concurrently, and the
+# fault-injection/recovery machinery (aborts, retries, node churn). The
+# ParallelDeterminism tests double as the determinism gate: a faulted
+# scenario must replay bit-identically at any thread count, under the
+# sanitizer too.
 ctest --test-dir "${BUILD}" --output-on-failure \
-      -R 'ThreadPool|SweepRunner|ParallelDeterminism|DeriveSeed|ResolvedThreads|Network'
+      -R 'ThreadPool|SweepRunner|ParallelDeterminism|DeriveSeed|ResolvedThreads|Network|NodeFailure|TransientOutage|DegradedLink|SlowNode|FaultPlan|Scenario'
 
 echo "OK: ${SAN} sanitizer run clean"
