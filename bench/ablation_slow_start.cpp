@@ -42,7 +42,7 @@ int main() {
       auto dst = hosts[f.dst_host % hosts.size()];
       if (dst == src) dst = hosts[(f.dst_host + 1) % hosts.size()];
       sim.schedule_at(f.start, [&network, src, dst, f] {
-        network.start_flow(src, dst, f.bytes, gen::meta_for_kind(f.kind), nullptr);
+        network.start_flow(src, dst, util::Bytes(f.bytes), gen::meta_for_kind(f.kind), nullptr);
       });
     }
     sim.run();

@@ -31,9 +31,9 @@ int main() {
     const double fwd = net.arc_bytes(net::Arc{l, 0});
     const double rev = net.arc_bytes(net::Arc{l, 1});
     // Utilization over the job's span (the simulator clock stops at end).
-    const double denom = link.capacity_bps / 8.0 * span;
+    const double denom = link.capacity.bps() / 8.0 * span;
     table.add_row({topo.node(link.a).name + "-" + topo.node(link.b).name,
-                   util::format("%.0fG", link.capacity_bps / 1e9), util::human_bytes(fwd),
+                   util::format("%.0fG", link.capacity.bps() / 1e9), util::human_bytes(fwd),
                    util::human_bytes(rev), util::format("%.1f%%", 100.0 * fwd / denom),
                    util::format("%.1f%%", 100.0 * rev / denom)});
   }

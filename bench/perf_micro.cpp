@@ -45,7 +45,7 @@ void BM_MaxMinFairShare(benchmark::State& state) {
       const auto src = hosts[i % hosts.size()];
       auto dst = hosts[(i * 7 + 5) % hosts.size()];
       if (dst == src) dst = hosts[(i + 1) % hosts.size()];
-      net.start_flow(src, dst, 1e6 + rng.uniform(0, 1e6), {}, nullptr);
+      net.start_flow(src, dst, util::Bytes(1e6 + rng.uniform(0, 1e6)), {}, nullptr);
     }
     sim.run();
     benchmark::DoNotOptimize(net.recomputations());

@@ -22,7 +22,7 @@ void FlowCollector::on_flow(const net::Flow& flow, const net::Topology& topo) {
   if (!options_.include_control && flow.meta.kind == net::FlowKind::kControl) return;
   // A connect that failed before any payload moved leaves nothing in a real
   // pcap; aborted flows with partial payload are kept (truncated transfer).
-  if (flow.aborted && flow.bytes <= 0.0) return;
+  if (flow.aborted && flow.bytes.value() <= 0.0) return;
   FlowRecord r;
   r.src = topo.node(flow.src).name;
   r.dst = topo.node(flow.dst).name;
@@ -30,7 +30,7 @@ void FlowCollector::on_flow(const net::Flow& flow, const net::Topology& topo) {
   r.dst_id = flow.dst;
   r.src_port = flow.meta.src_port;
   r.dst_port = flow.meta.dst_port;
-  r.bytes = flow.bytes;
+  r.bytes = flow.bytes.value();
   r.start = flow.start_time;
   r.end = flow.end_time;
   r.job_id = flow.meta.job_id;

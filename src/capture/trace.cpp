@@ -297,8 +297,8 @@ Trace Trace::load_binary(const std::string& path) {
     FlowRecord r;
     r.src = names[b.src_name];
     r.dst = names[b.dst_name];
-    r.src_id = b.src_id;
-    r.dst_id = b.dst_id;
+    r.src_id = net::NodeId(b.src_id);
+    r.dst_id = net::NodeId(b.dst_id);
     r.src_port = b.src_port;
     r.dst_port = b.dst_port;
     r.job_id = b.job_id;

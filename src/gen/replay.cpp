@@ -53,7 +53,7 @@ ReplayResult replay_closed_loop(const SyntheticTrafficSchedule& schedule,
                                 const net::Topology& topology, ClosedLoopOptions options) {
   sim::Simulator sim;
   net::NetworkOptions net_options;
-  net_options.loopback_bps = options.loopback_bps;
+  net_options.loopback = util::Rate::bps(options.loopback_bps);
   net::Network network(sim, topology, net_options);
   capture::FlowCollector collector(network);
 
@@ -76,7 +76,7 @@ ReplayResult replay_closed_loop(const SyntheticTrafficSchedule& schedule,
     if (dst == src) dst = hosts[(f.dst_host + 1) % hosts.size()];
     const bool gated = f.kind == net::FlowKind::kShuffle;
     const std::size_t window_key = f.dst_host % hosts.size();
-    network.start_flow(src, dst, f.bytes, meta_for_kind(f.kind),
+    network.start_flow(src, dst, util::Bytes(f.bytes), meta_for_kind(f.kind),
                        [&result, windows, launch, gated, window_key](const net::Flow& flow) {
                          result.flow_completion_times.push_back(flow.end_time -
                                                                 flow.submit_time);
@@ -119,7 +119,7 @@ ReplayResult replay(const SyntheticTrafficSchedule& schedule, const net::Topolog
                     double loopback_bps) {
   sim::Simulator sim;
   net::NetworkOptions options;
-  options.loopback_bps = loopback_bps;
+  options.loopback = util::Rate::bps(loopback_bps);
   // The topology is borrowed per call; copy it into the engine.
   net::Network network(sim, topology, options);
   capture::FlowCollector collector(network);
@@ -133,7 +133,7 @@ ReplayResult replay(const SyntheticTrafficSchedule& schedule, const net::Topolog
     net::NodeId dst = hosts[f.dst_host % hosts.size()];
     if (dst == src) dst = hosts[(f.dst_host + 1) % hosts.size()];
     sim.schedule_at(f.start, [&network, &result, src, dst, f] {
-      network.start_flow(src, dst, f.bytes, meta_for_kind(f.kind),
+      network.start_flow(src, dst, util::Bytes(f.bytes), meta_for_kind(f.kind),
                          [&result](const net::Flow& flow) {
                            result.flow_completion_times.push_back(flow.end_time -
                                                                   flow.submit_time);

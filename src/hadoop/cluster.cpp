@@ -1,5 +1,7 @@
 #include "hadoop/cluster.h"
 
+#include "util/check.h"
+
 #include <stdexcept>
 
 #include "util/log.h"
@@ -12,7 +14,7 @@ HadoopCluster::HadoopCluster(const ClusterConfig& config, std::uint64_t seed,
     : config_(config), rng_(seed) {
   net::Topology topo = config_.build_topology();
   net::NetworkOptions net_options;
-  net_options.loopback_bps = config_.loopback_bps;
+  net_options.loopback = util::Rate::bps(config_.loopback_bps);
   network_ = std::make_unique<net::Network>(sim_, std::move(topo), net_options);
   workers_ = network_->topology().hosts();
   if (workers_.empty()) throw std::invalid_argument("cluster: topology has no hosts");
@@ -125,7 +127,7 @@ void HadoopCluster::degrade_link(net::NodeId node, double factor, double duratio
   // Overlapping windows do not stack: the nominal capacity is remembered
   // once and the first restore ends the degradation.
   const auto [it, inserted] =
-      degraded_links_.try_emplace(link, network_->topology().link(link).capacity_bps);
+      degraded_links_.try_emplace(link, network_->topology().link(link).capacity);
   KLOG_INFO << "degrading access link of " << network_->topology().node(node).name
             << " to " << factor << "x at t=" << sim_.now();
   network_->set_link_capacity(link, it->second * factor);
@@ -191,6 +193,7 @@ FaultStats HadoopCluster::fault_stats() const {
   stats.pipeline_rebuilds = hdfs_->pipeline_rebuilds();
   stats.hdfs_read_retries = hdfs_->read_retries();
   stats.rereplications = hdfs_->rereplications();
+  if constexpr (util::kAuditEnabled) audit_fault_stats(stats);
   return stats;
 }
 

@@ -130,7 +130,7 @@ class HadoopCluster {
   /// Injection counters (recovery counters live in the subsystems).
   FaultStats injected_;
   /// Nominal capacity of links currently degraded, for restore_link.
-  std::unordered_map<net::LinkId, double> degraded_links_;
+  std::unordered_map<net::LinkId, util::Rate> degraded_links_;
   /// Permanently crashed nodes; a pending outage recovery must not revive
   /// a node that crashed for good inside its window.
   std::unordered_set<net::NodeId> crashed_;

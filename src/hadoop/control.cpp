@@ -69,7 +69,7 @@ void ControlPlane::fire(std::size_t worker_index, bool nm_channel) {
   meta.kind = net::FlowKind::kControl;
   // Heartbeat payload with mild size jitter (report contents vary).
   const double bytes = config_.heartbeat_bytes * rng_.uniform(0.8, 1.4);
-  network_.start_flow(workers_[worker_index], master_, bytes, meta, nullptr);
+  network_.start_flow(workers_[worker_index], master_, util::Bytes(bytes), meta, nullptr);
   ++emitted_;
   const double period = nm_channel ? config_.nm_heartbeat_s : config_.dn_heartbeat_s;
   schedule_tick(worker_index, nm_channel, period);

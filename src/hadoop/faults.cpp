@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/check.h"
 #include "util/strings.h"
 
 namespace keddah::hadoop {
@@ -144,6 +145,28 @@ FaultPlan parse_fault_plan(const util::Json& array, const std::string& context) 
     plan.events.push_back(event);
   }
   return plan;
+}
+
+void audit_fault_stats(const FaultStats& stats) {
+  const std::uint64_t injections =
+      stats.crashes + stats.outages + stats.link_degradations + stats.slow_nodes;
+  if (stats.aborted_bytes.value() > 0.0 && stats.aborted_flows == 0) {
+    throw util::AuditError("fault stats: aborted bytes without any aborted flow");
+  }
+  if (!(stats.fetch_backoff_s >= 0.0) || !std::isfinite(stats.fetch_backoff_s)) {
+    throw util::AuditError("fault stats: fetch backoff must be finite and >= 0, got " +
+                           std::to_string(stats.fetch_backoff_s));
+  }
+  if (injections == 0) {
+    // Recovery work can only be caused by an injected fault; a clean run
+    // must report an all-zero recovery ledger.
+    if (stats.aborted_flows != 0 || stats.fetch_retries != 0 ||
+        stats.fetch_failure_reruns != 0 || stats.map_reruns != 0 ||
+        stats.reducer_restarts != 0 || stats.pipeline_rebuilds != 0 ||
+        stats.hdfs_read_retries != 0 || stats.rereplications != 0) {
+      throw util::AuditError("fault stats: recovery counters nonzero without any injected fault");
+    }
+  }
 }
 
 }  // namespace keddah::hadoop

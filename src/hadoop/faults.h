@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "util/json.h"
+#include "util/units.h"
 
 namespace keddah::hadoop {
 
@@ -86,7 +87,7 @@ struct FaultStats {
   std::uint64_t slow_nodes = 0;
   // Recovery work those injections caused.
   std::uint64_t aborted_flows = 0;
-  double aborted_bytes = 0.0;
+  util::Bytes aborted_bytes;
   std::uint64_t fetch_retries = 0;
   double fetch_backoff_s = 0.0;
   std::uint64_t fetch_failure_reruns = 0;
@@ -96,5 +97,13 @@ struct FaultStats {
   std::uint64_t hdfs_read_retries = 0;
   std::uint64_t rereplications = 0;
 };
+
+/// Audits internal consistency of aggregated fault counters: aborted bytes
+/// require aborted flows (and vice versa for a non-trivial payload), and
+/// recovery work (reruns, restarts, rebuilds, re-replications, retries)
+/// requires at least one injected fault. Throws util::AuditError naming the
+/// violated relation. Called by HadoopCluster::fault_stats() in KEDDAH_CHECK
+/// builds; callable explicitly in any build (the audit test does).
+void audit_fault_stats(const FaultStats& stats);
 
 }  // namespace keddah::hadoop

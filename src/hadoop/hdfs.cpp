@@ -185,11 +185,11 @@ void HdfsCluster::start_pipeline_stage(const std::shared_ptr<WriteState>& state,
   meta.dst_port = net::ports::kDataNodeXfer;
   meta.job_id = state->job_id;
   meta.kind = net::FlowKind::kHdfsWrite;
-  network_.start_flow(from, to, static_cast<double>(block.bytes), meta,
+  network_.start_flow(from, to, util::Bytes::of(block.bytes), meta,
                       [this, state, block_index, to](const net::Flow& flow) {
                         on_pipeline_stage_done(state, block_index, to, flow);
                       },
-                      config_.disk_write_bps);
+                      util::Rate::bps(config_.disk_write_bps));
 }
 
 net::NodeId HdfsCluster::pick_replacement(const BlockInfo& block) {
@@ -315,7 +315,7 @@ void HdfsCluster::read_block(FileId file, std::size_t block_index, net::NodeId r
   meta.dst_port = net::ports::kEphemeralBase;
   meta.job_id = job_id;
   meta.kind = net::FlowKind::kHdfsRead;
-  network_.start_flow(source, reader, static_cast<double>(block.bytes), meta,
+  network_.start_flow(source, reader, util::Bytes::of(block.bytes), meta,
                       [this, file, block_index, reader, job_id,
                        cb = std::move(on_complete)](const net::Flow& flow) mutable {
                         if (flow.aborted) {
@@ -334,7 +334,7 @@ void HdfsCluster::read_block(FileId file, std::size_t block_index, net::NodeId r
                         }
                         if (cb) cb();
                       },
-                      config_.disk_read_bps);
+                      util::Rate::bps(config_.disk_read_bps));
 }
 
 std::size_t HdfsCluster::handle_datanode_failure(net::NodeId node) {
@@ -381,7 +381,7 @@ void HdfsCluster::start_rereplication(BlockInfo* block) {
   meta.dst_port = net::ports::kDataNodeXfer;
   meta.job_id = 0;  // background repair, not attributable to a job
   meta.kind = net::FlowKind::kHdfsWrite;
-  network_.start_flow(source, target, static_cast<double>(block->bytes), meta,
+  network_.start_flow(source, target, util::Bytes::of(block->bytes), meta,
                       [this, block, target](const net::Flow& flow) {
                         if (flow.aborted) {
                           // Repair itself hit a failure; try again after the
@@ -393,7 +393,7 @@ void HdfsCluster::start_rereplication(BlockInfo* block) {
                         }
                         block->replicas.push_back(target);
                       },
-                      config_.disk_write_bps);
+                      util::Rate::bps(config_.disk_write_bps));
   ++rereplications_;
 }
 
@@ -484,8 +484,8 @@ std::size_t HdfsCluster::run_balancer(double threshold, std::size_t max_moves) {
     meta.dst_port = net::ports::kDataNodeXfer;
     meta.job_id = 0;  // background, like re-replication
     meta.kind = net::FlowKind::kHdfsWrite;
-    network_.start_flow(over, under, static_cast<double>(candidate->bytes), meta, nullptr,
-                        config_.disk_write_bps);
+    network_.start_flow(over, under, util::Bytes::of(candidate->bytes), meta, nullptr,
+                        util::Rate::bps(config_.disk_write_bps));
     ++moves;
   }
   return moves;

@@ -18,10 +18,13 @@
 #include "hadoop/config.h"
 #include "net/network.h"
 #include "util/rng.h"
+#include "util/units.h"
 
 namespace keddah::hadoop {
 
-using FileId = std::uint64_t;
+/// File identity, branded so a FileId can never silently travel where a
+/// NodeId (or any other integer id) is expected.
+using FileId = util::TaggedId<struct FileIdTag, std::uint64_t>;
 
 /// One HDFS block: size and replica locations (DataNode ids).
 struct BlockInfo {
@@ -31,7 +34,7 @@ struct BlockInfo {
 
 /// File metadata held by the NameNode.
 struct FileInfo {
-  FileId id = 0;
+  FileId id{0};
   std::string name;
   std::uint64_t bytes = 0;
   std::vector<BlockInfo> blocks;
@@ -161,7 +164,7 @@ class HdfsCluster {
   util::Rng rng_;
   std::unordered_map<FileId, FileInfo> files_;
   std::unordered_map<std::string, FileId> by_name_;
-  FileId next_file_id_ = 1;
+  FileId next_file_id_{1};
   std::size_t lost_blocks_ = 0;
   std::size_t rereplications_ = 0;
   std::uint64_t pipeline_rebuilds_ = 0;

@@ -25,7 +25,7 @@ struct JobRunner::Execution {
 
   /// One map task per input block, possibly spanning several files.
   struct Split {
-    FileId file = 0;
+    FileId file{0};
     std::size_t block_index = 0;
     std::uint64_t bytes = 0;
   };
@@ -388,7 +388,7 @@ void JobRunner::pump_fetches(const ExecPtr& exec, std::size_t reducer_index) {
     meta.kind = net::FlowKind::kShuffle;
     const std::uint32_t generation = red.generation;
     network_.start_flow(
-        ms.host, red.node, wire_bytes, meta,
+        ms.host, red.node, util::Bytes(wire_bytes), meta,
         [this, exec, reducer_index, map_index, generation, payload](const net::Flow& flow) {
           auto& r = exec->reducers[reducer_index];
           if (exec->finished || r.generation != generation) return;  // stale fetch
@@ -409,7 +409,7 @@ void JobRunner::pump_fetches(const ExecPtr& exec, std::size_t reducer_index) {
             pump_fetches(exec, reducer_index);
           }
         },
-        config_.disk_read_bps);
+        util::Rate::bps(config_.disk_read_bps));
   }
 }
 

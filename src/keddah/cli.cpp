@@ -381,7 +381,7 @@ void print_scenario_outcome(const core::ScenarioOutcome& outcome, std::ostream& 
         << f.link_degradations << " link degradations, " << f.slow_nodes << " slow nodes\n";
     util::TextTable recovery({"recovery metric", "value"});
     recovery.add_row({"aborted flows", std::to_string(f.aborted_flows)});
-    recovery.add_row({"aborted bytes", util::human_bytes(f.aborted_bytes)});
+    recovery.add_row({"aborted bytes", util::human_bytes(f.aborted_bytes.value())});
     recovery.add_row({"fetch retries", std::to_string(f.fetch_retries)});
     recovery.add_row({"fetch backoff", util::human_seconds(f.fetch_backoff_s)});
     recovery.add_row({"fetch-failure reruns", std::to_string(f.fetch_failure_reruns)});

@@ -1,0 +1,89 @@
+// keddah-lint: static validation of the JSON artifacts the toolchain
+// consumes — scenario files, standalone fault plans, fitted model files, and
+// model banks. The runtime parsers throw on the first malformed field; the
+// linter instead walks the whole document and reports *every* defect, each
+// naming the file, the JSON key path, what is wrong, and how to fix it, so a
+// scenario author can repair a file in one pass without running anything.
+//
+// The checks encode invariants the simulator depends on (DESIGN.md §"Static
+// checks"): fault plans must reference live workers inside the scenario
+// horizon and must not schedule recovery of a permanently crashed node;
+// fitted ECDFs must be non-decreasing; distribution parameters must be
+// finite and within their family's domain; replication cannot exceed the
+// cluster size.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace keddah::lint {
+
+/// Diagnostic severity. Errors fail the lint (CLI exit 1); warnings flag
+/// suspicious-but-runnable constructs.
+enum class Severity : std::uint8_t { kWarning = 0, kError = 1 };
+
+/// What kind of document a file was recognized as.
+enum class FileKind : std::uint8_t {
+  kScenario = 0,   // object with "jobs"
+  kFaultPlan = 1,  // top-level array of fault events
+  kModel = 2,      // object with "classes"/"job_name"
+  kModelBank = 3,  // object with "models"
+  kUnknown = 4,
+};
+
+/// Stable kind name ("scenario", "fault_plan", "model", "model_bank").
+const char* file_kind_name(FileKind kind);
+
+/// One finding: file, JSON key path, message, and a fix hint.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  /// Source file (or caller-supplied context string).
+  std::string file;
+  /// JSON key path of the offending value, e.g. "faults[2].at" or
+  /// "classes.shuffle.size.parametric.p1".
+  std::string key;
+  /// What is wrong.
+  std::string message;
+  /// How to fix it; empty when the message is self-explanatory.
+  std::string hint;
+
+  /// "file: key: message (hint)" — the CLI output line.
+  std::string to_string() const;
+};
+
+/// Result of linting one document.
+struct LintReport {
+  FileKind kind = FileKind::kUnknown;
+  std::vector<Diagnostic> diagnostics;
+
+  bool ok() const { return num_errors() == 0; }
+  std::size_t num_errors() const;
+  std::size_t num_warnings() const;
+};
+
+/// Lints an already-parsed document. `file` names the source in every
+/// diagnostic. The document kind is sniffed from its shape (see FileKind);
+/// unrecognized documents yield a single unknown-kind error.
+LintReport lint_document(const util::Json& doc, const std::string& file);
+
+/// Loads, parses, and lints one file. I/O and JSON syntax errors (including
+/// duplicate object keys) become diagnostics instead of exceptions.
+LintReport lint_file(const std::string& path);
+
+/// Individual document linters, usable when the kind is known.
+void lint_scenario(const util::Json& doc, const std::string& file,
+                   std::vector<Diagnostic>& out);
+void lint_fault_plan(const util::Json& array, const std::string& file,
+                     std::vector<Diagnostic>& out);
+void lint_model(const util::Json& doc, const std::string& file,
+                std::vector<Diagnostic>& out);
+void lint_model_bank(const util::Json& doc, const std::string& file,
+                     std::vector<Diagnostic>& out);
+
+/// Prints every diagnostic, one per line, errors first.
+void print_report(const LintReport& report, std::ostream& os);
+
+}  // namespace keddah::lint

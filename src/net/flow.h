@@ -7,6 +7,7 @@
 
 #include "net/topology.h"
 #include "sim/simulator.h"
+#include "util/units.h"
 
 namespace keddah::net {
 
@@ -58,8 +59,8 @@ struct Flow {
   FlowId id = kInvalidFlow;
   NodeId src = kInvalidNode;
   NodeId dst = kInvalidNode;
-  /// Application payload, bytes.
-  double bytes = 0.0;
+  /// Application payload.
+  util::Bytes bytes;
   FlowMeta meta;
   /// Time start_flow() was called.
   sim::Time submit_time = 0.0;
@@ -84,7 +85,7 @@ struct Flow {
   /// Mean throughput over the flow's life, bits/second.
   double mean_rate_bps() const {
     const double dt = end_time - start_time;
-    return dt > 0.0 ? bytes * 8.0 / dt : 0.0;
+    return dt > 0.0 ? bytes.bits() / dt : 0.0;
   }
 };
 

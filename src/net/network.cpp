@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/check.h"
 #include "util/log.h"
 
 namespace keddah::net {
@@ -50,10 +51,57 @@ bool Network::node_up(NodeId node) const {
   return node < node_down_.size() ? !node_down_[node] : true;
 }
 
-void Network::set_link_capacity(LinkId link, double capacity_bps) {
+void Network::set_link_capacity(LinkId link, util::Rate capacity) {
   advance_progress();
-  topology_.set_link_capacity(link, capacity_bps);
+  topology_.set_link_capacity(link, capacity);
   reshare();
+}
+
+void Network::account_offered(const Flow& flow) {
+  offered_bytes_ += flow.bytes;
+  class_totals_[static_cast<std::size_t>(flow.meta.kind)].offered += flow.bytes;
+  limbo(flow) += flow.bytes;  // in setup/loopback transit until activation
+}
+
+void Network::account_delivered(const Flow& flow) {
+  delivered_bytes_ += flow.bytes;
+  class_totals_[static_cast<std::size_t>(flow.meta.kind)].delivered += flow.bytes;
+}
+
+void Network::account_aborted(const Flow& flow, util::Bytes shortfall) {
+  ++aborted_flows_;
+  aborted_bytes_ += shortfall;
+  class_totals_[static_cast<std::size_t>(flow.meta.kind)].aborted += shortfall;
+}
+
+void Network::audit_conservation() const {
+  // In-flight payload of flows currently holding capacity, per class.
+  std::array<double, kNumFlowKinds> active_bytes{};
+  for (const auto& [id, af] : active_) {
+    active_bytes[static_cast<std::size_t>(af.flow.meta.kind)] += af.flow.bytes.value();
+  }
+  double offered = 0.0, resolved = 0.0;
+  for (std::size_t k = 0; k < kNumFlowKinds; ++k) {
+    const ClassTotals& t = class_totals_[k];
+    const double lhs = t.offered.value();
+    const double rhs =
+        t.delivered.value() + t.aborted.value() + limbo_[k].value() + active_bytes[k];
+    const double tol = 1e-6 * std::max(1.0, lhs) + 1e-3;
+    if (std::fabs(lhs - rhs) > tol) {
+      throw util::AuditError(std::string("network conservation breach in class ") +
+                             flow_kind_name(static_cast<FlowKind>(k)) + ": offered " +
+                             std::to_string(lhs) + " B != delivered+aborted+in-flight " +
+                             std::to_string(rhs) + " B");
+    }
+    offered += lhs;
+    resolved += rhs;
+  }
+  const double tol = 1e-6 * std::max(1.0, offered) + 1e-3;
+  if (std::fabs(offered - resolved) > tol) {
+    throw util::AuditError("network conservation breach in aggregate ledger");
+  }
+  KEDDAH_AUDIT(std::fabs(offered_bytes_.value() - offered) <= tol,
+               "aggregate offered counter out of sync with per-class ledger");
 }
 
 double Network::arc_bytes(Arc arc) const { return arc_bits_.at(arc.index()) / 8.0; }
@@ -65,7 +113,7 @@ double Network::link_bytes(LinkId link) const {
 double Network::arc_utilization(Arc arc) const {
   const double elapsed = sim_.now();
   if (elapsed <= 0.0) return 0.0;
-  return arc_bits_.at(arc.index()) / (topology_.link(arc.link).capacity_bps * elapsed);
+  return arc_bits_.at(arc.index()) / (topology_.link(arc.link).capacity.bps() * elapsed);
 }
 
 void Network::add_completion_tap(Tap tap) { completion_taps_.push_back(std::move(tap)); }
@@ -83,9 +131,9 @@ double Network::aggregate_rate_bps() const {
   return total;
 }
 
-FlowId Network::start_flow(NodeId src, NodeId dst, double bytes, FlowMeta meta,
-                           CompletionCallback on_complete, double rate_cap_bps) {
-  if (bytes < 0.0) throw std::invalid_argument("network: negative flow size");
+FlowId Network::start_flow(NodeId src, NodeId dst, util::Bytes bytes, FlowMeta meta,
+                           CompletionCallback on_complete, util::Rate rate_cap) {
+  if (bytes.value() < 0.0) throw std::invalid_argument("network: negative flow size");
   const FlowId id = next_flow_id_++;
 
   Flow flow;
@@ -95,39 +143,43 @@ FlowId Network::start_flow(NodeId src, NodeId dst, double bytes, FlowMeta meta,
   flow.bytes = bytes;
   flow.meta = meta;
   flow.submit_time = sim_.now();
-  flow.remaining_bits = bytes * 8.0;
+  flow.remaining_bits = bytes.bits();
   // A non-positive cap means "uncapped": callers that compute a cap of 0.0
   // (e.g. a disabled throttle) must not end up with a 1 bps near-deadlock.
   flow.rate_cap_bps =
-      rate_cap_bps > 0.0 ? rate_cap_bps : std::numeric_limits<double>::infinity();
+      rate_cap.bps() > 0.0 ? rate_cap.bps() : std::numeric_limits<double>::infinity();
+  account_offered(flow);
 
   if (flow.loopback()) {
     // Local transfer: never touches the fabric; drain at the loopback rate.
     flow.start_time = sim_.now();
-    const double duration = flow.remaining_bits / options_.loopback_bps;
-    flow.rate_bps = options_.loopback_bps;
+    const double duration = flow.remaining_bits / options_.loopback.bps();
+    flow.rate_bps = options_.loopback.bps();
     for (const auto& tap : start_taps_) tap(flow);
     sim_.schedule_in(duration, [this, flow, cb = std::move(on_complete)]() mutable {
       flow.end_time = sim_.now();
       flow.remaining_bits = 0.0;
       flow.done = true;
-      delivered_bytes_ += flow.bytes;
+      limbo(flow) -= flow.bytes;
+      account_delivered(flow);
       for (const auto& tap : completion_taps_) tap(flow);
       if (cb) cb(flow);
+      if constexpr (util::kAuditEnabled) audit_conservation();
     });
     return id;
   }
 
   flow.path = topology_.route(src, dst, id);
-  const double latency = options_.model_latency ? topology_.path_latency(src, dst, id) : 0.0;
+  const double latency =
+      options_.model_latency ? topology_.path_latency(src, dst, id).value() : 0.0;
   double ramp = 0.0;
   if (options_.model_slow_start && latency > 0.0) {
     // Slow-start approximation: the window doubles each RTT until the
     // payload is covered. The ramp rounds are modelled as transfer time at
     // ~zero rate before the flow enters fair sharing, so they appear in the
     // flow's duration (first byte leaves on time, last byte is late).
-    const double rounds =
-        std::ceil(std::log2(1.0 + bytes / std::max(options_.initial_window_bytes, 1.0)));
+    const double rounds = std::ceil(
+        std::log2(1.0 + bytes.value() / std::max(options_.initial_window.value(), 1.0)));
     ramp = 2.0 * latency * std::min(rounds, 10.0);
   }
 
@@ -138,19 +190,21 @@ FlowId Network::start_flow(NodeId src, NodeId dst, double bytes, FlowMeta meta,
                      if (!node_up(flow.src) || !node_up(flow.dst)) {
                        // Endpoint died during connection setup: the connect
                        // fails and no payload ever moves.
-                       ++aborted_flows_;
-                       aborted_bytes_ += flow.bytes;
-                       flow.bytes = 0.0;
+                       limbo(flow) -= flow.bytes;
+                       account_aborted(flow, flow.bytes);
+                       flow.bytes = util::Bytes(0.0);
                        flow.remaining_bits = 0.0;
                        flow.done = true;
                        flow.aborted = true;
                        flow.end_time = sim_.now();
                        for (const auto& tap : completion_taps_) tap(flow);
                        if (cb) cb(flow);
+                       if constexpr (util::kAuditEnabled) audit_conservation();
                        return;
                      }
                      for (const auto& tap : start_taps_) tap(flow);
                      advance_progress();
+                     limbo(flow) -= flow.bytes;  // now held in the active set
                      active_.emplace(flow.id, ActiveFlow{std::move(flow), std::move(cb)});
                      reshare();
                    });
@@ -199,7 +253,7 @@ void Network::compute_max_min_rates() {
     const Flow& f = flows[fi]->flow;
     for (const Arc arc : f.path) {
       const std::uint32_t ai = arc.index();
-      if (members[ai].empty()) residual[ai] = topology_.link(arc.link).capacity_bps;
+      if (members[ai].empty()) residual[ai] = topology_.link(arc.link).capacity.bps();
       members[ai].push_back(fi);
       ++unfrozen_count[ai];
       flow_arcs[fi].push_back(ai);
@@ -284,20 +338,20 @@ void Network::on_completion_event() {
     active_.erase(it);
   }
   reshare();
+  if constexpr (util::kAuditEnabled) audit_conservation();
 }
 
 void Network::abort_erased(ActiveFlow& af) {
   Flow flow = std::move(af.flow);
   CompletionCallback cb = std::move(af.on_complete);
-  const double delivered = std::max(0.0, flow.bytes - flow.remaining_bits / 8.0);
-  ++aborted_flows_;
-  aborted_bytes_ += flow.bytes - delivered;
-  flow.bytes = delivered;
+  const double delivered = std::max(0.0, flow.bytes.value() - flow.remaining_bits / 8.0);
+  account_aborted(flow, util::Bytes(flow.bytes.value() - delivered));
+  flow.bytes = util::Bytes(delivered);
   flow.remaining_bits = 0.0;
   flow.done = true;
   flow.aborted = true;
   flow.end_time = sim_.now();
-  delivered_bytes_ += delivered;
+  account_delivered(flow);  // the partial payload did arrive
   for (const auto& tap : completion_taps_) tap(flow);
   if (cb) cb(flow);
 }
@@ -310,6 +364,7 @@ bool Network::abort_flow(FlowId id) {
   active_.erase(it);
   abort_erased(af);
   reshare();
+  if constexpr (util::kAuditEnabled) audit_conservation();
   return true;
 }
 
@@ -332,6 +387,7 @@ std::size_t Network::abort_flows_touching(NodeId node) {
     ++aborted;
   }
   reshare();
+  if constexpr (util::kAuditEnabled) audit_conservation();
   return aborted;
 }
 
@@ -341,17 +397,20 @@ void Network::finish_flow(ActiveFlow& af) {
   flow.remaining_bits = 0.0;
   flow.done = true;
   const double tail_latency =
-      options_.model_latency ? topology_.path_latency(flow.src, flow.dst, flow.id) : 0.0;
+      options_.model_latency ? topology_.path_latency(flow.src, flow.dst, flow.id).value() : 0.0;
   if (tail_latency > 0.0) {
+    limbo(flow) += flow.bytes;  // drained but not yet delivered (tail latency)
     sim_.schedule_in(tail_latency, [this, flow = std::move(flow), cb = std::move(cb)]() mutable {
       flow.end_time = sim_.now();
-      delivered_bytes_ += flow.bytes;
+      limbo(flow) -= flow.bytes;
+      account_delivered(flow);
       for (const auto& tap : completion_taps_) tap(flow);
       if (cb) cb(flow);
+      if constexpr (util::kAuditEnabled) audit_conservation();
     });
   } else {
     flow.end_time = sim_.now();
-    delivered_bytes_ += flow.bytes;
+    account_delivered(flow);
     for (const auto& tap : completion_taps_) tap(flow);
     if (cb) cb(flow);
   }

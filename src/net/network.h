@@ -8,6 +8,7 @@
 // documented substitution for the paper's replay substrate (DESIGN.md §2).
 #pragma once
 
+#include <array>
 #include <functional>
 #include <limits>
 #include <unordered_map>
@@ -15,14 +16,15 @@
 #include "net/flow.h"
 #include "net/topology.h"
 #include "sim/simulator.h"
+#include "util/units.h"
 
 namespace keddah::net {
 
 /// Engine configuration.
 struct NetworkOptions {
-  /// Rate applied to loopback (src == dst) flows, bits/second. Models local
-  /// disk/IPC rather than the NIC; loopback flows bypass fair sharing.
-  double loopback_bps = 40.0e9;
+  /// Rate applied to loopback (src == dst) flows. Models local disk/IPC
+  /// rather than the NIC; loopback flows bypass fair sharing.
+  util::Rate loopback = util::Rate::bps(40.0e9);
   /// If true, a flow waits one path latency before its first byte moves
   /// (connection setup) and delivers its last byte one path latency after
   /// draining.
@@ -33,9 +35,19 @@ struct NetworkOptions {
   /// flows become latency-bound, as on real networks; long flows are
   /// barely affected. Off by default (pure fluid model).
   bool model_slow_start = false;
-  /// Initial congestion window for the slow-start approximation, bytes
+  /// Initial congestion window for the slow-start approximation
   /// (10 segments of 1460 B, the Linux default).
-  double initial_window_bytes = 14600.0;
+  util::Bytes initial_window{14600.0};
+};
+
+/// Per-traffic-class byte ledger kept by the engine. The conservation
+/// invariant audited under KEDDAH_CHECK: offered == delivered + aborted
+/// once the class has no in-flight flows (and at any instant when in-flight
+/// payload is added back in).
+struct ClassTotals {
+  util::Bytes offered;    ///< payload accepted by start_flow()
+  util::Bytes delivered;  ///< payload that reached its destination
+  util::Bytes aborted;    ///< payload lost to aborts (requested - delivered)
 };
 
 /// The network simulator facade.
@@ -57,12 +69,12 @@ class Network {
   sim::Simulator& simulator() { return sim_; }
 
   /// Starts a flow of `bytes` payload from src to dst. `on_complete` (may be
-  /// null) fires when the last byte is delivered. `rate_cap_bps` bounds the
+  /// null) fires when the last byte is delivered. `rate_cap` bounds the
   /// flow below its fair share (application/disk limited senders); any
-  /// value <= 0 means uncapped, same as the infinite default.
-  FlowId start_flow(NodeId src, NodeId dst, double bytes, FlowMeta meta,
+  /// non-positive rate means uncapped, same as the infinite default.
+  FlowId start_flow(NodeId src, NodeId dst, util::Bytes bytes, FlowMeta meta,
                     CompletionCallback on_complete = nullptr,
-                    double rate_cap_bps = std::numeric_limits<double>::infinity());
+                    util::Rate rate_cap = util::Rate::infinite());
 
   /// Registers an observer for flow completions (all flows, loopback too).
   void add_completion_tap(Tap tap);
@@ -94,7 +106,7 @@ class Network {
 
   /// Rewrites a link's per-direction capacity and recomputes fair shares
   /// (fault injection: link-degradation windows).
-  void set_link_capacity(LinkId link, double capacity_bps);
+  void set_link_capacity(LinkId link, util::Rate capacity);
 
   /// Number of flows currently holding network capacity.
   std::size_t active_flows() const { return active_.size(); }
@@ -102,8 +114,11 @@ class Network {
   /// Flows started since construction.
   std::uint64_t total_flows() const { return next_flow_id_ - 1; }
 
-  /// Total payload delivered so far, bytes.
-  double delivered_bytes() const { return delivered_bytes_; }
+  /// Total payload delivered so far.
+  util::Bytes delivered_bytes() const { return delivered_bytes_; }
+
+  /// Total payload accepted by start_flow() so far.
+  util::Bytes offered_bytes() const { return offered_bytes_; }
 
   /// Number of fair-share recomputations (perf counter for benches).
   std::uint64_t recomputations() const { return recomputations_; }
@@ -112,8 +127,22 @@ class Network {
   /// activating against a down endpoint.
   std::uint64_t aborted_flows() const { return aborted_flows_; }
 
-  /// Payload bytes requested but never delivered because of aborts.
-  double aborted_bytes() const { return aborted_bytes_; }
+  /// Payload requested but never delivered because of aborts.
+  util::Bytes aborted_bytes() const { return aborted_bytes_; }
+
+  /// Per-traffic-class byte ledger (ground-truth FlowMeta::kind).
+  const ClassTotals& class_totals(FlowKind kind) const {
+    return class_totals_[static_cast<std::size_t>(kind)];
+  }
+
+  /// Audits byte conservation: per class and in aggregate,
+  ///   offered == delivered + aborted + in-flight payload
+  /// where in-flight covers flows in connection setup, active fair sharing,
+  /// loopback transit, and the delivery-tail latency window. Throws
+  /// util::AuditError naming the violated class on breach. Called
+  /// automatically at the completion/abort seams in KEDDAH_CHECK builds;
+  /// callable explicitly in any build (the audit test does).
+  void audit_conservation() const;
 
   /// Looks up an active flow; returns nullptr if finished or unknown.
   const Flow* find_flow(FlowId id) const;
@@ -162,13 +191,26 @@ class Network {
   std::vector<Tap> completion_taps_;
   std::vector<Tap> start_taps_;
 
+  /// Ledger bookkeeping shared by every path that resolves a flow.
+  void account_offered(const Flow& flow);
+  void account_delivered(const Flow& flow);
+  void account_aborted(const Flow& flow, util::Bytes shortfall);
+  /// Payload admitted but outside `active_` (connection setup, loopback
+  /// transit, delivery tail), per class; the audit adds it back in.
+  util::Bytes& limbo(const Flow& flow) {
+    return limbo_[static_cast<std::size_t>(flow.meta.kind)];
+  }
+
   FlowId next_flow_id_ = 1;
   sim::Time last_progress_time_ = 0.0;
   sim::EventId completion_event_ = sim::kInvalidEvent;
-  double delivered_bytes_ = 0.0;
+  util::Bytes delivered_bytes_;
+  util::Bytes offered_bytes_;
   std::uint64_t recomputations_ = 0;
   std::uint64_t aborted_flows_ = 0;
-  double aborted_bytes_ = 0.0;
+  util::Bytes aborted_bytes_;
+  std::array<ClassTotals, kNumFlowKinds> class_totals_{};
+  std::array<util::Bytes, kNumFlowKinds> limbo_{};
   /// Per-arc transferred bits (indexed by Arc::index()).
   std::vector<double> arc_bits_;
   /// node_down_[n] is true while node n is marked down.

@@ -38,22 +38,22 @@ NodeId Topology::add_switch(const std::string& name) {
   return add_node(name, /*rack=*/-1, /*is_switch=*/true);
 }
 
-LinkId Topology::add_link(NodeId a, NodeId b, double capacity_bps, double latency_s) {
+LinkId Topology::add_link(NodeId a, NodeId b, util::Rate capacity, util::Seconds latency) {
   if (a >= nodes_.size() || b >= nodes_.size()) throw std::out_of_range("topology: bad node id");
   if (a == b) throw std::invalid_argument("topology: self-link");
-  if (capacity_bps <= 0.0) throw std::invalid_argument("topology: non-positive capacity");
+  if (capacity.bps() <= 0.0) throw std::invalid_argument("topology: non-positive capacity");
   const LinkId id = static_cast<LinkId>(links_.size());
-  links_.push_back(Link{id, a, b, capacity_bps, latency_s});
+  links_.push_back(Link{id, a, b, capacity, latency});
   adjacency_[a].emplace_back(b, Arc{id, 0});
   adjacency_[b].emplace_back(a, Arc{id, 1});
   dist_cache_.clear();  // invalidate memoized BFS results
   return id;
 }
 
-void Topology::set_link_capacity(LinkId id, double capacity_bps) {
+void Topology::set_link_capacity(LinkId id, util::Rate capacity) {
   if (id >= links_.size()) throw std::out_of_range("topology: bad link id");
-  if (capacity_bps <= 0.0) throw std::invalid_argument("topology: non-positive capacity");
-  links_[id].capacity_bps = capacity_bps;
+  if (capacity.bps() <= 0.0) throw std::invalid_argument("topology: non-positive capacity");
+  links_[id].capacity = capacity;
 }
 
 std::vector<LinkId> Topology::links_at(NodeId id) const {
@@ -142,9 +142,9 @@ std::vector<Arc> Topology::route(NodeId src, NodeId dst, std::uint64_t flow_key)
   return path;
 }
 
-double Topology::path_latency(NodeId src, NodeId dst, std::uint64_t flow_key) const {
-  double total = 0.0;
-  for (const Arc arc : route(src, dst, flow_key)) total += links_[arc.link].latency_s;
+util::Seconds Topology::path_latency(NodeId src, NodeId dst, std::uint64_t flow_key) const {
+  util::Seconds total;
+  for (const Arc arc : route(src, dst, flow_key)) total += links_[arc.link].latency;
   return total;
 }
 
@@ -174,7 +174,7 @@ Topology make_star(std::size_t num_hosts, double access_bps, double latency_s) {
   const NodeId sw = topo.add_switch("sw0");
   for (std::size_t i = 0; i < num_hosts; ++i) {
     const NodeId h = topo.add_host(util::format("h%zu", i), /*rack=*/0);
-    topo.add_link(h, sw, access_bps, latency_s);
+    topo.add_link(h, sw, util::Rate::bps(access_bps), util::Seconds(latency_s));
   }
   return topo;
 }
@@ -186,10 +186,10 @@ Topology make_rack_tree(std::size_t racks, std::size_t hosts_per_rack, double ac
   std::size_t host_index = 0;
   for (std::size_t r = 0; r < racks; ++r) {
     const NodeId tor = topo.add_switch(util::format("tor%zu", r));
-    topo.add_link(tor, core, core_bps, latency_s);
+    topo.add_link(tor, core, util::Rate::bps(core_bps), util::Seconds(latency_s));
     for (std::size_t i = 0; i < hosts_per_rack; ++i) {
       const NodeId h = topo.add_host(util::format("h%zu", host_index++), static_cast<int>(r));
-      topo.add_link(h, tor, access_bps, latency_s);
+      topo.add_link(h, tor, util::Rate::bps(access_bps), util::Seconds(latency_s));
     }
   }
   return topo;
@@ -216,12 +216,12 @@ Topology make_fat_tree(std::size_t k, double link_bps, double latency_s) {
     }
     // Edge <-> aggregation full bipartite inside the pod.
     for (std::size_t e = 0; e < half; ++e) {
-      for (std::size_t a = 0; a < half; ++a) topo.add_link(edges[e], aggs[a], link_bps, latency_s);
+      for (std::size_t a = 0; a < half; ++a) topo.add_link(edges[e], aggs[a], util::Rate::bps(link_bps), util::Seconds(latency_s));
     }
     // Aggregation a connects to core switches [a*half, (a+1)*half).
     for (std::size_t a = 0; a < half; ++a) {
       for (std::size_t c = 0; c < half; ++c) {
-        topo.add_link(aggs[a], core[a * half + c], link_bps, latency_s);
+        topo.add_link(aggs[a], core[a * half + c], util::Rate::bps(link_bps), util::Seconds(latency_s));
       }
     }
     // Hosts under each edge switch; rack index = global edge index.
@@ -229,7 +229,7 @@ Topology make_fat_tree(std::size_t k, double link_bps, double latency_s) {
       const int rack = static_cast<int>(pod * half + e);
       for (std::size_t i = 0; i < half; ++i) {
         const NodeId h = topo.add_host(util::format("h%zu", host_index++), rack);
-        topo.add_link(h, edges[e], link_bps, latency_s);
+        topo.add_link(h, edges[e], util::Rate::bps(link_bps), util::Seconds(latency_s));
       }
     }
   }
@@ -241,15 +241,15 @@ Topology make_dumbbell(std::size_t left, std::size_t right, double access_bps,
   Topology topo;
   const NodeId swl = topo.add_switch("swL");
   const NodeId swr = topo.add_switch("swR");
-  topo.add_link(swl, swr, bottleneck_bps, latency_s);
+  topo.add_link(swl, swr, util::Rate::bps(bottleneck_bps), util::Seconds(latency_s));
   std::size_t host_index = 0;
   for (std::size_t i = 0; i < left; ++i) {
     const NodeId h = topo.add_host(util::format("h%zu", host_index++), 0);
-    topo.add_link(h, swl, access_bps, latency_s);
+    topo.add_link(h, swl, util::Rate::bps(access_bps), util::Seconds(latency_s));
   }
   for (std::size_t i = 0; i < right; ++i) {
     const NodeId h = topo.add_host(util::format("h%zu", host_index++), 1);
-    topo.add_link(h, swr, access_bps, latency_s);
+    topo.add_link(h, swr, util::Rate::bps(access_bps), util::Seconds(latency_s));
   }
   return topo;
 }

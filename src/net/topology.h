@@ -7,12 +7,18 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/units.h"
+
 namespace keddah::net {
 
-using NodeId = std::uint32_t;
+/// Node identity, branded (util::TaggedId) so other integer IDs — FileId,
+/// job ids, rack indices — cannot silently travel as a node. Reads out
+/// implicitly (dense-array subscripting everywhere); construction from a
+/// raw integer is explicit.
+using NodeId = util::TaggedId<struct NodeIdTag, std::uint32_t>;
 using LinkId = std::uint32_t;
 
-inline constexpr NodeId kInvalidNode = 0xffffffffu;
+inline constexpr NodeId kInvalidNode{0xffffffffu};
 
 /// A directed use of a full-duplex link: `link` traversed forward
 /// (a -> b, dir == 0) or backward (b -> a, dir == 1). Each direction has the
@@ -41,10 +47,10 @@ struct Link {
   LinkId id = 0;
   NodeId a = kInvalidNode;
   NodeId b = kInvalidNode;
-  /// Capacity per direction, bits per second.
-  double capacity_bps = 0.0;
-  /// One-way propagation delay, seconds.
-  double latency_s = 0.0;
+  /// Capacity per direction.
+  util::Rate capacity;
+  /// One-way propagation delay.
+  util::Seconds latency;
 };
 
 /// An immutable-after-build graph of nodes and links with routing queries.
@@ -61,7 +67,7 @@ class Topology {
   NodeId add_switch(const std::string& name);
 
   /// Connects two nodes with a full-duplex link.
-  LinkId add_link(NodeId a, NodeId b, double capacity_bps, double latency_s);
+  LinkId add_link(NodeId a, NodeId b, util::Rate capacity, util::Seconds latency);
 
   std::size_t num_nodes() const { return nodes_.size(); }
   std::size_t num_links() const { return links_.size(); }
@@ -73,7 +79,7 @@ class Topology {
   /// Rewrites a link's per-direction capacity (fault injection: link
   /// degradation windows). Routing is unaffected; callers that cache rates
   /// (the network engine) must recompute shares afterwards.
-  void set_link_capacity(LinkId id, double capacity_bps);
+  void set_link_capacity(LinkId id, util::Rate capacity);
 
   /// Links incident to a node, in creation order (a host's single entry is
   /// its access link).
@@ -95,7 +101,7 @@ class Topology {
   std::vector<Arc> route(NodeId src, NodeId dst, std::uint64_t flow_key) const;
 
   /// Sum of per-arc latencies along route(src, dst, flow_key).
-  double path_latency(NodeId src, NodeId dst, std::uint64_t flow_key) const;
+  util::Seconds path_latency(NodeId src, NodeId dst, std::uint64_t flow_key) const;
 
   /// Hop distance (number of links) between two nodes, or -1 if unreachable.
   int distance(NodeId src, NodeId dst) const;
@@ -124,6 +130,9 @@ class Topology {
 
 /// Topology builders used across tests, examples, and benches. All hosts are
 /// named "hN" (N = creation order) so scenarios can address them uniformly.
+/// These keep raw double parameters (bits/second, seconds) as a deliberate
+/// convenience boundary; the strong-typed Topology API checks everything
+/// downstream of them.
 
 /// Single switch, `num_hosts` hosts, one access link each.
 Topology make_star(std::size_t num_hosts, double access_bps, double latency_s);

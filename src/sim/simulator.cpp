@@ -2,7 +2,10 @@
 
 #include <cassert>
 #include <stdexcept>
+#include <string>
 #include <utility>
+
+#include "util/check.h"
 
 namespace keddah::sim {
 
@@ -29,6 +32,13 @@ void Simulator::skim_cancelled() {
   while (!queue_.empty() && live_.count(queue_.top().id) == 0) queue_.pop();
 }
 
+void Simulator::audit_clock(Time next) const {
+  if (!(next >= now_)) {
+    throw util::AuditError("sim clock would run backwards: now=" + std::to_string(now_) +
+                           " next=" + std::to_string(next));
+  }
+}
+
 bool Simulator::step() {
   skim_cancelled();
   if (queue_.empty()) return false;
@@ -36,6 +46,7 @@ bool Simulator::step() {
   queue_.pop();
   live_.erase(entry.id);
   assert(entry.at >= now_);
+  if constexpr (util::kAuditEnabled) audit_clock(entry.at);
   now_ = entry.at;
   ++executed_;
   (*entry.fn)();

@@ -63,6 +63,11 @@ class Simulator {
 
   static constexpr Time kForever = 1.0e300;
 
+  /// Audits that advancing the clock to `next` keeps it monotone; throws
+  /// util::AuditError otherwise. Called automatically before every event
+  /// dispatch in KEDDAH_CHECK builds; callable explicitly in any build.
+  void audit_clock(Time next) const;
+
  private:
   struct Entry {
     Time at;

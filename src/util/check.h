@@ -1,0 +1,54 @@
+// Runtime invariant auditing, gated by the KEDDAH_CHECK build option.
+//
+// `cmake -DKEDDAH_CHECK=ON` defines KEDDAH_CHECK=1 on every target and
+// compiles in conservation/monotonicity audits at the network and job-runner
+// seams (DESIGN.md invariant catalogue), plus NaN/sign checks inside the
+// util/units.h wrappers. A failed audit throws util::AuditError naming the
+// violated invariant and the source location — loud and immediate, because a
+// conservation breach invalidates every byte count downstream of it.
+//
+// The audit entry points (net::Network::audit(), hadoop::audit_fault_stats,
+// ...) are ordinary functions that exist in every build; KEDDAH_CHECK only
+// controls whether the hot paths call them automatically.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace keddah::util {
+
+/// Thrown when a compiled-in invariant audit fails.
+class AuditError : public std::logic_error {
+ public:
+  explicit AuditError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Formats and throws an AuditError; the out-of-line body keeps the macro's
+/// expansion (and hence the audited hot paths) small.
+[[noreturn]] inline void audit_fail(const char* message, const char* file, int line) {
+  throw AuditError("keddah audit failed: " + std::string(message) + " (" + file + ":" +
+                   std::to_string(line) + ")");
+}
+
+#if defined(KEDDAH_CHECK) && KEDDAH_CHECK
+inline constexpr bool kAuditEnabled = true;
+#else
+inline constexpr bool kAuditEnabled = false;
+#endif
+
+}  // namespace keddah::util
+
+/// Audits `cond` in KEDDAH_CHECK builds; compiles to nothing otherwise.
+#if defined(KEDDAH_CHECK) && KEDDAH_CHECK
+#define KEDDAH_AUDIT(cond, msg)                                        \
+  do {                                                                 \
+    if (!(cond)) ::keddah::util::audit_fail((msg), __FILE__, __LINE__); \
+  } while (0)
+#else
+#define KEDDAH_AUDIT(cond, msg) ((void)0)
+#endif
+
+/// Unit-wrapper flavour: used inside constexpr constructors in units.h, so
+/// violations in constant expressions fail the build and violations at
+/// runtime throw.
+#define KEDDAH_AUDIT_UNIT(cond, msg) KEDDAH_AUDIT(cond, msg)

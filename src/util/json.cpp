@@ -97,6 +97,11 @@ class Parser {
     for (;;) {
       skip_ws();
       std::string key = parse_string();
+      if (obj.count(key) != 0) {
+        // Last-value-wins would silently drop the first binding — a classic
+        // way for a hand-edited scenario to lie about what it configures.
+        fail("duplicate object key '" + key + "'");
+      }
       skip_ws();
       expect(':');
       obj[std::move(key)] = parse_value();

@@ -73,6 +73,10 @@ class Json {
   std::string dump(int indent = 2) const;
 
   /// Parses text; throws std::runtime_error with offset info on bad input.
+  /// Duplicate object keys are an error (RFC 8259 leaves them undefined;
+  /// last-value-wins would silently drop the first binding), reported with
+  /// the offending key name so keddah-lint and scenario parsing can point
+  /// at it.
   static Json parse(const std::string& text);
 
   /// File helpers; throw std::runtime_error on I/O failure.

@@ -1,0 +1,164 @@
+// Zero-cost strong types for the quantities Keddah's accounting lives or
+// dies by: payload sizes (Bytes), simulation durations (Seconds), and
+// transfer rates (Rate, bits/second) — plus tagged integer ID types so a
+// FileId can never silently travel where a NodeId is expected.
+//
+// Design rules:
+//  - Construction from a raw number is always explicit; mixing units is a
+//    compile error, not a runtime surprise.
+//  - Reading out is explicit too (`value()`) for the unit wrappers, so every
+//    raw-double boundary is greppable. Tagged IDs convert *out* implicitly
+//    (they subscript dense arrays all over the hot paths) but never *in*.
+//  - Dimensional arithmetic is closed: Bytes +- Bytes, scalar scaling,
+//    Bytes / Seconds -> Rate, Rate * Seconds -> Bytes. Anything else does
+//    not compile.
+//  - Under KEDDAH_CHECK the constructors and arithmetic audit for NaN and
+//    negative sizes/durations, turning silent accounting corruption into an
+//    immediate failure at the site that produced it. Release builds compile
+//    the wrappers down to plain doubles.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "util/check.h"
+
+namespace keddah::util {
+
+/// A payload size in bytes. Double-backed: flow-level simulation works in
+/// fractional bytes (compression ratios, partial-delivery accounting).
+class Bytes {
+ public:
+  constexpr Bytes() = default;
+  constexpr explicit Bytes(double v) : v_(v) { KEDDAH_AUDIT_UNIT(v_ >= 0.0 && v_ == v_, "Bytes: negative or NaN"); }
+
+  /// Converting factory for integral byte counts (block sizes, file sizes).
+  template <typename T>
+  static constexpr Bytes of(T raw) {
+    return Bytes(static_cast<double>(raw));
+  }
+
+  constexpr double value() const { return v_; }
+  constexpr double bits() const { return v_ * 8.0; }
+
+  constexpr Bytes& operator+=(Bytes o) {
+    v_ += o.v_;
+    KEDDAH_AUDIT_UNIT(v_ == v_, "Bytes: NaN after +=");
+    return *this;
+  }
+  constexpr Bytes& operator-=(Bytes o) {
+    [[maybe_unused]] const double before = v_;
+    v_ -= o.v_;
+    // Ledger subtraction may land epsilon-negative from float cancellation
+    // (sums of many magnitudes drain in a different order than they grew);
+    // only genuinely negative results are accounting bugs.
+    KEDDAH_AUDIT_UNIT(v_ == v_ && v_ >= -(1e-9 * (before + o.v_) + 1e-3),
+                      "Bytes: negative or NaN after -=");
+    return *this;
+  }
+  friend constexpr Bytes operator+(Bytes a, Bytes b) { return Bytes(a.v_ + b.v_); }
+  friend constexpr Bytes operator-(Bytes a, Bytes b) { return Bytes(a.v_ - b.v_); }
+  friend constexpr Bytes operator*(Bytes a, double s) { return Bytes(a.v_ * s); }
+  friend constexpr Bytes operator*(double s, Bytes a) { return Bytes(a.v_ * s); }
+  friend constexpr double operator/(Bytes a, Bytes b) { return a.v_ / b.v_; }
+  friend constexpr auto operator<=>(Bytes a, Bytes b) = default;
+
+ private:
+  double v_ = 0.0;
+};
+
+/// A duration in seconds (wall-clock of the simulated world).
+class Seconds {
+ public:
+  constexpr Seconds() = default;
+  constexpr explicit Seconds(double v) : v_(v) { KEDDAH_AUDIT_UNIT(v_ >= 0.0 && v_ == v_, "Seconds: negative or NaN"); }
+
+  constexpr double value() const { return v_; }
+
+  constexpr Seconds& operator+=(Seconds o) {
+    v_ += o.v_;
+    return *this;
+  }
+  friend constexpr Seconds operator+(Seconds a, Seconds b) { return Seconds(a.v_ + b.v_); }
+  friend constexpr Seconds operator-(Seconds a, Seconds b) { return Seconds(a.v_ - b.v_); }
+  friend constexpr Seconds operator*(Seconds a, double s) { return Seconds(a.v_ * s); }
+  friend constexpr Seconds operator*(double s, Seconds a) { return Seconds(a.v_ * s); }
+  friend constexpr auto operator<=>(Seconds a, Seconds b) = default;
+
+ private:
+  double v_ = 0.0;
+};
+
+/// A transfer rate in bits/second (the unit every link capacity, NIC, and
+/// disk figure in the paper is quoted in). The only dimensional way to make
+/// one is Bytes / Seconds; `Rate::bps()/gbps()` name the raw-number
+/// boundaries.
+class Rate {
+ public:
+  constexpr Rate() = default;
+
+  static constexpr Rate bps(double bits_per_second) { return Rate(bits_per_second); }
+  static constexpr Rate gbps(double gigabits_per_second) { return Rate(gigabits_per_second * 1e9); }
+  static constexpr Rate infinite() { return Rate(kInf); }
+
+  constexpr double bps() const { return v_; }
+  constexpr bool finite() const { return v_ < kInf && v_ == v_; }
+
+  friend constexpr Rate operator*(Rate a, double s) { return Rate(a.v_ * s); }
+  friend constexpr Rate operator*(double s, Rate a) { return Rate(a.v_ * s); }
+  friend constexpr auto operator<=>(Rate a, Rate b) = default;
+
+  /// Time to move `b` at this rate.
+  friend constexpr Seconds operator/(Bytes b, Rate r) { return Seconds(b.bits() / r.v_); }
+  /// Payload moved in `t` at this rate.
+  friend constexpr Bytes operator*(Rate r, Seconds t) { return Bytes(r.v_ * t.value() / 8.0); }
+  friend constexpr Bytes operator*(Seconds t, Rate r) { return r * t; }
+
+ private:
+  static constexpr double kInf = std::numeric_limits<double>::infinity();
+  constexpr explicit Rate(double v) : v_(v) { KEDDAH_AUDIT_UNIT(v_ >= 0.0, "Rate: negative"); }
+  double v_ = 0.0;
+};
+
+/// Rate = Bytes / Seconds is the one sanctioned dimensional construction.
+constexpr Rate operator/(Bytes b, Seconds t) { return Rate::bps(b.bits() / t.value()); }
+
+/// An integer ID branded with a tag type. Explicit to construct from a raw
+/// integer (and from differently-tagged IDs: no conversion path exists), but
+/// implicitly readable as its underlying type so dense-array subscripting —
+/// the dominant use on hot paths — stays untouched.
+template <typename Tag, typename T = std::uint32_t>
+class TaggedId {
+ public:
+  using underlying = T;
+
+  constexpr TaggedId() = default;
+  constexpr explicit TaggedId(T raw) : v_(raw) {}
+
+  constexpr operator T() const { return v_; }  // NOLINT(google-explicit-constructor)
+  constexpr T value() const { return v_; }
+
+  constexpr TaggedId& operator++() {
+    ++v_;
+    return *this;
+  }
+  constexpr TaggedId operator++(int) {
+    TaggedId old = *this;
+    ++v_;
+    return old;
+  }
+  friend constexpr auto operator<=>(TaggedId a, TaggedId b) = default;
+
+ private:
+  T v_ = T{};
+};
+
+}  // namespace keddah::util
+
+template <typename Tag, typename T>
+struct std::hash<keddah::util::TaggedId<Tag, T>> {
+  std::size_t operator()(keddah::util::TaggedId<Tag, T> id) const noexcept {
+    return std::hash<T>{}(id.value());
+  }
+};

@@ -81,22 +81,22 @@ TEST(JobLog, RecordsLifecycleEvents) {
 
 TEST(JobLog, TaskActiveQueries) {
   kh::JobHistoryLog log;
-  log.add({10.0, 1, kh::TaskEvent::Kind::kMapStart, 5, 0});
-  log.add({20.0, 1, kh::TaskEvent::Kind::kMapFinish, 5, 0});
-  EXPECT_TRUE(log.task_active_on(1, 5, 15.0));
-  EXPECT_TRUE(log.task_active_on(1, 5, 9.8));    // within slack
-  EXPECT_FALSE(log.task_active_on(1, 5, 25.0));
-  EXPECT_FALSE(log.task_active_on(1, 6, 15.0));  // other node
-  EXPECT_FALSE(log.task_active_on(2, 5, 15.0));  // other job
+  log.add({10.0, 1, kh::TaskEvent::Kind::kMapStart, kn::NodeId(5), 0});
+  log.add({20.0, 1, kh::TaskEvent::Kind::kMapFinish, kn::NodeId(5), 0});
+  EXPECT_TRUE(log.task_active_on(1, kn::NodeId(5), 15.0));
+  EXPECT_TRUE(log.task_active_on(1, kn::NodeId(5), 9.8));    // within slack
+  EXPECT_FALSE(log.task_active_on(1, kn::NodeId(5), 25.0));
+  EXPECT_FALSE(log.task_active_on(1, kn::NodeId(6), 15.0));  // other node
+  EXPECT_FALSE(log.task_active_on(2, kn::NodeId(5), 15.0));  // other job
   // Unfinished task counts as active after its start.
-  log.add({30.0, 1, kh::TaskEvent::Kind::kReduceStart, 5, 0});
-  EXPECT_TRUE(log.task_active_on(1, 5, 100.0));
+  log.add({30.0, 1, kh::TaskEvent::Kind::kReduceStart, kn::NodeId(5), 0});
+  EXPECT_TRUE(log.task_active_on(1, kn::NodeId(5), 100.0));
 }
 
 TEST(JobLog, CsvRoundTrip) {
   kh::JobHistoryLog log;
-  log.add({1.5, 7, kh::TaskEvent::Kind::kMapStart, 3, 2});
-  log.add({2.5, 7, kh::TaskEvent::Kind::kMapFinish, 3, 2});
+  log.add({1.5, 7, kh::TaskEvent::Kind::kMapStart, kn::NodeId(3), 2});
+  log.add({2.5, 7, kh::TaskEvent::Kind::kMapFinish, kn::NodeId(3), 2});
   const auto restored = kh::JobHistoryLog::from_csv(log.to_csv());
   ASSERT_EQ(restored.size(), 2u);
   EXPECT_DOUBLE_EQ(restored.events()[0].time, 1.5);

@@ -13,6 +13,7 @@
 namespace kc = keddah::capture;
 namespace kn = keddah::net;
 namespace ks = keddah::sim;
+namespace ku = keddah::util;
 
 namespace {
 
@@ -21,8 +22,8 @@ kc::FlowRecord make_record(std::uint16_t src_port, std::uint16_t dst_port, doubl
   kc::FlowRecord r;
   r.src = "h0";
   r.dst = "h1";
-  r.src_id = 0;
-  r.dst_id = 1;
+  r.src_id = kn::NodeId(0);
+  r.dst_id = kn::NodeId(1);
   r.src_port = src_port;
   r.dst_port = dst_port;
   r.bytes = bytes;
@@ -181,7 +182,7 @@ TEST(Collector, RecordsNetworkFlowsWithMetadata) {
   meta.job_id = 5;
   meta.kind = kn::FlowKind::kShuffle;
   const auto& topo = net.topology();
-  net.start_flow(topo.find("h0"), topo.find("h1"), 5000.0, meta, nullptr);
+  net.start_flow(topo.find("h0"), topo.find("h1"), ku::Bytes(5000.0), meta, nullptr);
   sim.run();
   const auto& trace = collector.trace();
   ASSERT_EQ(trace.size(), 1u);
@@ -200,7 +201,7 @@ TEST(Collector, LoopbackDroppedByDefaultIncludedOnRequest) {
   kc::FlowCollector drops(net);
   kc::FlowCollector keeps(net, include);
   const auto& topo = net.topology();
-  net.start_flow(topo.find("h0"), topo.find("h0"), 100.0, {}, nullptr);
+  net.start_flow(topo.find("h0"), topo.find("h0"), ku::Bytes(100.0), {}, nullptr);
   sim.run();
   EXPECT_EQ(drops.trace().size(), 0u);
   EXPECT_EQ(drops.dropped_loopback(), 1u);
@@ -217,8 +218,8 @@ TEST(Collector, ControlExcludedOnRequest) {
   control.kind = kn::FlowKind::kControl;
   control.dst_port = kn::ports::kRmTracker;
   const auto& topo = net.topology();
-  net.start_flow(topo.find("h0"), topo.find("h1"), 100.0, control, nullptr);
-  net.start_flow(topo.find("h0"), topo.find("h1"), 100.0, {}, nullptr);
+  net.start_flow(topo.find("h0"), topo.find("h1"), ku::Bytes(100.0), control, nullptr);
+  net.start_flow(topo.find("h0"), topo.find("h1"), ku::Bytes(100.0), {}, nullptr);
   sim.run();
   EXPECT_EQ(collector.trace().size(), 1u);
 }
@@ -228,7 +229,7 @@ TEST(Collector, TakeResetsState) {
   kn::Network net(sim, kn::make_star(3, 1e9, 0.0));
   kc::FlowCollector collector(net);
   const auto& topo = net.topology();
-  net.start_flow(topo.find("h0"), topo.find("h1"), 100.0, {}, nullptr);
+  net.start_flow(topo.find("h0"), topo.find("h1"), ku::Bytes(100.0), {}, nullptr);
   sim.run();
   const auto taken = collector.take();
   EXPECT_EQ(taken.size(), 1u);

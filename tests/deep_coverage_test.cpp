@@ -14,6 +14,7 @@ namespace kn = keddah::net;
 namespace kc = keddah::capture;
 namespace kw = keddah::workloads;
 namespace ks = keddah::sim;
+namespace ku = keddah::util;
 
 namespace {
 
@@ -134,12 +135,12 @@ TEST(NetworkIntrospection, CountersAndFindFlow) {
   opts.model_latency = false;
   kn::Network net(sim, kn::make_star(3, 1e9, 0.0), opts);
   const auto& topo = net.topology();
-  const auto id = net.start_flow(topo.find("h0"), topo.find("h1"), 1e6, {}, nullptr);
+  const auto id = net.start_flow(topo.find("h0"), topo.find("h1"), ku::Bytes(1e6), {}, nullptr);
   EXPECT_EQ(net.total_flows(), 1u);
   sim.step();  // activate
   const auto* flow = net.find_flow(id);
   ASSERT_NE(flow, nullptr);
-  EXPECT_DOUBLE_EQ(flow->bytes, 1e6);
+  EXPECT_DOUBLE_EQ(flow->bytes.value(), 1e6);
   EXPECT_GT(flow->rate_bps, 0.0);
   EXPECT_GT(net.recomputations(), 0u);
   sim.run();

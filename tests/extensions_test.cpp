@@ -123,8 +123,8 @@ TEST(RunInterchange, SaveLoadRoundTrip) {
   keddah::capture::FlowRecord r;
   r.src = "h0";
   r.dst = "h1";
-  r.src_id = 0;
-  r.dst_id = 1;
+  r.src_id = kn::NodeId(0);
+  r.dst_id = kn::NodeId(1);
   r.src_port = kn::ports::kShuffle;
   r.bytes = 123.0;
   r.start = 2.0;

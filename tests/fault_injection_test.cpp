@@ -209,11 +209,11 @@ TEST(DegradedLink, CapacityRestoresAfterWindow) {
   kh::HadoopCluster cluster(test_config(), 103);
   const auto node = cluster.workers()[1];
   const auto link = cluster.network().topology().links_at(node).front();
-  const double nominal = cluster.network().topology().link(link).capacity_bps;
+  const double nominal = cluster.network().topology().link(link).capacity.bps();
   cluster.degrade_link(node, 0.1, 3.0);
-  EXPECT_NEAR(cluster.network().topology().link(link).capacity_bps, 0.1 * nominal, 1.0);
+  EXPECT_NEAR(cluster.network().topology().link(link).capacity.bps(), 0.1 * nominal, 1.0);
   cluster.simulator().run();
-  EXPECT_NEAR(cluster.network().topology().link(link).capacity_bps, nominal, 1.0);
+  EXPECT_NEAR(cluster.network().topology().link(link).capacity.bps(), nominal, 1.0);
 }
 
 TEST(DegradedLink, BadParametersThrow) {

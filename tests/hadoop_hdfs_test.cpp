@@ -105,7 +105,7 @@ TEST(Hdfs, DuplicateNameThrows) {
   EXPECT_TRUE(h.hdfs->has_file("f"));
   EXPECT_FALSE(h.hdfs->has_file("g"));
   EXPECT_THROW(h.hdfs->file_by_name("g"), std::out_of_range);
-  EXPECT_THROW(h.hdfs->file(999), std::out_of_range);
+  EXPECT_THROW(h.hdfs->file(kh::FileId(999)), std::out_of_range);
 }
 
 TEST(Hdfs, WritePipelineEmitsReplicationFlows) {

@@ -32,7 +32,7 @@ TEST(Yarn, InitialSlotAccounting) {
   EXPECT_EQ(h.sched.total_slots(), 12u);
   EXPECT_EQ(h.sched.free_slots(), 12u);
   EXPECT_EQ(h.sched.free_slots_on(h.hosts[0]), 3u);
-  EXPECT_EQ(h.sched.free_slots_on(9999), 0u);
+  EXPECT_EQ(h.sched.free_slots_on(kn::NodeId(9999)), 0u);
 }
 
 TEST(Yarn, GrantsPreferredNode) {
@@ -156,7 +156,7 @@ TEST(Yarn, SpreadsLoadAcrossNodes) {
 TEST(Yarn, InvalidArgumentsThrow) {
   YarnHarness h;
   EXPECT_THROW(h.sched.request_container({}, nullptr), std::invalid_argument);
-  EXPECT_THROW(h.sched.release_container(12345), std::invalid_argument);
+  EXPECT_THROW(h.sched.release_container(kn::NodeId(12345)), std::invalid_argument);
   ks::Simulator sim;
   kn::Topology topo = kn::make_star(2, 1e9, 0.0);
   EXPECT_THROW(kh::YarnScheduler(sim, topo, {}, 2), std::invalid_argument);

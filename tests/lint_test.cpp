@@ -1,0 +1,183 @@
+// Tests for keddah-lint: every seeded-defect fixture under
+// tests/fixtures/lint must produce an error diagnostic naming the file and
+// the offending JSON key, and every shipped example scenario must lint
+// clean. Fixture/example locations come from compile definitions set by
+// tests/CMakeLists.txt.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+#include "util/json.h"
+
+namespace kl = keddah::lint;
+namespace ku = keddah::util;
+
+namespace {
+
+std::string fixture(const std::string& name) {
+  return std::string(KEDDAH_LINT_FIXTURES) + "/" + name;
+}
+
+std::string example_scenario(const std::string& name) {
+  return std::string(KEDDAH_EXAMPLE_SCENARIOS) + "/" + name;
+}
+
+/// Lints a fixture and asserts it fails with at least one error whose key
+/// contains `key_fragment` and whose file names the fixture.
+kl::LintReport expect_error_at(const std::string& name, const std::string& key_fragment) {
+  const std::string path = fixture(name);
+  const auto report = kl::lint_file(path);
+  EXPECT_FALSE(report.ok()) << name << " should lint with errors";
+  bool found = false;
+  for (const auto& d : report.diagnostics) {
+    EXPECT_EQ(d.file, path);
+    if (d.severity == kl::Severity::kError &&
+        d.key.find(key_fragment) != std::string::npos) {
+      found = true;
+      EXPECT_FALSE(d.message.empty());
+    }
+  }
+  EXPECT_TRUE(found) << name << ": no error diagnostic at a key containing '" << key_fragment
+                     << "'";
+  return report;
+}
+
+}  // namespace
+
+TEST(LintFixtures, UnknownWorkerReference) {
+  const auto report = expect_error_at("scenario_unknown_worker.json", "faults[0].worker");
+  EXPECT_EQ(report.kind, kl::FileKind::kScenario);
+}
+
+TEST(LintFixtures, DuplicateFault) {
+  expect_error_at("scenario_duplicate_fault.json", "faults[1]");
+}
+
+TEST(LintFixtures, FaultWindowOutsideHorizon) {
+  expect_error_at("scenario_fault_outside_horizon.json", "faults[0]");
+}
+
+TEST(LintFixtures, CrashThenRecoverOfDeadNode) {
+  const auto report = expect_error_at("scenario_crash_then_recover.json", "faults[1]");
+  // The crash itself is fine; only the later event on the dead worker errs.
+  EXPECT_EQ(report.num_errors(), 1u);
+}
+
+TEST(LintFixtures, MasterWorkerCannotBeFaulted) {
+  expect_error_at("scenario_master_fault.json", "faults[0].worker");
+}
+
+TEST(LintFixtures, ReplicationExceedsClusterSize) {
+  expect_error_at("scenario_replication_exceeds_cluster.json", "cluster.replication");
+}
+
+TEST(LintFixtures, UnknownWorkloadNamesAlternatives) {
+  const auto report = expect_error_at("scenario_unknown_workload.json", "jobs[0].workload");
+  bool hint_lists_workloads = false;
+  for (const auto& d : report.diagnostics) {
+    if (d.hint.find("sort") != std::string::npos) hint_lists_workloads = true;
+  }
+  EXPECT_TRUE(hint_lists_workloads);
+}
+
+TEST(LintFixtures, DuplicateJsonKeyIsDiagnosedNotThrown) {
+  const auto report = expect_error_at("scenario_duplicate_key.json", "$");
+  bool names_key = false;
+  for (const auto& d : report.diagnostics) {
+    if (d.message.find("seed") != std::string::npos) names_key = true;
+  }
+  EXPECT_TRUE(names_key) << "syntax diagnostic should carry the duplicated key name";
+}
+
+TEST(LintFixtures, StandaloneFaultPlanFactors) {
+  const auto report = expect_error_at("faultplan_bad_factor.json", "[0].factor");
+  EXPECT_EQ(report.kind, kl::FileKind::kFaultPlan);
+  expect_error_at("faultplan_bad_factor.json", "[1].factor");
+}
+
+TEST(LintFixtures, NonMonotoneEcdf) {
+  const auto report =
+      expect_error_at("model_nonmonotone_ecdf.json", "classes.shuffle.size.empirical[2]");
+  EXPECT_EQ(report.kind, kl::FileKind::kModel);
+}
+
+TEST(LintFixtures, NanDistributionParameter) {
+  expect_error_at("model_nan_params.json", "classes.shuffle.size.parametric.p1");
+}
+
+TEST(LintFixtures, NegativeDistributionParameter) {
+  expect_error_at("model_negative_params.json", "classes.hdfs_write.size.parametric.p2");
+}
+
+TEST(LintFixtures, ModelReplicationExceedsNodes) {
+  expect_error_at("model_replication_exceeds_nodes.json", "context.replication");
+}
+
+TEST(LintFixtures, BankEntriesGetIndexedKeys) {
+  const auto report = expect_error_at("bank_bad_entry.json", "models[1].job_name");
+  EXPECT_EQ(report.kind, kl::FileKind::kModelBank);
+  expect_error_at("bank_bad_entry.json", "models[1].classes.shuffle.temporal");
+}
+
+TEST(LintExamples, ShippedScenariosAreClean) {
+  for (const char* name : {"clean.json", "crash.json", "outage.json", "degraded_link.json"}) {
+    const auto report = kl::lint_file(example_scenario(name));
+    EXPECT_EQ(report.kind, kl::FileKind::kScenario) << name;
+    EXPECT_TRUE(report.diagnostics.empty())
+        << name << ": " << (report.diagnostics.empty()
+                                ? ""
+                                : report.diagnostics.front().to_string());
+  }
+}
+
+TEST(LintDocument, SniffsKindsFromShape) {
+  EXPECT_EQ(kl::lint_document(ku::Json::parse(R"({"jobs": []})"), "f").kind,
+            kl::FileKind::kScenario);
+  EXPECT_EQ(kl::lint_document(ku::Json::parse("[]"), "f").kind, kl::FileKind::kFaultPlan);
+  EXPECT_EQ(kl::lint_document(ku::Json::parse(R"({"job_name": "x"})"), "f").kind,
+            kl::FileKind::kModel);
+  EXPECT_EQ(kl::lint_document(ku::Json::parse(R"({"models": []})"), "f").kind,
+            kl::FileKind::kModelBank);
+  const auto unknown = kl::lint_document(ku::Json::parse("3"), "f");
+  EXPECT_EQ(unknown.kind, kl::FileKind::kUnknown);
+  EXPECT_FALSE(unknown.ok());
+}
+
+TEST(LintDocument, UnknownKeysAreWarningsNotErrors) {
+  const auto doc = ku::Json::parse(
+      R"({"jobs": [{"workload": "sort", "input": 1048576}], "extra_key": 1})");
+  const auto report = kl::lint_document(doc, "f");
+  EXPECT_TRUE(report.ok());
+  ASSERT_EQ(report.num_warnings(), 1u);
+  EXPECT_EQ(report.diagnostics.front().key, "extra_key");
+}
+
+TEST(LintDocument, EmptyJobsArrayErrs) {
+  const auto report = kl::lint_document(ku::Json::parse(R"({"jobs": []})"), "f");
+  ASSERT_EQ(report.num_errors(), 1u);
+  EXPECT_EQ(report.diagnostics.front().key, "jobs");
+}
+
+TEST(LintReportApi, PrintPutsErrorsFirstAndCountsSeverities) {
+  kl::LintReport report;
+  report.diagnostics.push_back(
+      {kl::Severity::kWarning, "f.json", "a", "suspicious", "maybe"});
+  report.diagnostics.push_back({kl::Severity::kError, "f.json", "b", "broken", ""});
+  EXPECT_EQ(report.num_errors(), 1u);
+  EXPECT_EQ(report.num_warnings(), 1u);
+  EXPECT_FALSE(report.ok());
+  std::ostringstream os;
+  kl::print_report(report, os);
+  const std::string text = os.str();
+  EXPECT_EQ(text.find("error: f.json: b: broken\n"), 0u);
+  EXPECT_NE(text.find("warning: f.json: a: suspicious (maybe)"), std::string::npos);
+}
+
+TEST(LintFile, MissingFileIsADiagnostic) {
+  const auto report = kl::lint_file(fixture("does_not_exist.json"));
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.kind, kl::FileKind::kUnknown);
+}

@@ -10,6 +10,7 @@
 
 namespace kn = keddah::net;
 namespace ks = keddah::sim;
+namespace ku = keddah::util;
 
 namespace {
 
@@ -35,11 +36,11 @@ TEST(Network, SingleFlowSaturatesAccessLink) {
   const auto& topo = h.net.topology();
   double end = -1.0;
   // 1 Gbit payload over 1 Gb/s -> exactly 1 second.
-  h.net.start_flow(topo.find("h0"), topo.find("h1"), 1e9 / 8.0, {},
+  h.net.start_flow(topo.find("h0"), topo.find("h1"), ku::Bytes(1e9 / 8.0), {},
                    [&](const kn::Flow& f) { end = f.end_time; });
   h.sim.run();
   EXPECT_NEAR(end, 1.0, 1e-9);
-  EXPECT_DOUBLE_EQ(h.net.delivered_bytes(), 1e9 / 8.0);
+  EXPECT_DOUBLE_EQ(h.net.delivered_bytes().value(), 1e9 / 8.0);
   EXPECT_EQ(h.net.active_flows(), 0u);
 }
 
@@ -50,7 +51,7 @@ TEST(Network, LatencyDelaysStartAndDelivery) {
   const auto& topo = h.net.topology();
   double end = -1.0;
   double start = -1.0;
-  h.net.start_flow(topo.find("h0"), topo.find("h1"), 1e9 / 8.0, {}, [&](const kn::Flow& f) {
+  h.net.start_flow(topo.find("h0"), topo.find("h1"), ku::Bytes(1e9 / 8.0), {}, [&](const kn::Flow& f) {
     end = f.end_time;
     start = f.start_time;
   });
@@ -65,7 +66,7 @@ TEST(Network, TwoFlowsShareLinkEqually) {
   std::vector<double> ends;
   // Both flows sink into h2: its downlink is the bottleneck at 0.5 Gb/s each.
   for (const auto src : {topo.find("h0"), topo.find("h1")}) {
-    h.net.start_flow(src, topo.find("h2"), 1e9 / 8.0, {},
+    h.net.start_flow(src, topo.find("h2"), ku::Bytes(1e9 / 8.0), {},
                      [&](const kn::Flow& f) { ends.push_back(f.end_time); });
   }
   h.sim.run();
@@ -82,9 +83,9 @@ TEST(Network, ShortFlowFinishesThenLongSpeedsUp) {
   // Shared sink downlink. Short: 0.5 Gbit, long: 1.5 Gbit.
   // Phase 1: both at 0.5 Gb/s. Short drains 0.5 Gbit in 1 s.
   // Phase 2: long has 1.0 Gbit left at 1 Gb/s -> finishes at t = 2 s.
-  h.net.start_flow(topo.find("h0"), topo.find("h2"), 0.5e9 / 8.0, {},
+  h.net.start_flow(topo.find("h0"), topo.find("h2"), ku::Bytes(0.5e9 / 8.0), {},
                    [&](const kn::Flow& f) { short_end = f.end_time; });
-  h.net.start_flow(topo.find("h1"), topo.find("h2"), 1.5e9 / 8.0, {},
+  h.net.start_flow(topo.find("h1"), topo.find("h2"), ku::Bytes(1.5e9 / 8.0), {},
                    [&](const kn::Flow& f) { long_end = f.end_time; });
   h.sim.run();
   EXPECT_NEAR(short_end, 1.0, 1e-6);
@@ -97,9 +98,9 @@ TEST(Network, MaxMinRespectsDistinctBottlenecks) {
   Harness h(kn::make_dumbbell(2, 2, kGbps, kGbps, 0.0), no_latency());
   const auto& topo = h.net.topology();
   double end_a = -1.0;
-  h.net.start_flow(topo.find("h0"), topo.find("h2"), 0.5e9 / 8.0, {},
+  h.net.start_flow(topo.find("h0"), topo.find("h2"), ku::Bytes(0.5e9 / 8.0), {},
                    [&](const kn::Flow& f) { end_a = f.end_time; });
-  h.net.start_flow(topo.find("h1"), topo.find("h3"), 0.5e9 / 8.0, {}, nullptr);
+  h.net.start_flow(topo.find("h1"), topo.find("h3"), ku::Bytes(0.5e9 / 8.0), {}, nullptr);
   h.sim.run();
   EXPECT_NEAR(end_a, 1.0, 1e-6);
 }
@@ -112,11 +113,11 @@ TEST(Network, UnbalancedMaxMinGivesLeftoverToUnconstrained) {
   const auto sink = topo.find("h3");
   double capped_end = -1.0;
   double free_end = -1.0;
-  h.net.start_flow(topo.find("h0"), sink, 0.1e9 / 8.0, {},
-                   [&](const kn::Flow& f) { capped_end = f.end_time; }, 0.1e9);
-  h.net.start_flow(topo.find("h1"), sink, 0.45e9 / 8.0, {},
+  h.net.start_flow(topo.find("h0"), sink, ku::Bytes(0.1e9 / 8.0), {},
+                   [&](const kn::Flow& f) { capped_end = f.end_time; }, ku::Rate::bps(0.1e9));
+  h.net.start_flow(topo.find("h1"), sink, ku::Bytes(0.45e9 / 8.0), {},
                    [&](const kn::Flow& f) { free_end = f.end_time; });
-  h.net.start_flow(topo.find("h2"), sink, 0.45e9 / 8.0, {}, nullptr);
+  h.net.start_flow(topo.find("h2"), sink, ku::Bytes(0.45e9 / 8.0), {}, nullptr);
   h.sim.run();
   // Capped flow: 0.1 Gbit at 0.1 Gb/s -> 1 s. Free flows: 0.45 Gbit at
   // 0.45 Gb/s -> also 1 s.
@@ -128,8 +129,8 @@ TEST(Network, RateCapSlowsSoloFlow) {
   Harness h(kn::make_star(2, kGbps, 0.0), no_latency());
   const auto& topo = h.net.topology();
   double end = -1.0;
-  h.net.start_flow(topo.find("h0"), topo.find("h1"), 1e9 / 8.0, {},
-                   [&](const kn::Flow& f) { end = f.end_time; }, 0.25e9);
+  h.net.start_flow(topo.find("h0"), topo.find("h1"), ku::Bytes(1e9 / 8.0), {},
+                   [&](const kn::Flow& f) { end = f.end_time; }, ku::Rate::bps(0.25e9));
   h.sim.run();
   EXPECT_NEAR(end, 4.0, 1e-6);
 }
@@ -137,11 +138,11 @@ TEST(Network, RateCapSlowsSoloFlow) {
 TEST(Network, LoopbackUsesLoopbackRate) {
   kn::NetworkOptions opts;
   opts.model_latency = false;
-  opts.loopback_bps = 8e9;
+  opts.loopback = ku::Rate::bps(8e9);
   Harness h(kn::make_star(2, kGbps, 0.0), opts);
   const auto& topo = h.net.topology();
   double end = -1.0;
-  h.net.start_flow(topo.find("h0"), topo.find("h0"), 1e9, {},
+  h.net.start_flow(topo.find("h0"), topo.find("h0"), ku::Bytes(1e9), {},
                    [&](const kn::Flow& f) { end = f.end_time; });
   h.sim.run();
   EXPECT_NEAR(end, 1.0, 1e-9);  // 8 Gbit / 8 Gb/s
@@ -151,8 +152,8 @@ TEST(Network, LoopbackDoesNotConsumeFabric) {
   Harness h(kn::make_star(2, kGbps, 0.0), no_latency());
   const auto& topo = h.net.topology();
   double net_end = -1.0;
-  h.net.start_flow(topo.find("h0"), topo.find("h0"), 1e12, {}, nullptr);
-  h.net.start_flow(topo.find("h0"), topo.find("h1"), 1e9 / 8.0, {},
+  h.net.start_flow(topo.find("h0"), topo.find("h0"), ku::Bytes(1e12), {}, nullptr);
+  h.net.start_flow(topo.find("h0"), topo.find("h1"), ku::Bytes(1e9 / 8.0), {},
                    [&](const kn::Flow& f) { net_end = f.end_time; });
   h.sim.run();
   EXPECT_NEAR(net_end, 1.0, 1e-6);  // full rate despite huge loopback flow
@@ -166,8 +167,8 @@ TEST(Network, CompletionTapSeesAllFlows) {
   kn::FlowMeta meta;
   meta.src_port = kn::ports::kShuffle;
   meta.job_id = 9;
-  h.net.start_flow(topo.find("h0"), topo.find("h1"), 1000.0, meta, nullptr);
-  h.net.start_flow(topo.find("h1"), topo.find("h1"), 500.0, {}, nullptr);  // loopback
+  h.net.start_flow(topo.find("h0"), topo.find("h1"), ku::Bytes(1000.0), meta, nullptr);
+  h.net.start_flow(topo.find("h1"), topo.find("h1"), ku::Bytes(500.0), {}, nullptr);  // loopback
   h.sim.run();
   ASSERT_EQ(finished.size(), 2u);
   // Taps observe meta annotations.
@@ -188,7 +189,7 @@ TEST(Network, StartTapFiresAtFirstByte) {
   const auto& topo = h.net.topology();
   double tap_time = -1.0;
   h.net.add_start_tap([&](const kn::Flow&) { tap_time = h.sim.now(); });
-  h.net.start_flow(topo.find("h0"), topo.find("h1"), 1000.0, {}, nullptr);
+  h.net.start_flow(topo.find("h0"), topo.find("h1"), ku::Bytes(1000.0), {}, nullptr);
   h.sim.run();
   EXPECT_NEAR(tap_time, 0.002, 1e-12);
 }
@@ -204,12 +205,12 @@ TEST(Network, ManyFlowsConservation) {
   for (std::size_t i = 0; i < 8; ++i) {
     const double bytes = 1e6 * static_cast<double>(i + 1);
     injected += bytes;
-    h.net.start_flow(hosts[i], hosts[15 - i], bytes, {},
+    h.net.start_flow(hosts[i], hosts[15 - i], ku::Bytes(bytes), {},
                      [&](const kn::Flow&) { ++completions; });
   }
   h.sim.run();
   EXPECT_EQ(completions, 8);
-  EXPECT_NEAR(h.net.delivered_bytes(), injected, 1.0);
+  EXPECT_NEAR(h.net.delivered_bytes().value(), injected, 1.0);
   EXPECT_EQ(h.net.active_flows(), 0u);
 }
 
@@ -217,7 +218,7 @@ TEST(Network, ZeroByteFlowCompletesImmediately) {
   Harness h(kn::make_star(2, kGbps, 0.0), no_latency());
   const auto& topo = h.net.topology();
   bool done = false;
-  h.net.start_flow(topo.find("h0"), topo.find("h1"), 0.0, {},
+  h.net.start_flow(topo.find("h0"), topo.find("h1"), ku::Bytes(0.0), {},
                    [&](const kn::Flow& f) {
                      done = true;
                      EXPECT_DOUBLE_EQ(f.end_time, f.start_time);
@@ -229,8 +230,8 @@ TEST(Network, ZeroByteFlowCompletesImmediately) {
 TEST(Network, NegativeBytesThrows) {
   Harness h(kn::make_star(2, kGbps, 0.0), no_latency());
   const auto& topo = h.net.topology();
-  EXPECT_THROW(h.net.start_flow(topo.find("h0"), topo.find("h1"), -1.0, {}, nullptr),
-               std::invalid_argument);
+  EXPECT_THROW(h.net.start_flow(topo.find("h0"), topo.find("h1"), ku::Bytes(-1.0), {}, nullptr),
+               std::logic_error);
 }
 
 TEST(Network, StaggeredArrivalsShareCorrectly) {
@@ -244,10 +245,10 @@ TEST(Network, StaggeredArrivalsShareCorrectly) {
   const auto sink = topo.find("h2");
   double end_a = -1.0;
   double end_b = -1.0;
-  h.net.start_flow(topo.find("h0"), sink, 1.5e9 / 8.0, {},
+  h.net.start_flow(topo.find("h0"), sink, ku::Bytes(1.5e9 / 8.0), {},
                    [&](const kn::Flow& f) { end_a = f.end_time; });
   h.sim.schedule_at(1.0, [&] {
-    h.net.start_flow(topo.find("h1"), sink, 0.25e9 / 8.0, {},
+    h.net.start_flow(topo.find("h1"), sink, ku::Bytes(0.25e9 / 8.0), {},
                      [&](const kn::Flow& f) { end_b = f.end_time; });
   });
   h.sim.run();
@@ -262,27 +263,31 @@ TEST(Network, ZeroRateCapMeansUncapped) {
   Harness h(kn::make_star(2, kGbps, 0.0), no_latency());
   const auto& topo = h.net.topology();
   double end_zero = -1.0;
-  h.net.start_flow(topo.find("h0"), topo.find("h1"), 1e9 / 8.0, {},
+  h.net.start_flow(topo.find("h0"), topo.find("h1"), ku::Bytes(1e9 / 8.0), {},
                    [&](const kn::Flow& f) { end_zero = f.end_time; },
-                   /*rate_cap_bps=*/0.0);
+                   ku::Rate::bps(0.0));
   h.sim.run();
   EXPECT_NEAR(end_zero, 1.0, 1e-9);  // full line rate, not 1 bps
 
-  Harness h2(kn::make_star(2, kGbps, 0.0), no_latency());
-  const auto& topo2 = h2.net.topology();
-  double end_negative = -1.0;
-  h2.net.start_flow(topo2.find("h0"), topo2.find("h1"), 1e9 / 8.0, {},
-                    [&](const kn::Flow& f) { end_negative = f.end_time; },
-                    /*rate_cap_bps=*/-5.0);
-  h2.sim.run();
-  EXPECT_NEAR(end_negative, 1.0, 1e-9);
+  // A negative cap is rejected at Rate construction in KEDDAH_CHECK builds,
+  // so the legacy coercion path can only be exercised in release builds.
+  if constexpr (!ku::kAuditEnabled) {
+    Harness h2(kn::make_star(2, kGbps, 0.0), no_latency());
+    const auto& topo2 = h2.net.topology();
+    double end_negative = -1.0;
+    h2.net.start_flow(topo2.find("h0"), topo2.find("h1"), ku::Bytes(1e9 / 8.0), {},
+                      [&](const kn::Flow& f) { end_negative = f.end_time; },
+                      ku::Rate::bps(-5.0));
+    h2.sim.run();
+    EXPECT_NEAR(end_negative, 1.0, 1e-9);
+  }
 }
 
 TEST(Network, AggregateRateTracksActiveFlows) {
   Harness h(kn::make_star(3, kGbps, 0.0), no_latency());
   const auto& topo = h.net.topology();
-  h.net.start_flow(topo.find("h0"), topo.find("h2"), 1e9, {}, nullptr);
-  h.net.start_flow(topo.find("h1"), topo.find("h2"), 1e9, {}, nullptr);
+  h.net.start_flow(topo.find("h0"), topo.find("h2"), ku::Bytes(1e9), {}, nullptr);
+  h.net.start_flow(topo.find("h1"), topo.find("h2"), ku::Bytes(1e9), {}, nullptr);
   h.sim.step();  // activate first flow
   h.sim.step();  // activate second flow
   EXPECT_EQ(h.net.active_flows(), 2u);
@@ -305,7 +310,7 @@ TEST(Network, EcmpOnFatTreeDeliversEverything) {
   const auto hosts = topo.hosts();
   int completions = 0;
   for (std::size_t i = 0; i < hosts.size(); ++i) {
-    h.net.start_flow(hosts[i], hosts[(i + 5) % hosts.size()], 1e7, {},
+    h.net.start_flow(hosts[i], hosts[(i + 5) % hosts.size()], ku::Bytes(1e7), {},
                      [&](const kn::Flow&) { ++completions; });
   }
   h.sim.run();
@@ -320,7 +325,7 @@ TEST(NetworkAbort, AbortMidTransferKeepsPartialBytes) {
   kn::Flow seen;
   bool completed = false;
   // 1 Gbit at 1 Gb/s would take 1 s; abort halfway.
-  const auto id = h.net.start_flow(topo.find("h0"), topo.find("h1"), 1e9 / 8.0, {},
+  const auto id = h.net.start_flow(topo.find("h0"), topo.find("h1"), ku::Bytes(1e9 / 8.0), {},
                                    [&](const kn::Flow& f) {
                                      seen = f;
                                      completed = true;
@@ -330,11 +335,11 @@ TEST(NetworkAbort, AbortMidTransferKeepsPartialBytes) {
   ASSERT_TRUE(completed);
   EXPECT_TRUE(seen.aborted);
   // Half the payload was on the wire when the connection died.
-  EXPECT_NEAR(seen.bytes, 0.5e9 / 8.0, 1.0);
+  EXPECT_NEAR(seen.bytes.value(), 0.5e9 / 8.0, 1.0);
   EXPECT_NEAR(seen.end_time, 0.5, 1e-9);
   EXPECT_EQ(h.net.aborted_flows(), 1u);
-  EXPECT_NEAR(h.net.aborted_bytes(), 0.5e9 / 8.0, 1.0);
-  EXPECT_NEAR(h.net.delivered_bytes(), 0.5e9 / 8.0, 1.0);
+  EXPECT_NEAR(h.net.aborted_bytes().value(), 0.5e9 / 8.0, 1.0);
+  EXPECT_NEAR(h.net.delivered_bytes().value(), 0.5e9 / 8.0, 1.0);
   EXPECT_EQ(h.net.active_flows(), 0u);
 }
 
@@ -349,8 +354,8 @@ TEST(NetworkAbort, SurvivorSpeedsUpAfterAbort) {
   double survivor_end = -1.0;
   // Two flows share the sink downlink at 0.5 Gb/s each. Aborting one at
   // t=0.5 frees the link: survivor has 0.6875 Gbit left at 1 Gb/s.
-  const auto victim = h.net.start_flow(topo.find("h0"), topo.find("h2"), 1e9 / 8.0, {}, nullptr);
-  h.net.start_flow(topo.find("h1"), topo.find("h2"), 1e9 / 8.0, {},
+  const auto victim = h.net.start_flow(topo.find("h0"), topo.find("h2"), ku::Bytes(1e9 / 8.0), {}, nullptr);
+  h.net.start_flow(topo.find("h1"), topo.find("h2"), ku::Bytes(1e9 / 8.0), {},
                    [&](const kn::Flow& f) { survivor_end = f.end_time; });
   h.sim.schedule_at(0.5, [&] { h.net.abort_flow(victim); });
   h.sim.run();
@@ -364,9 +369,9 @@ TEST(NetworkAbort, NodeFailureAbortsEveryTouchingFlow) {
   int aborted = 0;
   int clean = 0;
   auto count = [&](const kn::Flow& f) { f.aborted ? ++aborted : ++clean; };
-  h.net.start_flow(dead, topo.find("h0"), 1e9 / 8.0, {}, count);          // from dead
-  h.net.start_flow(topo.find("h2"), dead, 1e9 / 8.0, {}, count);          // into dead
-  h.net.start_flow(topo.find("h3"), topo.find("h0"), 1e9 / 8.0, {}, count);  // unrelated
+  h.net.start_flow(dead, topo.find("h0"), ku::Bytes(1e9 / 8.0), {}, count);          // from dead
+  h.net.start_flow(topo.find("h2"), dead, ku::Bytes(1e9 / 8.0), {}, count);          // into dead
+  h.net.start_flow(topo.find("h3"), topo.find("h0"), ku::Bytes(1e9 / 8.0), {}, count);  // unrelated
   h.sim.schedule_at(0.25, [&] {
     h.net.set_node_down(dead);
     EXPECT_EQ(h.net.abort_flows_touching(dead), 2u);
@@ -384,22 +389,22 @@ TEST(NetworkAbort, FlowToDownNodeDiesWithZeroBytes) {
   h.net.set_node_down(topo.find("h1"));
   kn::Flow seen;
   bool fired = false;
-  h.net.start_flow(topo.find("h0"), topo.find("h1"), 1e9 / 8.0, {}, [&](const kn::Flow& f) {
+  h.net.start_flow(topo.find("h0"), topo.find("h1"), ku::Bytes(1e9 / 8.0), {}, [&](const kn::Flow& f) {
     seen = f;
     fired = true;
   });
   h.sim.run();
   ASSERT_TRUE(fired);  // failed connect reports immediately
   EXPECT_TRUE(seen.aborted);
-  EXPECT_DOUBLE_EQ(seen.bytes, 0.0);
+  EXPECT_DOUBLE_EQ(seen.bytes.value(), 0.0);
   EXPECT_EQ(h.net.aborted_flows(), 1u);
   // The whole intended payload counts as aborted, none as delivered.
-  EXPECT_NEAR(h.net.aborted_bytes(), 1e9 / 8.0, 1e-6);
-  EXPECT_DOUBLE_EQ(h.net.delivered_bytes(), 0.0);
+  EXPECT_NEAR(h.net.aborted_bytes().value(), 1e9 / 8.0, 1e-6);
+  EXPECT_DOUBLE_EQ(h.net.delivered_bytes().value(), 0.0);
   // After recovery new flows complete normally.
   h.net.set_node_up(topo.find("h1"));
   double end = -1.0;
-  h.net.start_flow(topo.find("h0"), topo.find("h1"), 1e9 / 8.0, {},
+  h.net.start_flow(topo.find("h0"), topo.find("h1"), ku::Bytes(1e9 / 8.0), {},
                    [&](const kn::Flow& f) { end = f.end_time; });
   h.sim.run();
   EXPECT_GT(end, 0.0);
@@ -413,9 +418,9 @@ TEST(NetworkAbort, LinkCapacityChangeReshapesActiveFlows) {
   double end = -1.0;
   // 1 Gbit: first half at 1 Gb/s (0.5 s), then the link degrades to
   // 0.1 Gb/s -> remaining 0.5 Gbit takes 5 s more.
-  h.net.start_flow(h0, topo.find("h1"), 1e9 / 8.0, {},
+  h.net.start_flow(h0, topo.find("h1"), ku::Bytes(1e9 / 8.0), {},
                    [&](const kn::Flow& f) { end = f.end_time; });
-  h.sim.schedule_at(0.5, [&] { h.net.set_link_capacity(access, 0.1 * kGbps); });
+  h.sim.schedule_at(0.5, [&] { h.net.set_link_capacity(access, ku::Rate::bps(0.1 * kGbps)); });
   h.sim.run();
   EXPECT_NEAR(end, 5.5, 1e-6);
 }
@@ -427,19 +432,21 @@ TEST(NetworkAbort, CapacityRestoreSpeedsBackUp) {
   double end = -1.0;
   // Degraded from the start: 0.1 Gb/s for 1 s delivers 0.1 Gbit; restore to
   // 1 Gb/s -> remaining 0.9 Gbit takes 0.9 s.
-  h.net.set_link_capacity(access, 0.1 * kGbps);
-  h.net.start_flow(topo.find("h0"), topo.find("h1"), 1e9 / 8.0, {},
+  h.net.set_link_capacity(access, ku::Rate::bps(0.1 * kGbps));
+  h.net.start_flow(topo.find("h0"), topo.find("h1"), ku::Bytes(1e9 / 8.0), {},
                    [&](const kn::Flow& f) { end = f.end_time; });
-  h.sim.schedule_at(1.0, [&] { h.net.set_link_capacity(access, kGbps); });
+  h.sim.schedule_at(1.0, [&] { h.net.set_link_capacity(access, ku::Rate::bps(kGbps)); });
   h.sim.run();
   EXPECT_NEAR(end, 1.9, 1e-6);
 }
 
 TEST(NetworkAbort, BadNodeAndLinkIdsThrow) {
   Harness h(kn::make_star(2, kGbps, 0.0), no_latency());
-  EXPECT_THROW(h.net.set_node_down(999), std::out_of_range);
-  EXPECT_THROW(h.net.set_node_up(999), std::out_of_range);
-  EXPECT_THROW(h.net.set_link_capacity(999, 1e9), std::out_of_range);
-  EXPECT_THROW(h.net.set_link_capacity(0, -1.0), std::invalid_argument);
-  EXPECT_TRUE(h.net.node_up(999));  // unknown ids read as "up"
+  EXPECT_THROW(h.net.set_node_down(kn::NodeId(999)), std::out_of_range);
+  EXPECT_THROW(h.net.set_node_up(kn::NodeId(999)), std::out_of_range);
+  EXPECT_THROW(h.net.set_link_capacity(999, ku::Rate::bps(1e9)), std::out_of_range);
+  // std::logic_error covers both the engine's invalid_argument and the
+  // Rate constructor's AuditError under KEDDAH_CHECK builds.
+  EXPECT_THROW(h.net.set_link_capacity(0, ku::Rate::bps(-1.0)), std::logic_error);
+  EXPECT_TRUE(h.net.node_up(kn::NodeId(999)));  // unknown ids read as "up"
 }

@@ -73,7 +73,7 @@ struct RandomLoad {
       const double start = rng.uniform(0.0, 5.0);
       injected += bytes;
       sim.schedule_at(start, [this, src, dst, bytes] {
-        net.start_flow(src, dst, bytes, {}, [this](const kn::Flow&) { ++completions; });
+        net.start_flow(src, dst, ku::Bytes(bytes), {}, [this](const kn::Flow&) { ++completions; });
       });
     }
   }
@@ -85,7 +85,7 @@ TEST_P(NetworkProperty, EveryByteIsDelivered) {
   RandomLoad load(GetParam(), 200, 42);
   load.sim.run();
   EXPECT_EQ(load.completions, 200);
-  EXPECT_NEAR(load.net.delivered_bytes(), load.injected, 1e-3 * load.injected);
+  EXPECT_NEAR(load.net.delivered_bytes().value(), load.injected, 1e-3 * load.injected);
   EXPECT_EQ(load.net.active_flows(), 0u);
 }
 
@@ -113,7 +113,7 @@ TEST_P(NetworkProperty, ArcBytesConsistentWithFlows) {
   kn::Network net(sim, make(GetParam()), opts);
   const auto hosts = net.topology().hosts();
   const double bytes = 5e6;
-  const auto id = net.start_flow(hosts.front(), hosts.back(), bytes, {}, nullptr);
+  const auto id = net.start_flow(hosts.front(), hosts.back(), ku::Bytes(bytes), {}, nullptr);
   sim.step();  // activation computes the path
   const auto* flow = net.find_flow(id);
   ASSERT_NE(flow, nullptr);
@@ -136,7 +136,7 @@ TEST_P(NetworkProperty, DeterministicAcrossRuns) {
   a.sim.run();
   b.sim.run();
   EXPECT_DOUBLE_EQ(a.sim.now(), b.sim.now());
-  EXPECT_DOUBLE_EQ(a.net.delivered_bytes(), b.net.delivered_bytes());
+  EXPECT_DOUBLE_EQ(a.net.delivered_bytes().value(), b.net.delivered_bytes().value());
   EXPECT_EQ(a.net.recomputations(), b.net.recomputations());
 }
 
@@ -148,7 +148,7 @@ TEST_P(NetworkProperty, SlowStartDelaysSmallFlowsMore) {
     kn::Network net(sim, make(GetParam()), opts);
     const auto hosts = net.topology().hosts();
     double end = 0.0;
-    net.start_flow(hosts.front(), hosts.back(), bytes, {},
+    net.start_flow(hosts.front(), hosts.back(), ku::Bytes(bytes), {},
                    [&](const kn::Flow& f) { end = f.end_time; });
     sim.run();
     return end;
@@ -174,7 +174,7 @@ TEST_P(NetworkProperty, CaptureSeesEveryNonLoopbackFlow) {
     const auto src = hosts[i % hosts.size()];
     auto dst = hosts[(i * 3 + 1) % hosts.size()];
     if (dst == src) dst = hosts[(i * 3 + 2) % hosts.size()];
-    net.start_flow(src, dst, 1000.0 * static_cast<double>(i + 1), {}, nullptr);
+    net.start_flow(src, dst, ku::Bytes(1000.0 * static_cast<double>(i + 1)), {}, nullptr);
   }
   sim.run();
   EXPECT_EQ(collector.trace().size(), n);

@@ -6,6 +6,7 @@
 #include "net/topology.h"
 
 namespace kn = keddah::net;
+namespace ku = keddah::util;
 
 TEST(Topology, AddAndLookupNodes) {
   kn::Topology t;
@@ -28,10 +29,10 @@ TEST(Topology, DuplicateNameThrows) {
 TEST(Topology, BadLinksThrow) {
   kn::Topology t;
   const auto a = t.add_host("a", 0);
-  EXPECT_THROW(t.add_link(a, a, 1e9, 0.0), std::invalid_argument);
-  EXPECT_THROW(t.add_link(a, 99, 1e9, 0.0), std::out_of_range);
+  EXPECT_THROW(t.add_link(a, a, ku::Rate::bps(1e9), ku::Seconds(0.0)), std::invalid_argument);
+  EXPECT_THROW(t.add_link(a, kn::NodeId(99), ku::Rate::bps(1e9), ku::Seconds(0.0)), std::out_of_range);
   const auto b = t.add_host("b", 0);
-  EXPECT_THROW(t.add_link(a, b, 0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(t.add_link(a, b, ku::Rate::bps(0.0), ku::Seconds(0.0)), std::invalid_argument);
 }
 
 TEST(Topology, RouteThroughSwitch) {
@@ -42,7 +43,7 @@ TEST(Topology, RouteThroughSwitch) {
   ASSERT_EQ(path.size(), 2u);
   EXPECT_EQ(t.arc_from(path[0]), h0);
   EXPECT_EQ(t.arc_to(path[1]), h1);
-  EXPECT_DOUBLE_EQ(t.path_latency(h0, h1, 1), 2e-4);
+  EXPECT_DOUBLE_EQ(t.path_latency(h0, h1, 1).value(), 2e-4);
 }
 
 TEST(Topology, LoopbackRouteIsEmpty) {
@@ -172,7 +173,7 @@ TEST(Topology, DumbbellBottleneck) {
   const auto path = t.route(h0, h2, 1);
   ASSERT_EQ(path.size(), 3u);
   // Middle arc is the bottleneck link.
-  EXPECT_DOUBLE_EQ(t.link(path[1].link).capacity_bps, 5e8);
+  EXPECT_DOUBLE_EQ(t.link(path[1].link).capacity.bps(), 5e8);
 }
 
 TEST(Topology, ArcIndexEncoding) {

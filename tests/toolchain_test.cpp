@@ -8,6 +8,11 @@
 
 #include "keddah/toolchain.h"
 
+// Some tests below intentionally exercise the deprecated span-based entry
+// points to keep them covered until removal; do not fail them under
+// KEDDAH_WERROR.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace kc = keddah::core;
 namespace kg = keddah::gen;
 namespace kh = keddah::hadoop;

@@ -294,6 +294,47 @@ TEST(Json, ParseErrorsMentionOffset) {
   }
 }
 
+TEST(Json, TruncatedInputThrowsWithOffset) {
+  for (const char* text : {"", "{", "[1, 2", "{\"a\": 1", "\"unterminated", "tru", "-",
+                           "{\"a\"", "[1,"}) {
+    EXPECT_THROW(ku::Json::parse(text), std::runtime_error) << "input: " << text;
+  }
+  try {
+    ku::Json::parse("[1, 2");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+  }
+}
+
+TEST(Json, BadEscapesThrow) {
+  EXPECT_THROW(ku::Json::parse(R"("\q")"), std::runtime_error);
+  EXPECT_THROW(ku::Json::parse(R"("\u12")"), std::runtime_error);
+  EXPECT_THROW(ku::Json::parse("\"\\"), std::runtime_error);
+  // The valid short escapes still round-trip.
+  EXPECT_EQ(ku::Json::parse(R"("\t\\\"")").as_string(), "\t\\\"");
+}
+
+TEST(Json, DuplicateObjectKeysThrowNamingTheKey) {
+  try {
+    ku::Json::parse(R"({"dup": 1, "other": 2, "dup": 3})");
+    FAIL() << "expected duplicate-key error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("duplicate"), std::string::npos);
+    EXPECT_NE(what.find("dup"), std::string::npos);
+  }
+  // Duplicates are also caught in nested objects.
+  EXPECT_THROW(ku::Json::parse(R"({"a": {"k": 1, "k": 2}})"), std::runtime_error);
+  // Same key at different depths is fine.
+  EXPECT_NO_THROW(ku::Json::parse(R"({"k": {"k": 1}})"));
+}
+
+TEST(Json, TrailingGarbageThrows) {
+  EXPECT_THROW(ku::Json::parse("{} x"), std::runtime_error);
+  EXPECT_THROW(ku::Json::parse("1 2"), std::runtime_error);
+}
+
 TEST(Json, GettersWithFallback) {
   const auto doc = ku::Json::parse(R"({"x": 3, "s": "v"})");
   EXPECT_DOUBLE_EQ(doc.get_number("x", -1), 3.0);

@@ -22,11 +22,14 @@ esac
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${ROOT}/build-${SAN}san"
 
-cmake -B "${BUILD}" -S "${ROOT}" -DKEDDAH_SANITIZE="${SAN}" \
+# KEDDAH_CHECK compiles the byte-conservation / fault-stats / sim-clock
+# audits into the sanitized build, so every audited seam is exercised with
+# the checks live while the sanitizer watches.
+cmake -B "${BUILD}" -S "${ROOT}" -DKEDDAH_SANITIZE="${SAN}" -DKEDDAH_CHECK=ON \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${BUILD}" \
       --target parallel_test net_network_test fault_injection_test \
-               hadoop_faults_test scenario_test -j"$(nproc)"
+               hadoop_faults_test scenario_test invariant_audit_test -j"$(nproc)"
 
 # The parallel subsystem, the network layer it drives concurrently, and the
 # fault-injection/recovery machinery (aborts, retries, node churn). The
@@ -34,6 +37,6 @@ cmake --build "${BUILD}" \
 # scenario must replay bit-identically at any thread count, under the
 # sanitizer too.
 ctest --test-dir "${BUILD}" --output-on-failure \
-      -R 'ThreadPool|SweepRunner|ParallelDeterminism|DeriveSeed|ResolvedThreads|Network|NodeFailure|TransientOutage|DegradedLink|SlowNode|FaultPlan|Scenario'
+      -R 'ThreadPool|SweepRunner|ParallelDeterminism|DeriveSeed|ResolvedThreads|Network|NodeFailure|TransientOutage|DegradedLink|SlowNode|FaultPlan|Scenario|InvariantAudit'
 
 echo "OK: ${SAN} sanitizer run clean"

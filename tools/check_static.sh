@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# One-command static gate for the repo. Runs, in order:
+#
+#   1. A warnings-as-errors build (-Wall -Wextra -Werror via KEDDAH_WERROR)
+#      with KEDDAH_CHECK audits compiled in — the configuration every
+#      commit must keep clean.
+#   2. keddah-lint over the shipped example scenarios (must pass) and over
+#      the seeded-defect fixtures in tests/fixtures/lint (every one must
+#      FAIL — a fixture that lints clean means a diagnostic regressed).
+#   3. clang-tidy over src/, if clang-tidy is installed (skipped with a
+#      note otherwise; config in .clang-tidy).
+#   4. cppcheck over src/, if cppcheck is installed (skipped with a note
+#      otherwise; suppressions in tools/cppcheck.suppress).
+#
+# Stages 1-2 need only the baked-in toolchain and always run; the script
+# fails if any executed stage fails. Builds go into build-static/ so the
+# primary build/ is never disturbed.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${ROOT}/build-static"
+
+echo "== stage 1: warnings-as-errors build (KEDDAH_WERROR + KEDDAH_CHECK) =="
+cmake -B "${BUILD}" -S "${ROOT}" -DKEDDAH_WERROR=ON -DKEDDAH_CHECK=ON \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+cmake --build "${BUILD}" -j"$(nproc)"
+
+LINT="${BUILD}/tools/keddah-lint"
+
+echo "== stage 2a: keddah-lint on shipped example scenarios (must pass) =="
+"${LINT}" "${ROOT}"/examples/scenarios/*.json
+
+echo "== stage 2b: keddah-lint on seeded-defect fixtures (each must fail) =="
+for fixture in "${ROOT}"/tests/fixtures/lint/*.json; do
+  if "${LINT}" "${fixture}" >/dev/null 2>&1; then
+    echo "FAIL: ${fixture} lints clean but seeds a defect" >&2
+    exit 1
+  fi
+done
+echo "all $(ls "${ROOT}"/tests/fixtures/lint/*.json | wc -l) fixtures flagged"
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "== stage 3: clang-tidy =="
+  find "${ROOT}/src" -name '*.cpp' -print0 |
+    xargs -0 -P "$(nproc)" -n 4 clang-tidy -p "${BUILD}" --quiet
+else
+  echo "== stage 3: clang-tidy not installed, skipped =="
+fi
+
+if command -v cppcheck >/dev/null 2>&1; then
+  echo "== stage 4: cppcheck =="
+  cppcheck --enable=warning,performance,portability --error-exitcode=1 \
+           --inline-suppr --suppressions-list="${ROOT}/tools/cppcheck.suppress" \
+           --std=c++20 --quiet -I "${ROOT}/src" "${ROOT}/src"
+else
+  echo "== stage 4: cppcheck not installed, skipped =="
+fi
+
+echo "OK: static checks clean"

@@ -1,0 +1,36 @@
+// keddah-lint: static validation of scenario, fault-plan, model, and
+// model-bank JSON files. Prints every defect with file, key path, and a fix
+// hint; exits 1 if any file has errors (warnings alone pass).
+//
+//   keddah-lint scenario.json faults.json model.json ...
+#include <cstring>
+#include <iostream>
+
+#include "lint/lint.h"
+
+namespace kl = keddah::lint;
+
+int main(int argc, char** argv) {
+  if (argc < 2 || std::strcmp(argv[1], "--help") == 0 || std::strcmp(argv[1], "-h") == 0) {
+    std::cerr << "usage: keddah-lint <file.json> [more files...]\n"
+              << "Statically validates Keddah JSON artifacts: scenarios, fault plans,\n"
+              << "fitted models, and model banks. The document kind is detected from\n"
+              << "its shape. Exits 1 if any file has errors.\n";
+    return argc < 2 ? 2 : 0;
+  }
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  for (int i = 1; i < argc; ++i) {
+    const kl::LintReport report = kl::lint_file(argv[i]);
+    kl::print_report(report, std::cout);
+    if (report.diagnostics.empty()) {
+      std::cout << argv[i] << ": ok (" << kl::file_kind_name(report.kind) << ")\n";
+    }
+    errors += report.num_errors();
+    warnings += report.num_warnings();
+  }
+  if (errors != 0 || warnings != 0) {
+    std::cout << errors << " error(s), " << warnings << " warning(s)\n";
+  }
+  return errors == 0 ? 0 : 1;
+}
