@@ -1,0 +1,201 @@
+// Scheduler fast-path benchmark: drives the incremental and reference
+// fair-share schedulers over the same synthetic shuffle loads and reports
+// flows/sec plus the counters that explain the speedup (links touched per
+// reshare, flows re-rated, heap ops, solve-size distribution). Results go
+// to stdout as a table and to BENCH_scheduler.json for machine diffing.
+//
+// The `large` shape is the acceptance gate for the incremental rewrite:
+// eight racks each running a rack-confined all-to-all shuffle means a
+// completion in one rack is invisible to the other seven, so the dirty-link
+// frontier should cut links-touched-per-reshare by well over 3x versus the
+// full recompute.
+//
+// Usage: perf_scheduler [--quick] [--out PATH]
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace kn = keddah::net;
+namespace ks = keddah::sim;
+namespace ku = keddah::util;
+
+namespace {
+
+struct Shape {
+  std::string name;
+  std::size_t flows;  // populated by build()
+};
+
+struct ModeResult {
+  double wall_s = 0.0;
+  double flows_per_s = 0.0;
+  kn::SchedulerStats stats;
+};
+
+/// One benchmark shape: builds the topology and schedules its flow load.
+/// Returns the number of flows injected.
+std::size_t build(const std::string& name, ks::Simulator& sim, kn::Network*& net,
+                  std::vector<std::unique_ptr<kn::Network>>& keep, bool reference,
+                  double scale) {
+  kn::NetworkOptions opts;
+  opts.model_latency = false;
+  opts.reference_scheduler = reference;
+  ku::Rng rng(1234);
+  std::size_t flows = 0;
+  const auto start_all = [&](kn::Network& n, kn::NodeId src, kn::NodeId dst, double bytes,
+                             double at) {
+    sim.schedule_at(at, [&n, src, dst, bytes] { n.start_flow(src, dst, ku::Bytes(bytes), {}, nullptr); });
+    ++flows;
+  };
+  if (name == "small") {
+    // Star, 16 hosts: every reshare is global no matter what — measures the
+    // incremental bookkeeping overhead where it cannot win.
+    keep.push_back(std::make_unique<kn::Network>(sim, kn::make_star(16, 1e9, 0.0), opts));
+    net = keep.back().get();
+    const auto hosts = net->topology().hosts();
+    const std::size_t n = static_cast<std::size_t>(600 * scale);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto src = hosts[rng.uniform_int(0, static_cast<std::int64_t>(hosts.size()) - 1)];
+      auto dst = hosts[rng.uniform_int(0, static_cast<std::int64_t>(hosts.size()) - 1)];
+      if (dst == src) dst = hosts[(static_cast<std::size_t>(dst) + 1) % hosts.size()];
+      start_all(*net, src, dst, std::pow(10.0, rng.uniform(4.0, 7.0)), rng.uniform(0.0, 2.0));
+    }
+  } else if (name == "medium") {
+    // 4x8 rack tree, mixed rack-local and cross-rack traffic: partial
+    // decomposition, some reshares stay rack-local.
+    keep.push_back(
+        std::make_unique<kn::Network>(sim, kn::make_rack_tree(4, 8, 1e9, 10e9, 0.0), opts));
+    net = keep.back().get();
+    const auto hosts = net->topology().hosts();
+    const std::size_t n = static_cast<std::size_t>(1200 * scale);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto src = hosts[rng.uniform_int(0, static_cast<std::int64_t>(hosts.size()) - 1)];
+      kn::NodeId dst;
+      if (rng.chance(0.7)) {  // rack-local
+        const std::size_t rack = static_cast<std::size_t>(i) % 4;
+        dst = hosts[rack * 8 + static_cast<std::size_t>(rng.uniform_int(0, 7))];
+      } else {
+        dst = hosts[rng.uniform_int(0, static_cast<std::int64_t>(hosts.size()) - 1)];
+      }
+      if (dst == src) dst = hosts[(static_cast<std::size_t>(dst) + 1) % hosts.size()];
+      start_all(*net, src, dst, std::pow(10.0, rng.uniform(4.0, 7.5)), rng.uniform(0.0, 3.0));
+    }
+  } else {  // large
+    // 8x8 rack tree, eight concurrent rack-confined all-to-all shuffles:
+    // the decomposable case the incremental scheduler is built for.
+    keep.push_back(
+        std::make_unique<kn::Network>(sim, kn::make_rack_tree(8, 8, 1e9, 40e9, 0.0), opts));
+    net = keep.back().get();
+    const auto hosts = net->topology().hosts();
+    const std::size_t waves = static_cast<std::size_t>(4 * scale) + 1;
+    for (std::size_t w = 0; w < waves; ++w) {
+      for (std::size_t rack = 0; rack < 8; ++rack) {
+        for (std::size_t a = 0; a < 8; ++a) {
+          for (std::size_t b = 0; b < 8; ++b) {
+            if (a == b) continue;
+            start_all(*net, hosts[rack * 8 + a], hosts[rack * 8 + b],
+                      std::pow(10.0, rng.uniform(5.0, 7.0)),
+                      static_cast<double>(w) * 0.5 + rng.uniform(0.0, 0.4));
+          }
+        }
+      }
+    }
+  }
+  return flows;
+}
+
+ModeResult run(const std::string& shape, bool reference, double scale) {
+  ks::Simulator sim;
+  kn::Network* net = nullptr;
+  std::vector<std::unique_ptr<kn::Network>> keep;
+  const std::size_t flows = build(shape, sim, net, keep, reference, scale);
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  ModeResult r;
+  r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  r.flows_per_s = static_cast<double>(flows) / r.wall_s;
+  r.stats = net->scheduler_stats();
+  return r;
+}
+
+std::string hist_json(const kn::SchedulerStats& s) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < s.solve_size_hist.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(s.solve_size_hist[i]);
+  }
+  return out + "]";
+}
+
+std::string mode_json(const ModeResult& r) {
+  const auto& s = r.stats;
+  return ku::format(
+      R"({"wall_s":%.6f,"flows_per_s":%.1f,"reshares":%llu,"solves":%llu,"empty_reshares":%llu,"links_touched":%llu,"links_per_reshare":%.3f,"flows_visited":%llu,"flows_rerated":%llu,"heap_ops":%llu,"solve_size_hist":%s})",
+      r.wall_s, r.flows_per_s, static_cast<unsigned long long>(s.reshares),
+      static_cast<unsigned long long>(s.solves), static_cast<unsigned long long>(s.empty_reshares),
+      static_cast<unsigned long long>(s.links_touched), s.links_per_reshare(),
+      static_cast<unsigned long long>(s.flows_visited),
+      static_cast<unsigned long long>(s.flows_rerated),
+      static_cast<unsigned long long>(s.heap_ops), hist_json(s).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = 1.0;
+  std::string out_path = "BENCH_scheduler.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) scale = 0.25;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
+  }
+
+  std::printf("%-8s %-12s %10s %12s %14s %12s %10s\n", "shape", "scheduler", "wall_s",
+              "flows/sec", "links/reshare", "re-rated", "heap_ops");
+  std::string json = "{\n";
+  bool first = true;
+  for (const std::string shape : {"small", "medium", "large"}) {
+    ModeResult results[2];
+    for (const bool reference : {false, true}) {
+      auto& r = results[reference ? 1 : 0];
+      r = run(shape, reference, scale);
+      std::printf("%-8s %-12s %10.4f %12.0f %14.2f %12llu %10llu\n", shape.c_str(),
+                  reference ? "reference" : "incremental", r.wall_s, r.flows_per_s,
+                  r.stats.links_per_reshare(),
+                  static_cast<unsigned long long>(r.stats.flows_rerated),
+                  static_cast<unsigned long long>(r.stats.heap_ops));
+    }
+    const double link_ratio =
+        results[1].stats.links_per_reshare() / results[0].stats.links_per_reshare();
+    const double speedup = results[1].wall_s / results[0].wall_s;
+    std::printf("%-8s -> %.2fx fewer links/reshare, %.2fx wall speedup\n\n", shape.c_str(),
+                link_ratio, speedup);
+    if (!first) json += ",\n";
+    first = false;
+    json += ku::format(
+        "  \"%s\": {\n    \"incremental\": %s,\n    \"reference\": %s,\n"
+        "    \"links_per_reshare_ratio\": %.3f,\n    \"wall_speedup\": %.3f\n  }",
+        shape.c_str(), mode_json(results[0]).c_str(), mode_json(results[1]).c_str(), link_ratio,
+        speedup);
+  }
+  json += "\n}\n";
+
+  std::ofstream out(out_path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << json;
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

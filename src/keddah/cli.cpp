@@ -392,6 +392,11 @@ void print_scenario_outcome(const core::ScenarioOutcome& outcome, std::ostream& 
     recovery.add_row({"re-replications", std::to_string(f.rereplications)});
     recovery.print(out);
   }
+  const auto& s = outcome.scheduler;
+  out << "\nscheduler: " << s.reshares << " reshares (" << s.solves << " solves, "
+      << s.empty_reshares << " no-ops), " << util::format("%.1f", s.links_per_reshare())
+      << " links/reshare, " << s.flows_rerated << "/" << s.flows_visited
+      << " flows re-rated, " << s.heap_ops << " heap ops\n";
 }
 
 int cmd_run_scenario(const util::Args& args, std::ostream& out, std::ostream& err) {

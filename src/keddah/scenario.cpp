@@ -171,6 +171,7 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec) {
   outcome.history = cluster.history();
   outcome.rereplications = cluster.hdfs().rereplications();
   outcome.faults = cluster.fault_stats();
+  outcome.scheduler = cluster.network().scheduler_stats();
   return outcome;
 }
 

@@ -98,6 +98,9 @@ struct ScenarioOutcome {
   /// Injected faults and the recovery work they caused (all zero on clean
   /// runs).
   hadoop::FaultStats faults;
+  /// Fair-share scheduler perf counters for the run (reshares, links
+  /// touched, heap ops; see net::SchedulerStats).
+  net::SchedulerStats scheduler;
 };
 
 /// Builds the cluster and runs the whole scenario to completion.

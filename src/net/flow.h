@@ -72,8 +72,12 @@ struct Flow {
   double rate_bps = 0.0;
   /// Application-imposed rate ceiling (e.g. disk throughput), bits/second.
   double rate_cap_bps = std::numeric_limits<double>::infinity();
-  /// Remaining payload, bits.
-  double remaining_bits = 0.0;
+  /// Remaining payload. Kept in util::Bytes (not a raw double) so the
+  /// KEDDAH_CHECK NaN/negative audits cover the progress hot path: an
+  /// accounting bug that drives a flow's residual negative throws at the
+  /// subtraction that produced it. Progress is materialized lazily — the
+  /// value is exact as of the flow's last rate change, not of now().
+  util::Bytes remaining;
   /// Arcs traversed (empty for loopback flows).
   std::vector<Arc> path;
   bool done = false;

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
 #include <stdexcept>
+#include <string_view>
 
 #include "util/check.h"
 #include "util/log.h"
@@ -11,8 +13,12 @@
 namespace keddah::net {
 
 namespace {
-/// Residual payload below this many bits counts as drained.
+/// Residual payload below this many bits counts as drained. A popped flow's
+/// post-materialization residue is floating-point noise (a few ulps of the
+/// payload), never real payload — on_completion_event audits that.
 constexpr double kDrainEpsilonBits = 1e-2;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
 }  // namespace
 
 const char* flow_kind_name(FlowKind kind) {
@@ -33,8 +39,20 @@ const char* flow_kind_name(FlowKind kind) {
 
 Network::Network(sim::Simulator& sim, Topology topology, NetworkOptions options)
     : sim_(sim), topology_(std::move(topology)), options_(options) {
-  arc_bits_.assign(topology_.num_arcs(), 0.0);
+  const std::size_t n_arcs = topology_.num_arcs();
+  arcs_.resize(n_arcs);
+  for (LinkId l = 0; l < topology_.num_links(); ++l) {
+    const double cap = topology_.link(l).capacity.bps();
+    arcs_[Arc{l, 0}.index()].capacity_bps = cap;
+    arcs_[Arc{l, 1}.index()].capacity_bps = cap;
+  }
+  arc_visit_.assign(n_arcs, 0);
+  arc_local_idx_.assign(n_arcs, 0);
+  arc_bits_.assign(n_arcs, 0.0);
   node_down_.assign(topology_.num_nodes(), false);
+  reference_mode_ = options_.reference_scheduler;
+  const char* env = std::getenv("KEDDAH_REFERENCE_SCHEDULER");
+  if (env != nullptr && *env != '\0' && std::string_view(env) != "0") reference_mode_ = true;
 }
 
 void Network::set_node_down(NodeId node) {
@@ -52,8 +70,15 @@ bool Network::node_up(NodeId node) const {
 }
 
 void Network::set_link_capacity(LinkId link, util::Rate capacity) {
-  advance_progress();
-  topology_.set_link_capacity(link, capacity);
+  if (topology_.set_link_capacity(link, capacity)) {
+    for (std::uint8_t dir = 0; dir < 2; ++dir) {
+      const std::uint32_t ai = Arc{link, dir}.index();
+      arcs_[ai].capacity_bps = capacity.bps();
+      mark_dirty(ai);
+    }
+  }
+  // A no-op rewrite leaves the dirty set empty: reshare() re-arms and
+  // changes no rate (the property tests pin this down).
   reshare();
 }
 
@@ -77,7 +102,8 @@ void Network::account_aborted(const Flow& flow, util::Bytes shortfall) {
 void Network::audit_conservation() const {
   // In-flight payload of flows currently holding capacity, per class.
   std::array<double, kNumFlowKinds> active_bytes{};
-  for (const auto& [id, af] : active_) {
+  for (const ActiveFlow& af : arena_) {
+    if (!af.in_use) continue;
     active_bytes[static_cast<std::size_t>(af.flow.meta.kind)] += af.flow.bytes.value();
   }
   double offered = 0.0, resolved = 0.0;
@@ -104,7 +130,64 @@ void Network::audit_conservation() const {
                "aggregate offered counter out of sync with per-class ledger");
 }
 
-double Network::arc_bytes(Arc arc) const { return arc_bits_.at(arc.index()) / 8.0; }
+void Network::audit_scheduler() const {
+  const auto fail = [](const std::string& what) {
+    throw util::AuditError("network scheduler: " + what);
+  };
+
+  std::size_t in_use = 0;
+  for (std::uint32_t slot = 0; slot < arena_.size(); ++slot) {
+    const ActiveFlow& af = arena_[slot];
+    if (!af.in_use) continue;
+    ++in_use;
+    const auto it = slot_of_.find(af.flow.id);
+    if (it == slot_of_.end() || it->second != slot) fail("slot_of_ missing an active flow");
+    if (af.member_pos.size() != af.flow.path.size()) fail("member_pos/path size mismatch");
+    for (std::uint32_t i = 0; i < af.flow.path.size(); ++i) {
+      const ArcState& s = arcs_[af.flow.path[i].index()];
+      if (af.member_pos[i] >= s.members.size() ||
+          s.members[af.member_pos[i]] != std::make_pair(slot, i)) {
+        fail("member back-reference out of sync");
+      }
+    }
+    if (af.heap_pos == kNotInHeap || static_cast<std::size_t>(af.heap_pos) >= finish_heap_.size() ||
+        finish_heap_[af.heap_pos] != slot) {
+      fail("heap_pos out of sync");
+    }
+  }
+  if (in_use != slot_of_.size()) fail("slot_of_ size != live arena slots");
+  if (finish_heap_.size() != in_use) fail("completion heap size != live arena slots");
+  for (std::size_t pos = 1; pos < finish_heap_.size(); ++pos) {
+    if (finishes_before(finish_heap_[pos], finish_heap_[(pos - 1) / 2])) {
+      fail("completion heap order violated");
+    }
+  }
+  std::size_t dirty_flags = 0;
+  for (std::uint32_t ai = 0; ai < arcs_.size(); ++ai) {
+    if (arcs_[ai].dirty) ++dirty_flags;
+    for (std::uint32_t pos = 0; pos < arcs_[ai].members.size(); ++pos) {
+      const auto [slot, pi] = arcs_[ai].members[pos];
+      if (slot >= arena_.size() || !arena_[slot].in_use) fail("member refers to a dead slot");
+      const ActiveFlow& af = arena_[slot];
+      if (pi >= af.flow.path.size() || af.flow.path[pi].index() != ai || af.member_pos[pi] != pos) {
+        fail("member list entry inconsistent with flow path");
+      }
+    }
+  }
+  std::size_t frontier = 0;
+  for (const std::uint32_t ai : dirty_arcs_) {
+    if (!arcs_[ai].dirty) fail("dirty frontier holds a clean arc");
+    ++frontier;
+  }
+  if (frontier != dirty_flags) fail("dirty flags out of sync with frontier");
+}
+
+double Network::arc_bytes(Arc arc) const {
+  // Materialize lazy progress so the counter reflects now(), not each
+  // flow's last rate-change time.
+  const_cast<Network*>(this)->sync_progress();
+  return arc_bits_.at(arc.index()) / 8.0;
+}
 
 double Network::link_bytes(LinkId link) const {
   return arc_bytes(Arc{link, 0}) + arc_bytes(Arc{link, 1});
@@ -113,6 +196,7 @@ double Network::link_bytes(LinkId link) const {
 double Network::arc_utilization(Arc arc) const {
   const double elapsed = sim_.now();
   if (elapsed <= 0.0) return 0.0;
+  const_cast<Network*>(this)->sync_progress();
   return arc_bits_.at(arc.index()) / (topology_.link(arc.link).capacity.bps() * elapsed);
 }
 
@@ -121,13 +205,27 @@ void Network::add_completion_tap(Tap tap) { completion_taps_.push_back(std::move
 void Network::add_start_tap(Tap tap) { start_taps_.push_back(std::move(tap)); }
 
 const Flow* Network::find_flow(FlowId id) const {
-  const auto it = active_.find(id);
-  return it == active_.end() ? nullptr : &it->second.flow;
+  const auto it = slot_of_.find(id);
+  return it == slot_of_.end() ? nullptr : &arena_[it->second].flow;
+}
+
+void Network::visit_active_flows(const std::function<void(const Flow&)>& fn) const {
+  std::vector<std::uint32_t> slots;
+  slots.reserve(slot_of_.size());
+  for (std::uint32_t slot = 0; slot < arena_.size(); ++slot) {
+    if (arena_[slot].in_use) slots.push_back(slot);
+  }
+  std::sort(slots.begin(), slots.end(), [this](std::uint32_t a, std::uint32_t b) {
+    return arena_[a].flow.id < arena_[b].flow.id;
+  });
+  for (const std::uint32_t slot : slots) fn(arena_[slot].flow);
 }
 
 double Network::aggregate_rate_bps() const {
   double total = 0.0;
-  for (const auto& [id, af] : active_) total += af.flow.rate_bps;
+  for (const ActiveFlow& af : arena_) {
+    if (af.in_use) total += af.flow.rate_bps;
+  }
   return total;
 }
 
@@ -143,7 +241,7 @@ FlowId Network::start_flow(NodeId src, NodeId dst, util::Bytes bytes, FlowMeta m
   flow.bytes = bytes;
   flow.meta = meta;
   flow.submit_time = sim_.now();
-  flow.remaining_bits = bytes.bits();
+  flow.remaining = bytes;
   // A non-positive cap means "uncapped": callers that compute a cap of 0.0
   // (e.g. a disabled throttle) must not end up with a 1 bps near-deadlock.
   flow.rate_cap_bps =
@@ -153,12 +251,12 @@ FlowId Network::start_flow(NodeId src, NodeId dst, util::Bytes bytes, FlowMeta m
   if (flow.loopback()) {
     // Local transfer: never touches the fabric; drain at the loopback rate.
     flow.start_time = sim_.now();
-    const double duration = flow.remaining_bits / options_.loopback.bps();
+    const double duration = flow.remaining.bits() / options_.loopback.bps();
     flow.rate_bps = options_.loopback.bps();
     for (const auto& tap : start_taps_) tap(flow);
     sim_.schedule_in(duration, [this, flow, cb = std::move(on_complete)]() mutable {
       flow.end_time = sim_.now();
-      flow.remaining_bits = 0.0;
+      flow.remaining = util::Bytes(0.0);
       flow.done = true;
       limbo(flow) -= flow.bytes;
       account_delivered(flow);
@@ -193,7 +291,7 @@ FlowId Network::start_flow(NodeId src, NodeId dst, util::Bytes bytes, FlowMeta m
                        limbo(flow) -= flow.bytes;
                        account_aborted(flow, flow.bytes);
                        flow.bytes = util::Bytes(0.0);
-                       flow.remaining_bits = 0.0;
+                       flow.remaining = util::Bytes(0.0);
                        flow.done = true;
                        flow.aborted = true;
                        flow.end_time = sim_.now();
@@ -203,166 +301,433 @@ FlowId Network::start_flow(NodeId src, NodeId dst, util::Bytes bytes, FlowMeta m
                        return;
                      }
                      for (const auto& tap : start_taps_) tap(flow);
-                     advance_progress();
                      limbo(flow) -= flow.bytes;  // now held in the active set
-                     active_.emplace(flow.id, ActiveFlow{std::move(flow), std::move(cb)});
+                     // Rate sentinel: solved rates are never negative, so the
+                     // first assign_rate after insertion always fires (even a
+                     // solved rate of 0.0 must install a projected finish).
+                     flow.rate_bps = -1.0;
+                     const std::uint32_t slot = allocate_slot();
+                     ActiveFlow& af = arena_[slot];
+                     af.flow = std::move(flow);
+                     af.on_complete = std::move(cb);
+                     af.last_update = sim_.now();
+                     af.projected_finish = kInf;
+                     af.member_pos.assign(af.flow.path.size(), 0);
+                     af.heap_pos = kNotInHeap;
+                     af.in_use = true;
+                     slot_of_.emplace(af.flow.id, slot);
+                     add_membership(slot);
+                     heap_insert(slot);
                      reshare();
                    });
   return id;
 }
 
-void Network::advance_progress() {
+// --- lazy progress ---------------------------------------------------------
+
+void Network::materialize(std::uint32_t slot) {
+  ActiveFlow& af = arena_[slot];
   const sim::Time now = sim_.now();
-  const double dt = now - last_progress_time_;
-  if (dt > 0.0) {
-    for (auto& [id, af] : active_) {
-      const double moved = std::min(af.flow.remaining_bits, af.flow.rate_bps * dt);
-      af.flow.remaining_bits -= moved;
-      for (const Arc arc : af.flow.path) arc_bits_[arc.index()] += moved;
-    }
+  const double dt = now - af.last_update;
+  if (dt > 0.0 && af.flow.rate_bps > 0.0) {
+    const util::Bytes moved =
+        std::min(af.flow.remaining, util::Rate::bps(af.flow.rate_bps) * util::Seconds(dt));
+    af.flow.remaining -= moved;  // audited against NaN/negative under KEDDAH_CHECK
+    for (const Arc arc : af.flow.path) arc_bits_[arc.index()] += moved.bits();
   }
-  last_progress_time_ = now;
+  af.last_update = now;
 }
 
-void Network::compute_max_min_rates() {
-  ++recomputations_;
-  const std::size_t num_real_arcs = topology_.num_arcs();
+void Network::sync_progress() {
+  for (std::uint32_t slot = 0; slot < arena_.size(); ++slot) {
+    if (arena_[slot].in_use) materialize(slot);
+  }
+}
 
-  std::vector<ActiveFlow*> flows;
-  flows.reserve(active_.size());
-  for (auto& [id, af] : active_) flows.push_back(&af);
-  // Deterministic iteration order regardless of hash-map layout.
-  std::sort(flows.begin(), flows.end(),
-            [](const ActiveFlow* a, const ActiveFlow* b) { return a->flow.id < b->flow.id; });
+// --- membership / dirty frontier -------------------------------------------
 
-  // Arc table: real arcs first, then one virtual arc per rate-capped flow.
-  std::vector<double> residual(num_real_arcs, 0.0);
-  std::vector<std::vector<std::uint32_t>> members(num_real_arcs);
-  std::vector<std::uint32_t> unfrozen_count(num_real_arcs, 0);
+void Network::mark_dirty(std::uint32_t arc_index) {
+  if (!arcs_[arc_index].dirty) {
+    arcs_[arc_index].dirty = true;
+    dirty_arcs_.push_back(arc_index);
+  }
+}
 
-  auto add_virtual_arc = [&](double capacity) {
-    residual.push_back(capacity);
-    members.emplace_back();
-    unfrozen_count.push_back(0);
-    return static_cast<std::uint32_t>(residual.size() - 1);
-  };
+std::uint32_t Network::allocate_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  arena_.emplace_back();
+  slot_visit_.push_back(0);
+  slot_local_.push_back(0);
+  return static_cast<std::uint32_t>(arena_.size() - 1);
+}
 
-  // flow -> arcs (real path arcs + optional virtual cap arc).
-  std::vector<std::vector<std::uint32_t>> flow_arcs(flows.size());
-  for (std::uint32_t fi = 0; fi < flows.size(); ++fi) {
-    const Flow& f = flows[fi]->flow;
-    for (const Arc arc : f.path) {
-      const std::uint32_t ai = arc.index();
-      if (members[ai].empty()) residual[ai] = topology_.link(arc.link).capacity.bps();
-      members[ai].push_back(fi);
-      ++unfrozen_count[ai];
-      flow_arcs[fi].push_back(ai);
-    }
-    if (std::isfinite(f.rate_cap_bps)) {
-      const std::uint32_t ai = add_virtual_arc(f.rate_cap_bps);
-      members[ai].push_back(fi);
-      ++unfrozen_count[ai];
-      flow_arcs[fi].push_back(ai);
+void Network::add_membership(std::uint32_t slot) {
+  ActiveFlow& af = arena_[slot];
+  for (std::uint32_t i = 0; i < af.flow.path.size(); ++i) {
+    const std::uint32_t ai = af.flow.path[i].index();
+    ArcState& s = arcs_[ai];
+    af.member_pos[i] = static_cast<std::uint32_t>(s.members.size());
+    s.members.emplace_back(slot, i);
+    mark_dirty(ai);
+  }
+}
+
+void Network::remove_membership(std::uint32_t slot) {
+  ActiveFlow& af = arena_[slot];
+  for (std::uint32_t i = 0; i < af.flow.path.size(); ++i) {
+    const std::uint32_t ai = af.flow.path[i].index();
+    ArcState& s = arcs_[ai];
+    const std::uint32_t pos = af.member_pos[i];
+    const auto moved = s.members.back();
+    s.members[pos] = moved;
+    s.members.pop_back();
+    if (moved.first != slot) arena_[moved.first].member_pos[moved.second] = pos;
+    mark_dirty(ai);
+  }
+}
+
+std::pair<Flow, Network::CompletionCallback> Network::detach(std::uint32_t slot) {
+  ActiveFlow& af = arena_[slot];
+  remove_membership(slot);
+  heap_erase(slot);
+  slot_of_.erase(af.flow.id);
+  af.in_use = false;
+  Flow flow = std::move(af.flow);
+  CompletionCallback cb = std::move(af.on_complete);
+  af.flow = Flow{};
+  af.on_complete = nullptr;
+  af.member_pos.clear();
+  free_slots_.push_back(slot);
+  return {std::move(flow), std::move(cb)};
+}
+
+// --- fair sharing ----------------------------------------------------------
+
+void Network::reshare() {
+  ++sched_stats_.reshares;
+  if (reference_mode_) compute_max_min_rates_reference();
+  if (dirty_arcs_.empty()) {
+    ++sched_stats_.empty_reshares;
+  } else {
+    solve_dirty();
+  }
+  rearm_completion();
+}
+
+void Network::compute_max_min_rates_reference() {
+  for (std::uint32_t ai = 0; ai < arcs_.size(); ++ai) {
+    if (!arcs_[ai].members.empty()) mark_dirty(ai);
+  }
+}
+
+void Network::assign_rate(std::uint32_t slot, double rate_bps) {
+  ActiveFlow& af = arena_[slot];
+  // Bit-identical rate: nothing moved, the projected finish is still exact.
+  // This skip is what keeps the reference scheduler's full sweeps from
+  // perturbing flows whose allocation did not change.
+  if (af.flow.rate_bps == rate_bps) return;
+  materialize(slot);
+  af.flow.rate_bps = rate_bps;
+  af.projected_finish = sim_.now() + af.flow.remaining.bits() / std::max(rate_bps, 1e-9);
+  heap_update(slot);
+  ++sched_stats_.flows_rerated;
+}
+
+void Network::solve_dirty() {
+  ++sched_stats_.solves;
+  ++visit_epoch_;
+  const std::uint64_t epoch = visit_epoch_;
+
+  scratch_flows_.clear();
+  scratch_arc_stack_.clear();
+  scratch_local_arcs_.clear();
+
+  // Seed the flood fill with the populated dirty arcs; arcs whose last
+  // member departed (or that were never populated) just get their flag
+  // cleared — no flow's rate can depend on them.
+  for (const std::uint32_t ai : dirty_arcs_) {
+    arcs_[ai].dirty = false;
+    if (!arcs_[ai].members.empty() && arc_visit_[ai] != epoch) {
+      arc_visit_[ai] = epoch;
+      scratch_arc_stack_.push_back(ai);
     }
   }
+  dirty_arcs_.clear();
 
-  std::vector<bool> frozen(flows.size(), false);
-  std::size_t remaining = flows.size();
-  while (remaining > 0) {
-    // Find the bottleneck share.
-    double best_share = std::numeric_limits<double>::infinity();
-    for (std::uint32_t ai = 0; ai < residual.size(); ++ai) {
-      if (unfrozen_count[ai] == 0) continue;
-      best_share = std::min(best_share, std::max(0.0, residual[ai]) / unfrozen_count[ai]);
-    }
-    assert(std::isfinite(best_share));
-    // Freeze every unfrozen flow crossing an arc at the bottleneck share.
-    const double tol = best_share * 1e-9 + 1e-12;
-    bool froze_any = false;
-    for (std::uint32_t ai = 0; ai < residual.size(); ++ai) {
-      if (unfrozen_count[ai] == 0) continue;
-      const double share = std::max(0.0, residual[ai]) / unfrozen_count[ai];
-      if (share > best_share + tol) continue;
-      for (const std::uint32_t fi : members[ai]) {
-        if (frozen[fi]) continue;
-        frozen[fi] = true;
-        froze_any = true;
-        --remaining;
-        flows[fi]->flow.rate_bps = best_share;
-        for (const std::uint32_t other : flow_arcs[fi]) {
-          residual[other] -= best_share;
-          --unfrozen_count[other];
+  // Flood fill the connected component(s) of the flow/arc sharing graph
+  // that contain a dirty arc. Rates of flows outside these components are
+  // unaffected by whatever changed (max-min decomposes exactly over
+  // components), so their cached values stand.
+  while (!scratch_arc_stack_.empty()) {
+    const std::uint32_t ai = scratch_arc_stack_.back();
+    scratch_arc_stack_.pop_back();
+    scratch_local_arcs_.push_back(ai);
+    for (const auto& [slot, pi] : arcs_[ai].members) {
+      (void)pi;
+      if (slot_visit_[slot] == epoch) continue;
+      slot_visit_[slot] = epoch;
+      scratch_flows_.push_back(slot);
+      for (const Arc arc : arena_[slot].flow.path) {
+        const std::uint32_t aj = arc.index();
+        if (arc_visit_[aj] != epoch) {
+          arc_visit_[aj] = epoch;
+          scratch_arc_stack_.push_back(aj);
         }
       }
     }
-    assert(froze_any);
-    if (!froze_any) break;  // numerical safety net; should be unreachable
+  }
+
+  sched_stats_.links_touched += scratch_local_arcs_.size();
+  {
+    // Histogram bucket i holds solves that touched [4^i, 4^(i+1)) arcs.
+    std::size_t n = scratch_local_arcs_.size();
+    std::size_t bucket = 0;
+    while (n >= 4 && bucket + 1 < sched_stats_.solve_size_hist.size()) {
+      n >>= 2;
+      ++bucket;
+    }
+    ++sched_stats_.solve_size_hist[bucket];
+  }
+  if (scratch_flows_.empty()) return;
+  sched_stats_.flows_visited += scratch_flows_.size();
+
+  // Canonical order: flows by id, real arcs by global arc index, virtual
+  // cap arcs appended in flow order after every real arc. The solve is then
+  // a pure function of (membership, capacities) — independent of how the
+  // component was discovered — which is what makes incremental and
+  // reference allocations bit-identical.
+  std::sort(scratch_flows_.begin(), scratch_flows_.end(), [this](std::uint32_t a, std::uint32_t b) {
+    return arena_[a].flow.id < arena_[b].flow.id;
+  });
+  std::sort(scratch_local_arcs_.begin(), scratch_local_arcs_.end());
+
+  const std::size_t nf = scratch_flows_.size();
+  const std::size_t n_real = scratch_local_arcs_.size();
+  for (std::size_t li = 0; li < n_real; ++li) {
+    arc_local_idx_[scratch_local_arcs_[li]] = static_cast<std::uint32_t>(li);
+  }
+  for (std::size_t fi = 0; fi < nf; ++fi) {
+    slot_local_[scratch_flows_[fi]] = static_cast<std::uint32_t>(fi);
+  }
+
+  // CSR of flow -> local arcs (path arcs, then the virtual cap arc if any).
+  std::vector<std::uint32_t> flow_arc_off(nf + 1, 0);
+  std::size_t n_virtual = 0;
+  for (std::size_t fi = 0; fi < nf; ++fi) {
+    const Flow& f = arena_[scratch_flows_[fi]].flow;
+    const bool capped = std::isfinite(f.rate_cap_bps);
+    flow_arc_off[fi + 1] =
+        flow_arc_off[fi] + static_cast<std::uint32_t>(f.path.size()) + (capped ? 1u : 0u);
+    if (capped) ++n_virtual;
+  }
+  const std::size_t n_arcs = n_real + n_virtual;
+  std::vector<std::uint32_t> flow_arcs(flow_arc_off[nf]);
+  std::vector<double> residual(n_arcs);
+  std::vector<std::uint32_t> unfrozen(n_arcs, 0);
+  std::vector<std::uint32_t> virtual_member(n_virtual);
+
+  for (std::size_t li = 0; li < n_real; ++li) {
+    residual[li] = arcs_[scratch_local_arcs_[li]].capacity_bps;
+  }
+  std::size_t next_virtual = n_real;
+  for (std::size_t fi = 0; fi < nf; ++fi) {
+    const Flow& f = arena_[scratch_flows_[fi]].flow;
+    std::uint32_t w = flow_arc_off[fi];
+    for (const Arc arc : f.path) {
+      const std::uint32_t li = arc_local_idx_[arc.index()];
+      flow_arcs[w++] = li;
+      ++unfrozen[li];
+    }
+    if (std::isfinite(f.rate_cap_bps)) {
+      residual[next_virtual] = f.rate_cap_bps;
+      unfrozen[next_virtual] = 1;
+      virtual_member[next_virtual - n_real] = static_cast<std::uint32_t>(fi);
+      flow_arcs[w++] = static_cast<std::uint32_t>(next_virtual);
+      ++next_virtual;
+    }
+  }
+
+  // Progressive filling, one bottleneck arc per round, driven by a lazy
+  // min-heap of (share, local arc). Exact comparisons throughout: ties
+  // break on the local index, which matches the canonical global order.
+  const auto arc_share = [&](std::uint32_t li) {
+    return std::max(0.0, residual[li]) / static_cast<double>(unfrozen[li]);
+  };
+  using ShareEntry = std::pair<double, std::uint32_t>;
+  const auto later = [](const ShareEntry& a, const ShareEntry& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second > b.second;
+  };
+  std::vector<ShareEntry> share_heap;
+  share_heap.reserve(n_arcs * 2);
+  for (std::uint32_t li = 0; li < n_arcs; ++li) {
+    if (unfrozen[li] > 0) share_heap.emplace_back(arc_share(li), li);
+  }
+  std::make_heap(share_heap.begin(), share_heap.end(), later);
+
+  std::vector<bool> frozen(nf, false);
+  std::size_t remaining_flows = nf;
+  while (remaining_flows > 0) {
+    assert(!share_heap.empty());
+    std::pop_heap(share_heap.begin(), share_heap.end(), later);
+    const auto [share, li] = share_heap.back();
+    share_heap.pop_back();
+    // Lazy deletion: an entry is live only if it matches the arc's current
+    // share (every share change pushes a fresh entry).
+    if (unfrozen[li] == 0 || share != arc_share(li)) continue;
+
+    const auto freeze = [&](std::uint32_t fi) {
+      if (frozen[fi]) return;
+      frozen[fi] = true;
+      --remaining_flows;
+      assign_rate(scratch_flows_[fi], share);
+      for (std::uint32_t k = flow_arc_off[fi]; k < flow_arc_off[fi + 1]; ++k) {
+        const std::uint32_t lj = flow_arcs[k];
+        residual[lj] -= share;
+        --unfrozen[lj];
+        if (lj != li && unfrozen[lj] > 0) {
+          share_heap.emplace_back(arc_share(lj), lj);
+          std::push_heap(share_heap.begin(), share_heap.end(), later);
+        }
+      }
+    };
+    // All unfrozen members freeze at the same share, so the member list's
+    // (swap-remove) order cannot change any floating-point result.
+    if (li < n_real) {
+      for (const auto& [slot, pi] : arcs_[scratch_local_arcs_[li]].members) {
+        (void)pi;
+        freeze(slot_local_[slot]);
+      }
+    } else {
+      freeze(virtual_member[li - n_real]);
+    }
   }
 }
 
-void Network::reshare() {
+// --- completion heap -------------------------------------------------------
+
+bool Network::finishes_before(std::uint32_t a, std::uint32_t b) const {
+  const ActiveFlow& fa = arena_[a];
+  const ActiveFlow& fb = arena_[b];
+  if (fa.projected_finish != fb.projected_finish) return fa.projected_finish < fb.projected_finish;
+  return fa.flow.id < fb.flow.id;
+}
+
+void Network::heap_place(std::size_t pos, std::uint32_t slot) {
+  finish_heap_[pos] = slot;
+  arena_[slot].heap_pos = static_cast<std::int32_t>(pos);
+}
+
+void Network::heap_sift_up(std::size_t pos) {
+  const std::uint32_t slot = finish_heap_[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 2;
+    if (!finishes_before(slot, finish_heap_[parent])) break;
+    heap_place(pos, finish_heap_[parent]);
+    ++sched_stats_.heap_ops;
+    pos = parent;
+  }
+  heap_place(pos, slot);
+}
+
+void Network::heap_sift_down(std::size_t pos) {
+  const std::uint32_t slot = finish_heap_[pos];
+  const std::size_t n = finish_heap_.size();
+  for (;;) {
+    std::size_t child = 2 * pos + 1;
+    if (child >= n) break;
+    if (child + 1 < n && finishes_before(finish_heap_[child + 1], finish_heap_[child])) ++child;
+    if (!finishes_before(finish_heap_[child], slot)) break;
+    heap_place(pos, finish_heap_[child]);
+    ++sched_stats_.heap_ops;
+    pos = child;
+  }
+  heap_place(pos, slot);
+}
+
+void Network::heap_insert(std::uint32_t slot) {
+  finish_heap_.push_back(slot);
+  arena_[slot].heap_pos = static_cast<std::int32_t>(finish_heap_.size() - 1);
+  heap_sift_up(finish_heap_.size() - 1);
+}
+
+void Network::heap_erase(std::uint32_t slot) {
+  const std::int32_t pos = arena_[slot].heap_pos;
+  if (pos == kNotInHeap) return;
+  arena_[slot].heap_pos = kNotInHeap;
+  const std::size_t last = finish_heap_.size() - 1;
+  if (static_cast<std::size_t>(pos) != last) {
+    const std::uint32_t moved = finish_heap_[last];
+    finish_heap_.pop_back();
+    heap_place(static_cast<std::size_t>(pos), moved);
+    heap_sift_down(static_cast<std::size_t>(pos));
+    heap_sift_up(static_cast<std::size_t>(arena_[moved].heap_pos));
+  } else {
+    finish_heap_.pop_back();
+  }
+}
+
+void Network::heap_update(std::uint32_t slot) {
+  assert(arena_[slot].heap_pos != kNotInHeap);
+  heap_sift_up(static_cast<std::size_t>(arena_[slot].heap_pos));
+  heap_sift_down(static_cast<std::size_t>(arena_[slot].heap_pos));
+}
+
+void Network::rearm_completion() {
+  if (finish_heap_.empty() || !std::isfinite(arena_[finish_heap_.front()].projected_finish)) {
+    if (completion_event_ != sim::kInvalidEvent) {
+      sim_.cancel(completion_event_);
+      completion_event_ = sim::kInvalidEvent;
+    }
+    armed_time_ = kInf;
+    return;
+  }
+  const double target = std::max(arena_[finish_heap_.front()].projected_finish, sim_.now());
   if (completion_event_ != sim::kInvalidEvent) {
-    sim_.cancel(completion_event_);
-    completion_event_ = sim::kInvalidEvent;
+    if (target == armed_time_) return;  // already armed at the right time
+    completion_event_ = sim_.reschedule(completion_event_, target);
+  } else {
+    completion_event_ = sim_.schedule_at(target, [this] { on_completion_event(); });
   }
-  if (active_.empty()) return;
-
-  compute_max_min_rates();
-
-  double min_dt = std::numeric_limits<double>::infinity();
-  for (const auto& [id, af] : active_) {
-    const double rate = std::max(af.flow.rate_bps, 1e-9);
-    min_dt = std::min(min_dt, af.flow.remaining_bits / rate);
-  }
-  min_dt = std::max(0.0, min_dt);
-  completion_event_ = sim_.schedule_in(min_dt, [this] { on_completion_event(); });
+  armed_time_ = target;
 }
 
 void Network::on_completion_event() {
   completion_event_ = sim::kInvalidEvent;
-  advance_progress();
-  std::vector<FlowId> drained;
-  for (const auto& [id, af] : active_) {
-    if (af.flow.remaining_bits <= kDrainEpsilonBits) drained.push_back(id);
+  armed_time_ = kInf;
+  const sim::Time now = sim_.now();
+  // Every flow whose projected finish has arrived is mathematically drained:
+  // a projected finish goes stale only when the rate changes, and a rate
+  // change recomputes it. Any residue after materialization is
+  // floating-point noise at the payload's ulp scale.
+  std::vector<std::pair<Flow, CompletionCallback>> drained;
+  while (!finish_heap_.empty() && arena_[finish_heap_.front()].projected_finish <= now) {
+    const std::uint32_t slot = finish_heap_.front();
+    materialize(slot);
+    KEDDAH_AUDIT(arena_[slot].flow.remaining.bits() <=
+                     kDrainEpsilonBits + 1e-9 * arena_[slot].flow.bytes.bits(),
+                 "completed flow left real payload behind");
+    arena_[slot].flow.remaining = util::Bytes(0.0);
+    drained.push_back(detach(slot));
   }
-  std::sort(drained.begin(), drained.end());
-  if (drained.empty()) {
-    // Rounding left a sliver: re-arm and drain it next round.
-    reshare();
-    return;
-  }
-  for (const FlowId id : drained) {
-    auto it = active_.find(id);
-    assert(it != active_.end());
-    finish_flow(it->second);
-    active_.erase(it);
-  }
+  // Heap pop order is (finish, id): simultaneous completions resolve in
+  // flow-id order, keeping downstream callbacks deterministic.
+  for (auto& [flow, cb] : drained) resolve_finished(std::move(flow), std::move(cb));
   reshare();
   if constexpr (util::kAuditEnabled) audit_conservation();
 }
 
-void Network::abort_erased(ActiveFlow& af) {
-  Flow flow = std::move(af.flow);
-  CompletionCallback cb = std::move(af.on_complete);
-  const double delivered = std::max(0.0, flow.bytes.value() - flow.remaining_bits / 8.0);
-  account_aborted(flow, util::Bytes(flow.bytes.value() - delivered));
-  flow.bytes = util::Bytes(delivered);
-  flow.remaining_bits = 0.0;
-  flow.done = true;
-  flow.aborted = true;
-  flow.end_time = sim_.now();
-  account_delivered(flow);  // the partial payload did arrive
-  for (const auto& tap : completion_taps_) tap(flow);
-  if (cb) cb(flow);
-}
-
 bool Network::abort_flow(FlowId id) {
-  auto it = active_.find(id);
-  if (it == active_.end()) return false;
-  advance_progress();
-  ActiveFlow af = std::move(it->second);
-  active_.erase(it);
-  abort_erased(af);
+  const auto it = slot_of_.find(id);
+  if (it == slot_of_.end()) return false;
+  const std::uint32_t slot = it->second;
+  materialize(slot);
+  auto [flow, cb] = detach(slot);
+  resolve_aborted(std::move(flow), std::move(cb));
   reshare();
   if constexpr (util::kAuditEnabled) audit_conservation();
   return true;
@@ -370,20 +735,20 @@ bool Network::abort_flow(FlowId id) {
 
 std::size_t Network::abort_flows_touching(NodeId node) {
   std::vector<FlowId> victims;
-  for (const auto& [id, af] : active_) {
-    if (af.flow.src == node || af.flow.dst == node) victims.push_back(id);
+  for (const ActiveFlow& af : arena_) {
+    if (af.in_use && (af.flow.src == node || af.flow.dst == node)) victims.push_back(af.flow.id);
   }
   if (victims.empty()) return 0;
-  // Id order keeps abort callbacks deterministic regardless of hash layout.
+  // Id order keeps abort callbacks deterministic regardless of arena layout.
   std::sort(victims.begin(), victims.end());
-  advance_progress();
   std::size_t aborted = 0;
   for (const FlowId id : victims) {
-    auto it = active_.find(id);
-    if (it == active_.end()) continue;  // removed by a nested callback
-    ActiveFlow af = std::move(it->second);
-    active_.erase(it);
-    abort_erased(af);
+    const auto it = slot_of_.find(id);
+    if (it == slot_of_.end()) continue;  // removed by a nested callback
+    const std::uint32_t slot = it->second;
+    materialize(slot);
+    auto [flow, cb] = detach(slot);
+    resolve_aborted(std::move(flow), std::move(cb));
     ++aborted;
   }
   reshare();
@@ -391,10 +756,7 @@ std::size_t Network::abort_flows_touching(NodeId node) {
   return aborted;
 }
 
-void Network::finish_flow(ActiveFlow& af) {
-  Flow flow = std::move(af.flow);
-  CompletionCallback cb = std::move(af.on_complete);
-  flow.remaining_bits = 0.0;
+void Network::resolve_finished(Flow flow, CompletionCallback cb) {
   flow.done = true;
   const double tail_latency =
       options_.model_latency ? topology_.path_latency(flow.src, flow.dst, flow.id).value() : 0.0;
@@ -414,6 +776,19 @@ void Network::finish_flow(ActiveFlow& af) {
     for (const auto& tap : completion_taps_) tap(flow);
     if (cb) cb(flow);
   }
+}
+
+void Network::resolve_aborted(Flow flow, CompletionCallback cb) {
+  const double delivered = std::max(0.0, flow.bytes.value() - flow.remaining.value());
+  account_aborted(flow, util::Bytes(flow.bytes.value() - delivered));
+  flow.bytes = util::Bytes(delivered);
+  flow.remaining = util::Bytes(0.0);
+  flow.done = true;
+  flow.aborted = true;
+  flow.end_time = sim_.now();
+  account_delivered(flow);  // the partial payload did arrive
+  for (const auto& tap : completion_taps_) tap(flow);
+  if (cb) cb(flow);
 }
 
 }  // namespace keddah::net

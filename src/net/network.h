@@ -6,12 +6,26 @@
 // follow from draining the remaining bytes at the current rate. Relative to
 // packet-level ns-3 this abstracts slow-start and loss recovery, which is the
 // documented substitution for the paper's replay substrate (DESIGN.md §2).
+//
+// The fair-share hot path is INCREMENTAL (DESIGN.md §9): the engine keeps
+// per-arc active-flow member lists and a dirty-arc frontier, and a reshare
+// only re-solves the connected component(s) of the flow/arc sharing graph
+// that a dirty arc can reach — flows elsewhere keep their cached rates.
+// Because the solver freezes one bottleneck arc at a time with exact share
+// comparisons (no tolerance batching), the allocation decomposes exactly
+// over components, so the incremental result is bit-identical to a full
+// recompute. The full recompute survives as the reference scheduler
+// (KEDDAH_REFERENCE_SCHEDULER=1 or NetworkOptions::reference_scheduler):
+// it marks every populated arc dirty on every reshare and runs the same
+// solver, which is what tests/net_differential_test.cpp runs side-by-side
+// with the incremental mode.
 #pragma once
 
 #include <array>
 #include <functional>
 #include <limits>
 #include <unordered_map>
+#include <vector>
 
 #include "net/flow.h"
 #include "net/topology.h"
@@ -38,6 +52,11 @@ struct NetworkOptions {
   /// Initial congestion window for the slow-start approximation
   /// (10 segments of 1460 B, the Linux default).
   util::Bytes initial_window{14600.0};
+  /// Run the reference (full-recompute) scheduler instead of the
+  /// incremental one. The KEDDAH_REFERENCE_SCHEDULER environment variable
+  /// (any value other than "0") forces this on regardless of the field, so
+  /// whole pipelines can be flipped without code changes.
+  bool reference_scheduler = false;
 };
 
 /// Per-traffic-class byte ledger kept by the engine. The conservation
@@ -48,6 +67,27 @@ struct ClassTotals {
   util::Bytes offered;    ///< payload accepted by start_flow()
   util::Bytes delivered;  ///< payload that reached its destination
   util::Bytes aborted;    ///< payload lost to aborts (requested - delivered)
+};
+
+/// Perf counters for the fair-share scheduler (bench/perf_scheduler emits
+/// them as BENCH_scheduler.json; the CLI prints them after run-scenario).
+struct SchedulerStats {
+  std::uint64_t reshares = 0;       ///< reshare() invocations
+  std::uint64_t solves = 0;         ///< reshares that ran the water-filling solver
+  std::uint64_t empty_reshares = 0; ///< reshares with a clean dirty set (rates reused)
+  std::uint64_t links_touched = 0;  ///< arc-share evaluations inside solves
+  std::uint64_t flows_visited = 0;  ///< flows pulled into solve subproblems
+  std::uint64_t flows_rerated = 0;  ///< rate assignments that changed a flow's rate
+  std::uint64_t heap_ops = 0;       ///< completion-heap sift swaps
+  /// Per-solve links-touched histogram: bucket i counts solves that touched
+  /// [4^i, 4^(i+1)) arc shares (bucket 0 is [0,4)). The reshare cost
+  /// distribution the bench reports.
+  std::array<std::uint64_t, 8> solve_size_hist{};
+
+  /// Mean arc-share evaluations per reshare (the headline incremental win).
+  double links_per_reshare() const {
+    return reshares > 0 ? static_cast<double>(links_touched) / static_cast<double>(reshares) : 0.0;
+  }
 };
 
 /// The network simulator facade.
@@ -105,11 +145,12 @@ class Network {
   bool node_up(NodeId node) const;
 
   /// Rewrites a link's per-direction capacity and recomputes fair shares
-  /// (fault injection: link-degradation windows).
+  /// (fault injection: link-degradation windows). A rewrite to the current
+  /// capacity leaves the dirty set empty: no rate changes.
   void set_link_capacity(LinkId link, util::Rate capacity);
 
   /// Number of flows currently holding network capacity.
-  std::size_t active_flows() const { return active_.size(); }
+  std::size_t active_flows() const { return slot_of_.size(); }
 
   /// Flows started since construction.
   std::uint64_t total_flows() const { return next_flow_id_ - 1; }
@@ -120,8 +161,14 @@ class Network {
   /// Total payload accepted by start_flow() so far.
   util::Bytes offered_bytes() const { return offered_bytes_; }
 
-  /// Number of fair-share recomputations (perf counter for benches).
-  std::uint64_t recomputations() const { return recomputations_; }
+  /// Number of fair-share recomputations (solver runs; perf counter).
+  std::uint64_t recomputations() const { return sched_stats_.solves; }
+
+  /// Scheduler perf counters (reshares, links touched, heap ops, ...).
+  const SchedulerStats& scheduler_stats() const { return sched_stats_; }
+
+  /// True when the reference (full-recompute) scheduler is active.
+  bool reference_scheduler() const { return reference_mode_; }
 
   /// Flows terminated early by abort_flow/abort_flows_touching or by
   /// activating against a down endpoint.
@@ -144,8 +191,21 @@ class Network {
   /// callable explicitly in any build (the audit test does).
   void audit_conservation() const;
 
-  /// Looks up an active flow; returns nullptr if finished or unknown.
+  /// Audits the scheduler's internal structures: per-arc member lists and
+  /// back-references consistent, completion heap well-formed, dirty flags in
+  /// sync with the frontier. Throws util::AuditError on breach. Cheap enough
+  /// for tests to call after every event; KEDDAH_CHECK builds do not call it
+  /// automatically (it is O(active flows x path)).
+  void audit_scheduler() const;
+
+  /// Looks up an active flow; returns nullptr if finished or unknown. The
+  /// returned flow's `remaining` is exact as of its last rate change
+  /// (progress is materialized lazily); `rate_bps` is always current.
   const Flow* find_flow(FlowId id) const;
+
+  /// Visits every active flow in flow-id order (tests and audits; not a hot
+  /// path). Progress is as-of the flow's last rate change.
+  void visit_active_flows(const std::function<void(const Flow&)>& fn) const;
 
   /// Instantaneous aggregate rate over all active flows, bits/second.
   double aggregate_rate_bps() const;
@@ -160,34 +220,96 @@ class Network {
   double arc_utilization(Arc arc) const;
 
  private:
+  /// Sentinel: slot absent from the completion heap.
+  static constexpr std::int32_t kNotInHeap = -1;
+
+  /// An active flow in the arena. Slots are reused via a free list; all hot
+  /// loops address flows by slot index, never through the id map.
   struct ActiveFlow {
     Flow flow;
     CompletionCallback on_complete;
+    /// Progress (flow.remaining, arc byte counters) is exact up to here.
+    sim::Time last_update = 0.0;
+    /// Absolute time the flow drains at its current rate (heap key).
+    double projected_finish = std::numeric_limits<double>::infinity();
+    /// Position of this flow in each path arc's member list (parallel to
+    /// flow.path), maintained through swap-removes.
+    std::vector<std::uint32_t> member_pos;
+    /// Index into finish_heap_, kNotInHeap when inactive.
+    std::int32_t heap_pos = kNotInHeap;
+    bool in_use = false;
   };
 
-  /// Brings every active flow's remaining_bits up to date at sim_.now().
-  void advance_progress();
+  /// Per-directed-arc scheduler state (indexed by Arc::index()).
+  struct ArcState {
+    /// Cached capacity (avoids the Topology indirection on the hot path).
+    double capacity_bps = 0.0;
+    /// Active flows crossing the arc as (arena slot, index of this arc in
+    /// that flow's path). Unordered: removal is swap-remove; the solver
+    /// canonicalizes by flow id.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> members;
+    /// True while the arc sits on the dirty frontier.
+    bool dirty = false;
+  };
 
-  /// Recomputes max-min fair rates and re-arms the next completion event.
+  // --- lazy progress ------------------------------------------------------
+  /// Settles `slot`'s transferred bytes over [last_update, now] at its
+  /// current rate (flow.remaining and per-arc byte counters).
+  void materialize(std::uint32_t slot);
+  /// Materializes every active flow (utilization queries).
+  void sync_progress();
+
+  // --- membership / dirty frontier ---------------------------------------
+  void mark_dirty(std::uint32_t arc_index);
+  void add_membership(std::uint32_t slot);
+  void remove_membership(std::uint32_t slot);
+  std::uint32_t allocate_slot();
+  /// Detaches an active flow from every scheduler structure and frees its
+  /// slot; returns the flow + callback for the caller to resolve.
+  std::pair<Flow, CompletionCallback> detach(std::uint32_t slot);
+
+  // --- fair sharing -------------------------------------------------------
+  /// Recomputes max-min rates over the component(s) reachable from the
+  /// dirty frontier and re-arms the completion event.
   void reshare();
+  /// Reference scheduler: marks every populated arc dirty so the solver
+  /// recomputes the complete allocation from scratch.
+  void compute_max_min_rates_reference();
+  /// Water-filling over the dirty component(s): flood-fills the affected
+  /// flow/arc set, then freezes one bottleneck arc at a time off a lazy
+  /// min-heap of arc shares. Clears the dirty frontier.
+  void solve_dirty();
+  /// Applies a freshly solved rate; no-op (and no heap churn) when the rate
+  /// is unchanged.
+  void assign_rate(std::uint32_t slot, double rate_bps);
 
-  /// Water-filling over real arcs plus one virtual arc per capped flow.
-  void compute_max_min_rates();
+  // --- completion heap ----------------------------------------------------
+  bool finishes_before(std::uint32_t a, std::uint32_t b) const;
+  /// Writes `slot` at heap position `pos` and fixes its back-reference.
+  void heap_place(std::size_t pos, std::uint32_t slot);
+  void heap_sift_up(std::size_t pos);
+  void heap_sift_down(std::size_t pos);
+  void heap_insert(std::uint32_t slot);
+  void heap_erase(std::uint32_t slot);
+  void heap_update(std::uint32_t slot);
+  /// (Re)schedules the single completion event at the heap top's projected
+  /// finish; cancels it when no flow is active.
+  void rearm_completion();
 
-  /// Completes all flows whose remaining bits have drained.
   void on_completion_event();
 
-  void finish_flow(ActiveFlow& af);
-
-  /// Terminates an already-erased flow with partial-byte accounting and
-  /// fires taps/callback. Caller advances progress and reshares.
-  void abort_erased(ActiveFlow& af);
+  /// Delivery tail: fires taps/callback for a fully drained, already
+  /// detached flow (after the tail latency when modelled).
+  void resolve_finished(Flow flow, CompletionCallback cb);
+  /// Terminates an already-detached flow with partial-byte accounting and
+  /// fires taps/callback immediately.
+  void resolve_aborted(Flow flow, CompletionCallback cb);
 
   sim::Simulator& sim_;
   Topology topology_;
   NetworkOptions options_;
+  bool reference_mode_ = false;
 
-  std::unordered_map<FlowId, ActiveFlow> active_;
   std::vector<Tap> completion_taps_;
   std::vector<Tap> start_taps_;
 
@@ -195,18 +317,38 @@ class Network {
   void account_offered(const Flow& flow);
   void account_delivered(const Flow& flow);
   void account_aborted(const Flow& flow, util::Bytes shortfall);
-  /// Payload admitted but outside `active_` (connection setup, loopback
-  /// transit, delivery tail), per class; the audit adds it back in.
+  /// Payload admitted but outside the active set (connection setup,
+  /// loopback transit, delivery tail), per class; the audit adds it back in.
   util::Bytes& limbo(const Flow& flow) {
     return limbo_[static_cast<std::size_t>(flow.meta.kind)];
   }
 
+  // --- arena + indexes ----------------------------------------------------
+  std::vector<ActiveFlow> arena_;
+  std::vector<std::uint32_t> free_slots_;
+  std::unordered_map<FlowId, std::uint32_t> slot_of_;
+  std::vector<ArcState> arcs_;
+  std::vector<std::uint32_t> dirty_arcs_;
+  std::vector<std::uint32_t> finish_heap_;
+
+  // --- solver scratch (reused across solves; epoch-stamped visit marks) ---
+  std::uint64_t visit_epoch_ = 0;
+  std::vector<std::uint64_t> arc_visit_;
+  std::vector<std::uint64_t> slot_visit_;
+  /// slot -> index into the current solve's sorted flow list.
+  std::vector<std::uint32_t> slot_local_;
+  std::vector<std::uint32_t> scratch_flows_;
+  std::vector<std::uint32_t> scratch_arc_stack_;
+  std::vector<std::uint32_t> scratch_local_arcs_;
+  std::vector<std::uint32_t> arc_local_idx_;
+
   FlowId next_flow_id_ = 1;
-  sim::Time last_progress_time_ = 0.0;
   sim::EventId completion_event_ = sim::kInvalidEvent;
+  /// Absolute time completion_event_ is armed for (infinity when unarmed).
+  double armed_time_ = std::numeric_limits<double>::infinity();
   util::Bytes delivered_bytes_;
   util::Bytes offered_bytes_;
-  std::uint64_t recomputations_ = 0;
+  SchedulerStats sched_stats_;
   std::uint64_t aborted_flows_ = 0;
   util::Bytes aborted_bytes_;
   std::array<ClassTotals, kNumFlowKinds> class_totals_{};

@@ -50,10 +50,12 @@ LinkId Topology::add_link(NodeId a, NodeId b, util::Rate capacity, util::Seconds
   return id;
 }
 
-void Topology::set_link_capacity(LinkId id, util::Rate capacity) {
+bool Topology::set_link_capacity(LinkId id, util::Rate capacity) {
   if (id >= links_.size()) throw std::out_of_range("topology: bad link id");
   if (capacity.bps() <= 0.0) throw std::invalid_argument("topology: non-positive capacity");
+  if (links_[id].capacity == capacity) return false;
   links_[id].capacity = capacity;
+  return true;
 }
 
 std::vector<LinkId> Topology::links_at(NodeId id) const {

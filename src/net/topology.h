@@ -78,8 +78,10 @@ class Topology {
 
   /// Rewrites a link's per-direction capacity (fault injection: link
   /// degradation windows). Routing is unaffected; callers that cache rates
-  /// (the network engine) must recompute shares afterwards.
-  void set_link_capacity(LinkId id, util::Rate capacity);
+  /// (the network engine) must recompute shares afterwards. Returns false
+  /// when the new capacity equals the current one — callers use this to
+  /// keep their dirty sets empty on no-op rewrites.
+  bool set_link_capacity(LinkId id, util::Rate capacity);
 
   /// Links incident to a node, in creation order (a host's single entry is
   /// its access link).

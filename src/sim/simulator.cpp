@@ -12,9 +12,22 @@ namespace keddah::sim {
 EventId Simulator::schedule_at(Time at, std::function<void()> fn) {
   if (at < now_) throw std::invalid_argument("sim: schedule_at in the past");
   const EventId id = next_id_++;
-  queue_.push(Entry{at, next_seq_++, id, std::make_shared<std::function<void()>>(std::move(fn))});
-  live_.insert(id);
+  auto shared = std::make_shared<std::function<void()>>(std::move(fn));
+  queue_.push(Entry{at, next_seq_++, id, shared});
+  live_.emplace(id, std::move(shared));
   return id;
+}
+
+EventId Simulator::reschedule(EventId id, Time at) {
+  const auto it = live_.find(id);
+  if (it == live_.end()) return kInvalidEvent;
+  if (at < now_) throw std::invalid_argument("sim: reschedule in the past");
+  auto fn = std::move(it->second);
+  live_.erase(it);  // the stale heap entry is skimmed lazily
+  const EventId nid = next_id_++;
+  queue_.push(Entry{at, next_seq_++, nid, fn});
+  live_.emplace(nid, std::move(fn));
+  return nid;
 }
 
 EventId Simulator::schedule_in(Time delay, std::function<void()> fn) {
@@ -29,7 +42,7 @@ bool Simulator::cancel(EventId id) {
 }
 
 void Simulator::skim_cancelled() {
-  while (!queue_.empty() && live_.count(queue_.top().id) == 0) queue_.pop();
+  while (!queue_.empty() && live_.find(queue_.top().id) == live_.end()) queue_.pop();
 }
 
 void Simulator::audit_clock(Time next) const {

@@ -11,7 +11,7 @@
 #include <functional>
 #include <memory>
 #include <queue>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
 namespace keddah::sim {
@@ -46,6 +46,13 @@ class Simulator {
   /// cancelled, or invalid handles (no effect). Returns true if the event
   /// was pending and is now cancelled.
   bool cancel(EventId id);
+
+  /// Moves a pending event to absolute time `at`, reusing its callback
+  /// (no std::function re-allocation), and returns the new handle; the old
+  /// handle is dead. Returns kInvalidEvent when `id` is not pending. This is
+  /// the re-arm primitive for components that keep one outstanding event
+  /// whose deadline moves around (the network's next-completion event).
+  EventId reschedule(EventId id, Time at);
 
   /// Runs until the queue drains or `until` is reached (infinity = drain).
   /// If `until` is finite, the clock is advanced to `until` even when the
@@ -85,7 +92,9 @@ class Simulator {
   void skim_cancelled();
 
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-  std::unordered_set<EventId> live_;
+  /// Live events and their callbacks; the heap holds shared_ptr copies, so
+  /// reschedule() can move an event without copying the closure.
+  std::unordered_map<EventId, std::shared_ptr<std::function<void()>>> live_;
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;

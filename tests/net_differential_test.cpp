@@ -1,0 +1,271 @@
+// Differential test harness for the fair-share scheduler: the incremental
+// hot path (dirty-arc frontier, component-restricted solves) and the
+// reference full-recompute scheduler are two dirty-marking policies over the
+// same engine, and DESIGN.md §9 argues the resulting allocations are
+// bit-identical. This file holds the argument to account: identical
+// randomized scenarios — seed-swept arrival processes, rate caps, capacity
+// changes, node failures, mid-flight aborts — run through both modes, and
+// every completion time, per-class byte ledger, and fault counter must match
+// EXACTLY (EXPECT_EQ on doubles, not EXPECT_NEAR). Any divergence means the
+// incremental scheduler failed to re-solve a component it should have.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+#include "keddah/scenario.h"
+#include "net/network.h"
+#include "util/rng.h"
+
+namespace kc = keddah::core;
+namespace kn = keddah::net;
+namespace ks = keddah::sim;
+namespace ku = keddah::util;
+
+namespace {
+
+kn::Topology make_topology(std::uint64_t seed) {
+  switch (seed % 5) {
+    case 0:
+      return kn::make_star(10, 1e9, 1e-4);
+    case 1:
+      return kn::make_rack_tree(3, 4, 1e9, 10e9, 1e-4);
+    case 2:
+      return kn::make_rack_tree(4, 4, 1e9, 1e9, 1e-4);  // oversubscribed core
+    case 3:
+      return kn::make_fat_tree(4, 1e9, 1e-4);
+    default:
+      return kn::make_dumbbell(5, 5, 1e9, 2e9, 1e-4);
+  }
+}
+
+/// What one scheduler mode produced for a scenario: everything downstream
+/// code could observe, keyed by flow id where per-flow.
+struct RunResult {
+  /// (end_time, delivered bytes, aborted) per completed flow.
+  std::map<kn::FlowId, std::tuple<double, double, bool>> flows;
+  double final_time = 0.0;
+  double delivered = 0.0;
+  double aborted_bytes = 0.0;
+  std::uint64_t aborted_flows = 0;
+  kn::ClassTotals totals[kn::kNumFlowKinds];
+};
+
+/// Replays seed-derived traffic plus a seed-derived fault plan through one
+/// scheduler mode. Both modes must see the byte-for-byte same call sequence,
+/// so every decision here draws from the scenario Rng only — never from
+/// engine state.
+RunResult run_scenario_mode(std::uint64_t seed, bool reference) {
+  // The env switch would override NetworkOptions and silently collapse the
+  // differential into reference-vs-reference; these tests pin the mode.
+  unsetenv("KEDDAH_REFERENCE_SCHEDULER");
+  ks::Simulator sim;
+  kn::NetworkOptions opts;
+  opts.model_latency = (seed % 3 != 0);
+  opts.reference_scheduler = reference;
+  kn::Network net(sim, make_topology(seed), opts);
+  const auto hosts = net.topology().hosts();
+
+  RunResult result;
+  ku::Rng rng(seed);
+
+  // Traffic: a few dozen flows with log-uniform sizes, some rate-capped,
+  // spread over a few seconds so arrivals interleave with completions.
+  const std::size_t num_flows = 30 + seed % 21;
+  std::vector<kn::FlowId> started;
+  for (std::size_t i = 0; i < num_flows; ++i) {
+    const auto src = hosts[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(hosts.size()) - 1))];
+    auto dst = hosts[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(hosts.size()) - 1))];
+    if (dst == src) dst = hosts[(static_cast<std::size_t>(dst) + 1) % hosts.size()];
+    const double bytes = std::pow(10.0, rng.uniform(3.5, 7.5));
+    const double start = rng.uniform(0.0, 4.0);
+    const double cap = rng.chance(0.25) ? rng.uniform(1e7, 5e8) : 0.0;
+    kn::FlowMeta meta;
+    meta.kind = static_cast<kn::FlowKind>(rng.uniform_int(0, 4));
+    sim.schedule_at(start, [&net, &result, src, dst, bytes, cap, meta] {
+      net.start_flow(src, dst, ku::Bytes(bytes), meta,
+                     [&result](const kn::Flow& f) {
+                       result.flows[f.id] = {f.end_time, f.bytes.value(), f.aborted};
+                     },
+                     ku::Rate::bps(cap));
+    });
+  }
+
+  // Fault plan: capacity degradations with restores, node-down windows with
+  // active-flow aborts, and targeted single-flow aborts.
+  const std::size_t num_faults = 3 + seed % 4;
+  for (std::size_t i = 0; i < num_faults; ++i) {
+    const double at = rng.uniform(0.5, 6.0);
+    const int kind = static_cast<int>(rng.uniform_int(0, 2));
+    switch (kind) {
+      case 0: {  // degrade a random link, restore it later
+        const auto link = static_cast<kn::LinkId>(
+            rng.uniform_int(0, static_cast<std::int64_t>(net.topology().num_links()) - 1));
+        const double factor = rng.uniform(0.05, 0.5);
+        const double duration = rng.uniform(0.5, 3.0);
+        sim.schedule_at(at, [&net, link, factor] {
+          net.set_link_capacity(link, net.topology().link(link).capacity * factor);
+        });
+        sim.schedule_at(at + duration, [&net, link, factor] {
+          net.set_link_capacity(link, net.topology().link(link).capacity * (1.0 / factor));
+        });
+        break;
+      }
+      case 1: {  // node goes down, active flows abort, node comes back
+        const auto node = hosts[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(hosts.size()) - 1))];
+        const double duration = rng.uniform(0.5, 2.0);
+        sim.schedule_at(at, [&net, node] {
+          net.set_node_down(node);
+          net.abort_flows_touching(node);
+        });
+        sim.schedule_at(at + duration, [&net, node] { net.set_node_up(node); });
+        break;
+      }
+      default: {  // abort one specific flow id if it happens to be active
+        const auto victim = static_cast<kn::FlowId>(
+            rng.uniform_int(1, static_cast<std::int64_t>(num_flows)));
+        sim.schedule_at(at, [&net, victim] { net.abort_flow(victim); });
+        break;
+      }
+    }
+  }
+
+  sim.run();
+  net.audit_scheduler();  // structures must be consistent at quiescence
+  result.final_time = sim.now();
+  result.delivered = net.delivered_bytes().value();
+  result.aborted_bytes = net.aborted_bytes().value();
+  result.aborted_flows = net.aborted_flows();
+  for (std::size_t k = 0; k < kn::kNumFlowKinds; ++k) {
+    result.totals[k] = net.class_totals(static_cast<kn::FlowKind>(k));
+  }
+  EXPECT_EQ(net.reference_scheduler(), reference);
+  return result;
+}
+
+void expect_identical(const RunResult& inc, const RunResult& ref, std::uint64_t seed) {
+  SCOPED_TRACE("seed " + std::to_string(seed));
+  // Bit-exact across the board: EXPECT_EQ on doubles, no tolerance.
+  EXPECT_EQ(inc.final_time, ref.final_time);
+  EXPECT_EQ(inc.delivered, ref.delivered);
+  EXPECT_EQ(inc.aborted_bytes, ref.aborted_bytes);
+  EXPECT_EQ(inc.aborted_flows, ref.aborted_flows);
+  ASSERT_EQ(inc.flows.size(), ref.flows.size());
+  for (const auto& [id, got] : inc.flows) {
+    const auto it = ref.flows.find(id);
+    ASSERT_NE(it, ref.flows.end()) << "flow " << id << " only completed incrementally";
+    EXPECT_EQ(std::get<0>(got), std::get<0>(it->second)) << "end_time of flow " << id;
+    EXPECT_EQ(std::get<1>(got), std::get<1>(it->second)) << "bytes of flow " << id;
+    EXPECT_EQ(std::get<2>(got), std::get<2>(it->second)) << "aborted of flow " << id;
+  }
+  for (std::size_t k = 0; k < kn::kNumFlowKinds; ++k) {
+    SCOPED_TRACE(std::string("class ") + kn::flow_kind_name(static_cast<kn::FlowKind>(k)));
+    EXPECT_EQ(inc.totals[k].offered.value(), ref.totals[k].offered.value());
+    EXPECT_EQ(inc.totals[k].delivered.value(), ref.totals[k].delivered.value());
+    EXPECT_EQ(inc.totals[k].aborted.value(), ref.totals[k].aborted.value());
+  }
+}
+
+}  // namespace
+
+// 60 seeded scenarios x 5 topologies, every one with faults: the core
+// differential sweep the acceptance criteria call for.
+TEST(SchedulerDifferential, SeedSweptScenariosMatchBitExactly) {
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    const RunResult inc = run_scenario_mode(seed, /*reference=*/false);
+    const RunResult ref = run_scenario_mode(seed, /*reference=*/true);
+    expect_identical(inc, ref, seed);
+  }
+}
+
+// The incremental scheduler must actually BE incremental: on rack-confined
+// traffic (disjoint sharing components) it touches far fewer links per
+// reshare than the reference full sweeps.
+TEST(SchedulerDifferential, IncrementalTouchesFewerLinks) {
+  unsetenv("KEDDAH_REFERENCE_SCHEDULER");  // pin the mode via NetworkOptions
+  const auto run_mode = [](bool reference) {
+    ks::Simulator sim;
+    kn::NetworkOptions opts;
+    opts.model_latency = false;
+    opts.reference_scheduler = reference;
+    kn::Network net(sim, kn::make_rack_tree(6, 6, 1e9, 10e9, 1e-4), opts);
+    const auto by_rack = net.topology().hosts_by_rack();
+    ku::Rng rng(99);
+    for (const auto& [rack, members] : by_rack) {
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        for (std::size_t j = 0; j < members.size(); ++j) {
+          if (i == j) continue;
+          const double start = rng.uniform(0.0, 1.0);
+          sim.schedule_at(start, [&net, src = members[i], dst = members[j]] {
+            net.start_flow(src, dst, ku::Bytes(2e6), {}, nullptr);
+          });
+        }
+      }
+    }
+    sim.run();
+    return net.scheduler_stats();
+  };
+  const auto inc = run_mode(false);
+  const auto ref = run_mode(true);
+  EXPECT_EQ(inc.reshares, ref.reshares);  // same event sequence
+  EXPECT_GT(inc.reshares, 0u);
+  // Rack-local components: each solve should only visit one rack's arcs.
+  EXPECT_LT(inc.links_per_reshare() * 3.0, ref.links_per_reshare());
+}
+
+// Whole-toolchain differential: a faulted Hadoop scenario through
+// run_scenario twice, flipping the KEDDAH_REFERENCE_SCHEDULER environment
+// switch. Job results, capture, and FaultStats must agree exactly.
+TEST(SchedulerDifferential, ScenarioPipelineMatchesUnderEnvSwitch) {
+  const auto spec = kc::parse_scenario(ku::Json::parse(R"({
+    "seed": 17,
+    "cluster": { "racks": 2, "hosts_per_rack": 4, "block_size": "32MB", "replication": 2 },
+    "jobs": [
+      { "workload": "sort", "input": "96MB", "reducers": 2 },
+      { "workload": "grep", "input": "64MB", "submit_at": 2.0 }
+    ],
+    "faults": [
+      { "kind": "outage", "worker": 3, "at": 4.0, "duration": 6.0 },
+      { "kind": "degrade_link", "worker": 5, "at": 2.0, "duration": 10.0, "factor": 0.1 }
+    ]
+  })"));
+
+  const auto run_with_env = [&spec](const char* value) {
+    ::setenv("KEDDAH_REFERENCE_SCHEDULER", value, 1);
+    auto outcome = kc::run_scenario(spec);
+    ::unsetenv("KEDDAH_REFERENCE_SCHEDULER");
+    return outcome;
+  };
+  const auto inc = run_with_env("0");  // "0" keeps the incremental default
+  const auto ref = run_with_env("1");
+
+  ASSERT_EQ(inc.results.size(), ref.results.size());
+  for (std::size_t i = 0; i < inc.results.size(); ++i) {
+    EXPECT_EQ(inc.results[i].job_name, ref.results[i].job_name);
+    EXPECT_EQ(inc.results[i].submit_time, ref.results[i].submit_time);
+    EXPECT_EQ(inc.results[i].end_time, ref.results[i].end_time);
+    EXPECT_EQ(inc.results[i].output_bytes, ref.results[i].output_bytes);
+  }
+  ASSERT_EQ(inc.trace.size(), ref.trace.size());
+  for (std::size_t i = 0; i < inc.trace.size(); ++i) {
+    EXPECT_EQ(inc.trace[i].start, ref.trace[i].start);
+    EXPECT_EQ(inc.trace[i].end, ref.trace[i].end);
+    EXPECT_EQ(inc.trace[i].bytes, ref.trace[i].bytes);
+  }
+  EXPECT_EQ(inc.faults.crashes, ref.faults.crashes);
+  EXPECT_EQ(inc.faults.outages, ref.faults.outages);
+  EXPECT_EQ(inc.faults.link_degradations, ref.faults.link_degradations);
+  EXPECT_EQ(inc.faults.aborted_flows, ref.faults.aborted_flows);
+  EXPECT_EQ(inc.faults.aborted_bytes.value(), ref.faults.aborted_bytes.value());
+  EXPECT_EQ(inc.faults.fetch_retries, ref.faults.fetch_retries);
+  EXPECT_EQ(inc.faults.map_reruns, ref.faults.map_reruns);
+  EXPECT_EQ(inc.rereplications, ref.rereplications);
+  // The env var actually flipped the mode: the reference run's full sweeps
+  // touch at least as many links per reshare.
+  EXPECT_GE(ref.scheduler.links_per_reshare(), inc.scheduler.links_per_reshare());
+}

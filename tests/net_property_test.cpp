@@ -4,6 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "capture/collector.h"
 #include "net/network.h"
@@ -178,6 +182,102 @@ TEST_P(NetworkProperty, CaptureSeesEveryNonLoopbackFlow) {
   }
   sim.run();
   EXPECT_EQ(collector.trace().size(), n);
+}
+
+// --- Max-min fairness invariants, checked after every simulator event ----
+//
+// These run the simulation one event at a time and re-validate the water
+// level between every pair of events, in both scheduler modes. They are the
+// property-side complement of tests/net_differential_test.cpp: the
+// differential harness proves incremental == reference, these prove both
+// are actually max-min fair.
+
+namespace {
+
+/// Asserts the instantaneous rate assignment is a max-min allocation:
+/// (a) no arc is oversubscribed, and (b) every flow below its cap crosses
+/// at least one saturated arc (otherwise its rate could be raised without
+/// hurting anyone — not max-min).
+void expect_max_min(const kn::Network& net, const std::string& where) {
+  const auto& topo = net.topology();
+  std::vector<double> arc_load(topo.num_links() * 2, 0.0);
+  std::vector<const kn::Flow*> flows;
+  net.visit_active_flows([&](const kn::Flow& f) {
+    if (f.path.empty() || f.rate_bps <= 0.0) return;  // loopback / not yet rated
+    for (const auto arc : f.path) arc_load[arc.index()] += f.rate_bps;
+    flows.push_back(&f);
+  });
+  for (kn::LinkId l = 0; l < topo.num_links(); ++l) {
+    const double cap = topo.link(l).capacity.bps();
+    for (std::uint8_t dir = 0; dir < 2; ++dir) {
+      EXPECT_LE(arc_load[l * 2 + dir], cap * (1.0 + 1e-9))
+          << where << ": link " << l << " dir " << int(dir) << " oversubscribed";
+    }
+  }
+  for (const auto* f : flows) {
+    if (f->rate_bps + 1e-6 * f->rate_cap_bps >= f->rate_cap_bps) continue;  // at cap
+    bool bottlenecked = false;
+    for (const auto arc : f->path) {
+      const double cap = topo.link(arc.link).capacity.bps();
+      if (arc_load[arc.index()] >= cap * (1.0 - 1e-9)) {
+        bottlenecked = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(bottlenecked) << where << ": flow " << f->id << " at "
+                              << f->rate_bps << " bps (< cap " << f->rate_cap_bps
+                              << ") crosses no saturated arc";
+  }
+}
+
+}  // namespace
+
+TEST_P(NetworkProperty, MaxMinInvariantsHoldAfterEveryEvent) {
+  for (const bool reference : {false, true}) {
+    kn::NetworkOptions opts;
+    opts.reference_scheduler = reference;
+    RandomLoad load(GetParam(), 120, 91, opts);
+    std::size_t steps = 0;
+    while (load.sim.step()) {
+      load.net.audit_scheduler();
+      expect_max_min(load.net, topo_name(GetParam()) + (reference ? "/ref" : "/inc") +
+                                   " step " + std::to_string(++steps));
+      if (HasFailure()) return;  // one detailed failure beats thousands
+    }
+    EXPECT_EQ(load.completions, 120);
+  }
+}
+
+TEST_P(NetworkProperty, NoOpCapacityChangeIsFreeAndRateNeutral) {
+  // Rewriting every link to its current capacity must leave the dirty set
+  // empty: the solver must not run and no flow's rate may move a bit.
+  // (Reference mode deliberately re-solves everything on every reshare, so
+  // this property is incremental-only — pin the mode.)
+  unsetenv("KEDDAH_REFERENCE_SCHEDULER");
+  RandomLoad load(GetParam(), 150, 92);
+  // Run half the events so a healthy mix of flows is mid-flight.
+  for (int i = 0; i < 200 && load.sim.step(); ++i) {
+  }
+  std::map<kn::FlowId, double> before;
+  load.net.visit_active_flows([&](const kn::Flow& f) { before[f.id] = f.rate_bps; });
+  ASSERT_FALSE(before.empty());
+  const auto solves_before = load.net.scheduler_stats().solves;
+  const auto empties_before = load.net.scheduler_stats().empty_reshares;
+  const auto& topo = load.net.topology();
+  for (kn::LinkId l = 0; l < topo.num_links(); ++l) {
+    load.net.set_link_capacity(l, topo.link(l).capacity);
+  }
+  EXPECT_EQ(load.net.scheduler_stats().solves, solves_before)
+      << "no-op capacity writes must not reach the solver";
+  EXPECT_EQ(load.net.scheduler_stats().empty_reshares,
+            empties_before + topo.num_links());
+  load.net.visit_active_flows([&](const kn::Flow& f) {
+    auto it = before.find(f.id);
+    ASSERT_NE(it, before.end());
+    EXPECT_EQ(f.rate_bps, it->second) << "flow " << f.id << " re-rated by a no-op";
+  });
+  load.sim.run();
+  EXPECT_EQ(load.completions, 150);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllTopologies, NetworkProperty,

@@ -287,6 +287,49 @@ TEST(ParallelDeterminism, FaultedScenarioReplaysIdenticallyAcrossThreadCounts) {
   }
 }
 
+TEST(ParallelDeterminism, FaultedScenarioIdenticalAcrossThreadsInBothSchedulerModes) {
+  // Determinism stress for the incremental fair-share scheduler: the same
+  // faulted batch must replay bit-identically at 1 vs 8 threads, with the
+  // incremental scheduler AND with the reference full-recompute scheduler —
+  // and the two modes must agree with each other, flow for flow.
+  std::vector<kc::ScenarioSpec> specs;
+  for (std::uint64_t seed : {21, 22, 23, 24}) {
+    kc::ScenarioSpec spec;
+    spec.cluster.racks = 2;
+    spec.cluster.hosts_per_rack = 4;
+    spec.cluster.block_size = 64ull << 20;
+    spec.cluster.containers_per_node = 4;
+    spec.seed = seed;
+    kc::ScenarioSpec::JobEntry job;
+    job.workload = kw::Workload::kSort;
+    job.input_bytes = 256 * kMiB;
+    job.num_reducers = 4;
+    spec.jobs.push_back(job);
+    spec.faults.events.push_back({keddah::hadoop::FaultKind::kOutage, /*worker=*/2,
+                                  /*at=*/3.0, /*duration=*/4.0, /*factor=*/0.0});
+    spec.faults.events.push_back({keddah::hadoop::FaultKind::kDegradeLink, /*worker=*/6,
+                                  /*at=*/1.5, /*duration=*/6.0, /*factor=*/0.25});
+    specs.push_back(spec);
+  }
+  const auto run_mode = [&](const char* reference) {
+    setenv("KEDDAH_REFERENCE_SCHEDULER", reference, 1);
+    auto serial = kc::run_scenarios(specs, /*threads=*/1);
+    auto threaded = kc::run_scenarios(specs, /*threads=*/8);
+    unsetenv("KEDDAH_REFERENCE_SCHEDULER");
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      expect_identical_traces(serial[i].trace, threaded[i].trace);
+      EXPECT_EQ(serial[i].faults.aborted_flows, threaded[i].faults.aborted_flows);
+      EXPECT_EQ(serial[i].faults.aborted_bytes, threaded[i].faults.aborted_bytes);
+    }
+    return serial;
+  };
+  const auto incremental = run_mode("0");
+  const auto reference = run_mode("1");
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    expect_identical_traces(incremental[i].trace, reference[i].trace);
+  }
+}
+
 TEST(ScenarioSpec, ParsesOptionalThreadsField) {
   const auto doc = keddah::util::Json::parse(
       R"({"threads": 3, "jobs": [{"workload": "sort", "input": "256MB"}]})");

@@ -29,14 +29,23 @@ cmake -B "${BUILD}" -S "${ROOT}" -DKEDDAH_SANITIZE="${SAN}" -DKEDDAH_CHECK=ON \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${BUILD}" \
       --target parallel_test net_network_test fault_injection_test \
-               hadoop_faults_test scenario_test invariant_audit_test -j"$(nproc)"
+               hadoop_faults_test scenario_test invariant_audit_test \
+               net_differential_test golden_trace_test net_property_test \
+               perf_scheduler -j"$(nproc)"
 
 # The parallel subsystem, the network layer it drives concurrently, and the
 # fault-injection/recovery machinery (aborts, retries, node churn). The
 # ParallelDeterminism tests double as the determinism gate: a faulted
 # scenario must replay bit-identically at any thread count, under the
-# sanitizer too.
+# sanitizer too. SchedulerDifferential locks the incremental fair-share
+# fast path to the reference recompute, and GoldenTrace pins end-to-end
+# scenario output byte-for-byte — both with the KEDDAH_CHECK audits live.
 ctest --test-dir "${BUILD}" --output-on-failure \
-      -R 'ThreadPool|SweepRunner|ParallelDeterminism|DeriveSeed|ResolvedThreads|Network|NodeFailure|TransientOutage|DegradedLink|SlowNode|FaultPlan|Scenario|InvariantAudit'
+      -R 'ThreadPool|SweepRunner|ParallelDeterminism|DeriveSeed|ResolvedThreads|Network|NodeFailure|TransientOutage|DegradedLink|SlowNode|FaultPlan|Scenario|InvariantAudit|SchedulerDifferential|GoldenTrace'
+
+# A quick pass of the scheduler benchmark under the sanitizer: exercises
+# the incremental and reference schedulers back to back on all three
+# shapes. Results land in the sanitized build dir, not the repo root.
+"${BUILD}/bench/perf_scheduler" --quick --out "${BUILD}/BENCH_scheduler.json"
 
 echo "OK: ${SAN} sanitizer run clean"
