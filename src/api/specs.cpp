@@ -1,0 +1,432 @@
+#include "api/specs.h"
+
+#include <cmath>
+
+#include "hadoop/config_json.h"
+#include "hadoop/faults.h"
+#include "util/strings.h"
+
+namespace keddah::api {
+
+namespace {
+
+std::string join_key(const std::string& prefix, const std::string& field) {
+  return prefix.empty() ? field : prefix + "." + field;
+}
+
+/// Typed field access with SpecError diagnostics. `key` is the path of the
+/// enclosing object; `field` the member being read.
+double number_field(const util::Json& doc, const std::string& field, double fallback,
+                    const std::string& file, const std::string& key) {
+  if (!doc.contains(field)) return fallback;
+  const auto& value = doc.at(field);
+  if (!value.is_number()) throw SpecError(file, join_key(key, field), "must be a number");
+  const double d = value.as_number();
+  if (!std::isfinite(d)) throw SpecError(file, join_key(key, field), "must be finite");
+  return d;
+}
+
+std::uint64_t count_field(const util::Json& doc, const std::string& field, std::uint64_t fallback,
+                          const std::string& file, const std::string& key) {
+  const double d = number_field(doc, field, static_cast<double>(fallback), file, key);
+  if (d < 0.0) throw SpecError(file, join_key(key, field), "must be >= 0");
+  return static_cast<std::uint64_t>(d);
+}
+
+bool bool_field(const util::Json& doc, const std::string& field, bool fallback,
+                const std::string& file, const std::string& key) {
+  if (!doc.contains(field)) return fallback;
+  const auto& value = doc.at(field);
+  if (!value.is_bool()) throw SpecError(file, join_key(key, field), "must be a boolean");
+  return value.as_bool();
+}
+
+std::string string_field(const util::Json& doc, const std::string& field,
+                         const std::string& fallback, const std::string& file,
+                         const std::string& key) {
+  if (!doc.contains(field)) return fallback;
+  const auto& value = doc.at(field);
+  if (!value.is_string()) throw SpecError(file, join_key(key, field), "must be a string");
+  return value.as_string();
+}
+
+std::uint64_t size_value(const util::Json& value, const std::string& file,
+                         const std::string& key) {
+  if (value.is_number()) {
+    const double d = value.as_number();
+    if (!std::isfinite(d) || d < 0.0) throw SpecError(file, key, "must be a byte size >= 0");
+    return static_cast<std::uint64_t>(d);
+  }
+  if (value.is_string()) {
+    std::uint64_t bytes = 0;
+    if (util::parse_bytes(value.as_string(), &bytes)) return bytes;
+  }
+  throw SpecError(file, key, "must be a byte size (\"128MB\", 4096, ...)");
+}
+
+const util::Json& object_field(const util::Json& doc, const std::string& field,
+                               const std::string& file, const std::string& key) {
+  if (!doc.contains(field)) {
+    throw SpecError(file, join_key(key, field), "missing required object");
+  }
+  const auto& value = doc.at(field);
+  if (!value.is_object()) throw SpecError(file, join_key(key, field), "must be an object");
+  return value;
+}
+
+void check_object(const util::Json& doc, const std::string& file, const std::string& key) {
+  if (!doc.is_object()) {
+    throw SpecError(file, key.empty() ? "$" : key, "must be a JSON object");
+  }
+}
+
+/// "api" is optional (v1 implied) but, when present, must name a version
+/// this build speaks — a v2 client gets a crisp rejection, not a misparse.
+void check_api_version(const util::Json& doc, const std::string& file) {
+  check_object(doc, file, "");
+  if (!doc.contains("api")) return;
+  const auto& api = doc.at("api");
+  if (!api.is_string() || api.as_string() != kApiVersionString) {
+    throw SpecError(file, "api", "unsupported API version",
+                    std::string("this build speaks \"") + kApiVersionString + "\"");
+  }
+}
+
+hadoop::ClusterConfig parse_cluster_field(const util::Json& doc, const std::string& file) {
+  if (!doc.contains("cluster")) return hadoop::default_scenario_cluster();
+  return hadoop::parse_cluster_config(doc.at("cluster"), file);
+}
+
+gen::Scenario parse_gen_scenario(const util::Json& doc, const std::string& file,
+                                 const std::string& key) {
+  gen::Scenario scenario;
+  if (!doc.contains("input")) {
+    throw SpecError(file, join_key(key, "input"), "missing required byte size",
+                    "the job input size drives counts, volumes, and duration");
+  }
+  scenario.input_bytes =
+      static_cast<double>(size_value(doc.at("input"), file, join_key(key, "input")));
+  if (scenario.input_bytes <= 0.0) {
+    throw SpecError(file, join_key(key, "input"), "must be > 0");
+  }
+  scenario.num_hosts =
+      static_cast<std::size_t>(count_field(doc, "hosts", scenario.num_hosts, file, key));
+  scenario.num_maps = static_cast<std::size_t>(count_field(doc, "maps", 0, file, key));
+  scenario.num_reducers = static_cast<std::size_t>(count_field(doc, "reducers", 0, file, key));
+  return scenario;
+}
+
+util::Json gen_scenario_to_json(const gen::Scenario& scenario) {
+  util::Json doc = util::Json::object();
+  doc["input"] = util::Json(scenario.input_bytes);
+  doc["hosts"] = util::Json(static_cast<std::uint64_t>(scenario.num_hosts));
+  doc["maps"] = util::Json(static_cast<std::uint64_t>(scenario.num_maps));
+  doc["reducers"] = util::Json(static_cast<std::uint64_t>(scenario.num_reducers));
+  return doc;
+}
+
+/// Per-class {"flows", "bytes"} map over the non-empty traffic classes.
+util::Json class_stats_json(const capture::Trace& trace) {
+  util::Json classes = util::Json::object();
+  const auto stats = trace.class_stats();
+  for (std::size_t k = 0; k < net::kNumFlowKinds; ++k) {
+    if (stats[k].flows == 0) continue;
+    util::Json entry = util::Json::object();
+    entry["flows"] = util::Json(static_cast<std::uint64_t>(stats[k].flows));
+    entry["bytes"] = util::Json(stats[k].bytes);
+    classes[net::flow_kind_name(static_cast<net::FlowKind>(k))] = std::move(entry);
+  }
+  return classes;
+}
+
+}  // namespace
+
+SpecError::SpecError(std::string file, std::string key, std::string message, std::string hint)
+    : std::invalid_argument(file + ": " + key + ": " + message +
+                            (hint.empty() ? "" : " (" + hint + ")")),
+      file_(std::move(file)),
+      key_(std::move(key)),
+      message_(std::move(message)),
+      hint_(std::move(hint)) {}
+
+util::Json SpecError::to_json() const {
+  util::Json doc = util::Json::object();
+  doc["file"] = util::Json(file_);
+  doc["key"] = util::Json(key_);
+  doc["message"] = util::Json(message_);
+  if (!hint_.empty()) doc["hint"] = util::Json(hint_);
+  return doc;
+}
+
+// ---------------------------------------------------------------- specs
+
+core::CaptureSpec parse_capture_spec(const util::Json& doc, const std::string& file,
+                                     const std::string& key) {
+  check_object(doc, file, key);
+  core::CaptureSpec spec;
+  const std::string workload = string_field(doc, "workload", "sort", file, key);
+  try {
+    spec.workload = workloads::workload_from_name(workload);
+  } catch (const std::invalid_argument& e) {
+    throw SpecError(file, join_key(key, "workload"), e.what());
+  }
+  if (!doc.contains("input_sizes") || !doc.at("input_sizes").is_array() ||
+      doc.at("input_sizes").size() == 0) {
+    throw SpecError(file, join_key(key, "input_sizes"),
+                    "must be a non-empty array of byte sizes");
+  }
+  const auto& sizes = doc.at("input_sizes").as_array();
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    spec.input_sizes.push_back(
+        size_value(sizes[i], file, util::format("%s[%zu]", join_key(key, "input_sizes").c_str(), i)));
+  }
+  spec.repetitions = static_cast<std::size_t>(count_field(doc, "repetitions", 1, file, key));
+  if (spec.repetitions == 0) {
+    throw SpecError(file, join_key(key, "repetitions"), "must be >= 1");
+  }
+  spec.seed = count_field(doc, "seed", 1, file, key);
+  spec.threads = static_cast<std::size_t>(count_field(doc, "threads", 0, file, key));
+  if (doc.contains("faults")) {
+    spec.faults = hadoop::parse_fault_plan(doc.at("faults"), file);
+  }
+  return spec;
+}
+
+util::Json capture_spec_to_json(const core::CaptureSpec& spec) {
+  util::Json doc = util::Json::object();
+  doc["api"] = util::Json(kApiVersionString);
+  doc["workload"] = util::Json(workloads::workload_name(spec.workload));
+  util::Json sizes = util::Json::array();
+  for (const auto size : spec.input_sizes) sizes.push_back(util::Json(size));
+  doc["input_sizes"] = std::move(sizes);
+  doc["repetitions"] = util::Json(static_cast<std::uint64_t>(spec.repetitions));
+  doc["seed"] = util::Json(spec.seed);
+  doc["threads"] = util::Json(static_cast<std::uint64_t>(spec.threads));
+  if (!spec.faults.empty()) doc["faults"] = hadoop::fault_plan_to_json(spec.faults);
+  return doc;
+}
+
+core::ReproduceSpec parse_reproduce_spec(const util::Json& doc, const std::string& file,
+                                         const std::string& key) {
+  check_object(doc, file, key);
+  core::ReproduceSpec spec;
+  spec.scenario =
+      parse_gen_scenario(object_field(doc, "scenario", file, key), file, join_key(key, "scenario"));
+  spec.seed = count_field(doc, "seed", 1, file, key);
+  spec.gen_options.normalize_volume = bool_field(doc, "normalize_volume", false, file, key);
+  return spec;
+}
+
+util::Json reproduce_spec_to_json(const core::ReproduceSpec& spec) {
+  util::Json doc = util::Json::object();
+  doc["scenario"] = gen_scenario_to_json(spec.scenario);
+  doc["seed"] = util::Json(spec.seed);
+  doc["normalize_volume"] = util::Json(spec.gen_options.normalize_volume);
+  return doc;
+}
+
+core::ValidateSpec parse_validate_spec(const util::Json& doc, const std::string& file,
+                                       const std::string& key) {
+  check_object(doc, file, key);
+  core::ValidateSpec spec;
+  spec.seed = count_field(doc, "seed", 1, file, key);
+  spec.repetitions = static_cast<std::size_t>(count_field(doc, "repetitions", 1, file, key));
+  if (spec.repetitions == 0) {
+    throw SpecError(file, join_key(key, "repetitions"), "must be >= 1");
+  }
+  spec.threads = static_cast<std::size_t>(count_field(doc, "threads", 0, file, key));
+  spec.gen_options.normalize_volume = bool_field(doc, "normalize_volume", false, file, key);
+  return spec;
+}
+
+util::Json validate_spec_to_json(const core::ValidateSpec& spec) {
+  util::Json doc = util::Json::object();
+  doc["seed"] = util::Json(spec.seed);
+  doc["repetitions"] = util::Json(static_cast<std::uint64_t>(spec.repetitions));
+  doc["threads"] = util::Json(static_cast<std::uint64_t>(spec.threads));
+  doc["normalize_volume"] = util::Json(spec.gen_options.normalize_volume);
+  return doc;
+}
+
+// ------------------------------------------------------------- requests
+
+WhatIfRequest parse_whatif_request(const util::Json& doc, const std::string& file) {
+  check_api_version(doc, file);
+  WhatIfRequest request;
+  request.scenario = core::parse_scenario(doc, file);
+  return request;
+}
+
+ReproduceRequest parse_reproduce_request(const util::Json& doc, const std::string& file) {
+  check_api_version(doc, file);
+  ReproduceRequest request;
+  request.model = string_field(doc, "model", "", file, "");
+  if (request.model.empty()) {
+    throw SpecError(file, "model", "missing required model name",
+                    "name a model in the daemon's bank (see /v1/stats for the list)");
+  }
+  request.spec = parse_reproduce_spec(doc, file, "");
+  request.cluster = parse_cluster_field(doc, file);
+  // An absent host count means "every worker of the replay fabric".
+  if (!object_field(doc, "scenario", file, "").contains("hosts")) {
+    request.spec.scenario.num_hosts = request.cluster.num_workers();
+  }
+  return request;
+}
+
+util::Json reproduce_request_to_json(const ReproduceRequest& request) {
+  util::Json doc = reproduce_spec_to_json(request.spec);
+  doc["api"] = util::Json(kApiVersionString);
+  doc["model"] = util::Json(request.model);
+  doc["cluster"] = hadoop::cluster_config_to_json(request.cluster);
+  return doc;
+}
+
+ValidateRequest parse_validate_request(const util::Json& doc, const std::string& file) {
+  check_api_version(doc, file);
+  ValidateRequest request;
+  request.model = string_field(doc, "model", "", file, "");
+  if (request.model.empty()) {
+    throw SpecError(file, "model", "missing required model name");
+  }
+  request.run = string_field(doc, "run", "", file, "");
+  if (request.run.empty()) {
+    throw SpecError(file, "run", "missing required run basename",
+                    "a run persisted by `keddah capture` (basename of .csv/.meta.json)");
+  }
+  request.spec = parse_validate_spec(doc, file, "");
+  request.cluster = parse_cluster_field(doc, file);
+  return request;
+}
+
+util::Json validate_request_to_json(const ValidateRequest& request) {
+  util::Json doc = validate_spec_to_json(request.spec);
+  doc["api"] = util::Json(kApiVersionString);
+  doc["model"] = util::Json(request.model);
+  doc["run"] = util::Json(request.run);
+  doc["cluster"] = hadoop::cluster_config_to_json(request.cluster);
+  return doc;
+}
+
+// ------------------------------------------------------------ responses
+
+util::Json whatif_response(const core::ScenarioOutcome& outcome) {
+  util::Json doc = util::Json::object();
+  doc["api"] = util::Json(kApiVersionString);
+  doc["kind"] = util::Json("whatif");
+
+  util::Json jobs = util::Json::array();
+  for (const auto& r : outcome.results) {
+    util::Json job = util::Json::object();
+    job["name"] = util::Json(r.job_name);
+    job["id"] = util::Json(static_cast<std::uint64_t>(r.job_id));
+    job["submit_s"] = util::Json(r.submit_time);
+    job["end_s"] = util::Json(r.end_time);
+    job["maps"] = util::Json(static_cast<std::uint64_t>(r.num_maps));
+    job["reducers"] = util::Json(static_cast<std::uint64_t>(r.num_reducers));
+    job["input_bytes"] = util::Json(r.input_bytes);
+    job["output_bytes"] = util::Json(r.output_bytes);
+    jobs.push_back(std::move(job));
+  }
+  doc["jobs"] = std::move(jobs);
+
+  util::Json trace = util::Json::object();
+  trace["flows"] = util::Json(static_cast<std::uint64_t>(outcome.trace.size()));
+  trace["total_bytes"] = util::Json(outcome.trace.total_bytes());
+  trace["span_s"] = util::Json(
+      outcome.trace.size() > 0 ? outcome.trace.last_end() - outcome.trace.first_start() : 0.0);
+  trace["classes"] = class_stats_json(outcome.trace);
+  doc["trace"] = std::move(trace);
+
+  doc["rereplications"] = util::Json(static_cast<std::uint64_t>(outcome.rereplications));
+
+  const auto& f = outcome.faults;
+  util::Json faults = util::Json::object();
+  faults["crashes"] = util::Json(f.crashes);
+  faults["outages"] = util::Json(f.outages);
+  faults["link_degradations"] = util::Json(f.link_degradations);
+  faults["slow_nodes"] = util::Json(f.slow_nodes);
+  faults["aborted_flows"] = util::Json(f.aborted_flows);
+  faults["aborted_bytes"] = util::Json(f.aborted_bytes.value());
+  faults["fetch_retries"] = util::Json(f.fetch_retries);
+  faults["fetch_backoff_s"] = util::Json(f.fetch_backoff_s);
+  faults["fetch_failure_reruns"] = util::Json(f.fetch_failure_reruns);
+  faults["map_reruns"] = util::Json(f.map_reruns);
+  faults["reducer_restarts"] = util::Json(f.reducer_restarts);
+  faults["pipeline_rebuilds"] = util::Json(f.pipeline_rebuilds);
+  faults["hdfs_read_retries"] = util::Json(f.hdfs_read_retries);
+  faults["rereplications"] = util::Json(f.rereplications);
+  doc["faults"] = std::move(faults);
+
+  const auto& s = outcome.scheduler;
+  util::Json scheduler = util::Json::object();
+  scheduler["reshares"] = util::Json(s.reshares);
+  scheduler["solves"] = util::Json(s.solves);
+  scheduler["empty_reshares"] = util::Json(s.empty_reshares);
+  scheduler["links_touched"] = util::Json(s.links_touched);
+  scheduler["flows_visited"] = util::Json(s.flows_visited);
+  scheduler["flows_rerated"] = util::Json(s.flows_rerated);
+  scheduler["heap_ops"] = util::Json(s.heap_ops);
+  doc["scheduler"] = std::move(scheduler);
+  return doc;
+}
+
+util::Json reproduce_response(const core::ReproduceResult& result) {
+  util::Json doc = util::Json::object();
+  doc["api"] = util::Json(kApiVersionString);
+  doc["kind"] = util::Json("reproduce");
+
+  util::Json schedule = util::Json::object();
+  schedule["flows"] = util::Json(static_cast<std::uint64_t>(result.schedule.flows.size()));
+  schedule["total_bytes"] = util::Json(result.schedule.total_bytes());
+  schedule["predicted_duration_s"] = util::Json(result.schedule.predicted_duration);
+  util::Json classes = util::Json::object();
+  for (std::size_t k = 0; k < net::kNumFlowKinds; ++k) {
+    const auto kind = static_cast<net::FlowKind>(k);
+    const std::size_t count = result.schedule.count(kind);
+    if (count == 0) continue;
+    util::Json entry = util::Json::object();
+    entry["flows"] = util::Json(static_cast<std::uint64_t>(count));
+    entry["bytes"] = util::Json(result.schedule.bytes_of(kind));
+    classes[net::flow_kind_name(kind)] = std::move(entry);
+  }
+  schedule["classes"] = std::move(classes);
+  doc["schedule"] = std::move(schedule);
+
+  util::Json replay = util::Json::object();
+  replay["flows"] = util::Json(static_cast<std::uint64_t>(result.replay.trace.size()));
+  replay["total_bytes"] = util::Json(result.replay.trace.total_bytes());
+  replay["makespan_s"] = util::Json(result.replay.makespan);
+  replay["mean_fct_s"] = util::Json(result.replay.mean_fct());
+  replay["p99_fct_s"] = util::Json(result.replay.p99_fct());
+  doc["replay"] = std::move(replay);
+  return doc;
+}
+
+util::Json validate_response(const core::ValidationReport& report) {
+  util::Json doc = util::Json::object();
+  doc["api"] = util::Json(kApiVersionString);
+  doc["kind"] = util::Json("validate");
+  util::Json classes = util::Json::object();
+  for (const auto& c : report.classes) {
+    if (c.captured_flows == 0 && c.generated_flows == 0) continue;
+    util::Json entry = util::Json::object();
+    entry["captured_flows"] = util::Json(static_cast<std::uint64_t>(c.captured_flows));
+    entry["generated_flows"] = util::Json(static_cast<std::uint64_t>(c.generated_flows));
+    entry["captured_bytes"] = util::Json(c.captured_bytes);
+    entry["generated_bytes"] = util::Json(c.generated_bytes);
+    entry["size_ks"] = util::Json(c.size_ks);
+    entry["size_ks_pvalue"] = util::Json(c.size_ks_pvalue);
+    classes[net::flow_kind_name(c.kind)] = std::move(entry);
+  }
+  doc["classes"] = std::move(classes);
+  doc["captured_total_bytes"] = util::Json(report.captured_total_bytes);
+  doc["generated_total_bytes"] = util::Json(report.generated_total_bytes);
+  doc["captured_span_s"] = util::Json(report.captured_span_s);
+  doc["generated_span_s"] = util::Json(report.generated_span_s);
+  return doc;
+}
+
+std::string to_body(const util::Json& doc) { return doc.dump(2) + "\n"; }
+
+}  // namespace keddah::api

@@ -1,0 +1,152 @@
+#include "hadoop/config_json.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "hadoop/faults.h"
+#include "util/strings.h"
+
+namespace keddah::hadoop {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& context, const std::string& key,
+                       const std::string& message) {
+  throw std::invalid_argument(context + ": " + key + ": " + message);
+}
+
+double number_field(const util::Json& doc, const std::string& field, double fallback,
+                    const std::string& context, const std::string& key) {
+  if (!doc.contains(field)) return fallback;
+  const auto& value = doc.at(field);
+  if (!value.is_number()) fail(context, key + "." + field, "must be a number");
+  const double d = value.as_number();
+  if (!std::isfinite(d)) fail(context, key + "." + field, "must be finite");
+  return d;
+}
+
+std::size_t count_field(const util::Json& doc, const std::string& field, std::size_t fallback,
+                        const std::string& context, const std::string& key) {
+  const double d =
+      number_field(doc, field, static_cast<double>(fallback), context, key);
+  if (d < 0.0) fail(context, key + "." + field, "must be >= 0");
+  return static_cast<std::size_t>(d);
+}
+
+std::uint64_t size_field(const util::Json& doc, const std::string& field, std::uint64_t fallback,
+                         const std::string& context, const std::string& key) {
+  if (!doc.contains(field)) return fallback;
+  const auto& value = doc.at(field);
+  if (value.is_number()) return static_cast<std::uint64_t>(value.as_number());
+  if (value.is_string()) {
+    std::uint64_t bytes = 0;
+    if (util::parse_bytes(value.as_string(), &bytes)) return bytes;
+  }
+  fail(context, key + "." + field, "must be a byte size (\"128MB\", 4096, ...)");
+}
+
+}  // namespace
+
+const char* topology_kind_name(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kStar:
+      return "star";
+    case TopologyKind::kRackTree:
+      return "racktree";
+    case TopologyKind::kFatTree:
+      return "fattree";
+  }
+  return "racktree";
+}
+
+TopologyKind topology_kind_from_name(const std::string& name) {
+  if (name == "star") return TopologyKind::kStar;
+  if (name == "racktree") return TopologyKind::kRackTree;
+  if (name == "fattree") return TopologyKind::kFatTree;
+  throw std::invalid_argument("unknown topology '" + name +
+                              "' (expected star, racktree, or fattree)");
+}
+
+ClusterConfig default_scenario_cluster() {
+  ClusterConfig cfg;
+  cfg.containers_per_node = 4;
+  cfg.locality_delay_s = 2.0;
+  return cfg;
+}
+
+ClusterConfig parse_cluster_config(const util::Json& cluster, const std::string& context,
+                                   const std::string& key) {
+  ClusterConfig cfg = default_scenario_cluster();
+  if (!cluster.is_object()) fail(context, key, "must be an object");
+  if (cluster.contains("topology")) {
+    const auto& topo = cluster.at("topology");
+    if (!topo.is_string()) fail(context, key + ".topology", "must be a string");
+    try {
+      cfg.topology = topology_kind_from_name(topo.as_string());
+    } catch (const std::invalid_argument& e) {
+      fail(context, key + ".topology", e.what());
+    }
+  }
+  cfg.racks = count_field(cluster, "racks", cfg.racks, context, key);
+  cfg.hosts_per_rack = count_field(cluster, "hosts_per_rack", cfg.hosts_per_rack, context, key);
+  cfg.fat_tree_k = count_field(cluster, "fat_tree_k", cfg.fat_tree_k, context, key);
+  cfg.access_bps = number_field(cluster, "access_gbps", 1.0, context, key) * 1e9;
+  cfg.core_bps = number_field(cluster, "core_gbps", 10.0, context, key) * 1e9;
+  cfg.block_size = size_field(cluster, "block_size", cfg.block_size, context, key);
+  cfg.replication = static_cast<std::uint32_t>(
+      count_field(cluster, "replication", cfg.replication, context, key));
+  cfg.containers_per_node =
+      count_field(cluster, "containers", cfg.containers_per_node, context, key);
+  cfg.slowstart = number_field(cluster, "slowstart", cfg.slowstart, context, key);
+  cfg.locality_delay_s =
+      number_field(cluster, "locality_delay_s", cfg.locality_delay_s, context, key);
+  cfg.map_output_compress_ratio =
+      number_field(cluster, "compress_ratio", cfg.map_output_compress_ratio, context, key);
+  cfg.straggler_fraction =
+      number_field(cluster, "straggler_fraction", cfg.straggler_fraction, context, key);
+  if (cluster.contains("speculative")) {
+    const auto& spec = cluster.at("speculative");
+    if (!spec.is_bool()) fail(context, key + ".speculative", "must be a boolean");
+    cfg.speculative_execution = spec.as_bool();
+  }
+  return cfg;
+}
+
+util::Json cluster_config_to_json(const ClusterConfig& cfg) {
+  util::Json doc = util::Json::object();
+  doc["topology"] = util::Json(topology_kind_name(cfg.topology));
+  doc["racks"] = util::Json(static_cast<std::uint64_t>(cfg.racks));
+  doc["hosts_per_rack"] = util::Json(static_cast<std::uint64_t>(cfg.hosts_per_rack));
+  if (cfg.topology == TopologyKind::kFatTree) {
+    doc["fat_tree_k"] = util::Json(static_cast<std::uint64_t>(cfg.fat_tree_k));
+  }
+  doc["access_gbps"] = util::Json(cfg.access_bps / 1e9);
+  doc["core_gbps"] = util::Json(cfg.core_bps / 1e9);
+  doc["block_size"] = util::Json(cfg.block_size);
+  doc["replication"] = util::Json(static_cast<std::uint64_t>(cfg.replication));
+  doc["containers"] = util::Json(static_cast<std::uint64_t>(cfg.containers_per_node));
+  doc["slowstart"] = util::Json(cfg.slowstart);
+  doc["locality_delay_s"] = util::Json(cfg.locality_delay_s);
+  doc["compress_ratio"] = util::Json(cfg.map_output_compress_ratio);
+  doc["straggler_fraction"] = util::Json(cfg.straggler_fraction);
+  doc["speculative"] = util::Json(cfg.speculative_execution);
+  return doc;
+}
+
+util::Json fault_plan_to_json(const FaultPlan& plan) {
+  util::Json array = util::Json::array();
+  for (const auto& event : plan.events) {
+    util::Json entry = util::Json::object();
+    entry["kind"] = util::Json(fault_kind_name(event.kind));
+    entry["worker"] = util::Json(static_cast<std::uint64_t>(event.worker));
+    entry["at"] = util::Json(event.at);
+    if (event.kind != FaultKind::kCrash) entry["duration"] = util::Json(event.duration);
+    if (event.kind == FaultKind::kDegradeLink || event.kind == FaultKind::kSlowNode) {
+      entry["factor"] = util::Json(event.factor);
+    }
+    array.push_back(std::move(entry));
+  }
+  return array;
+}
+
+}  // namespace keddah::hadoop

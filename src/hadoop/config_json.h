@@ -1,0 +1,42 @@
+// JSON ⇄ ClusterConfig: the one "cluster" object schema shared by scenario
+// files (src/keddah/scenario.h), the versioned Spec API (src/api/specs.h),
+// and the serve daemon's request bodies. Parse errors name the source
+// document and the JSON key path of the offending field, keddah-lint style.
+#pragma once
+
+#include <string>
+
+#include "hadoop/config.h"
+#include "hadoop/faults.h"
+#include "util/json.h"
+
+namespace keddah::hadoop {
+
+/// Stable topology-kind name ("star", "racktree", "fattree").
+const char* topology_kind_name(TopologyKind kind);
+
+/// Inverse of topology_kind_name; throws std::invalid_argument on unknown
+/// names.
+TopologyKind topology_kind_from_name(const std::string& name);
+
+/// The defaults a scenario-style document assumes when the "cluster" object
+/// (or one of its fields) is absent: the paper-era testbed with 4
+/// containers/node and a 2 s delay-scheduling hold-out.
+ClusterConfig default_scenario_cluster();
+
+/// Parses a scenario-style "cluster" object on top of
+/// default_scenario_cluster(). Errors read "<context>: <key>.<field>: ...",
+/// where `context` names the source document and `key` the object's path
+/// within it.
+ClusterConfig parse_cluster_config(const util::Json& cluster, const std::string& context,
+                                   const std::string& key = "cluster");
+
+/// Serializes the scenario-schema fields of a config. Round-trips through
+/// parse_cluster_config.
+util::Json cluster_config_to_json(const ClusterConfig& cfg);
+
+/// Serializes a fault plan as the scenario-schema "faults" array; inverse of
+/// parse_fault_plan.
+util::Json fault_plan_to_json(const FaultPlan& plan);
+
+}  // namespace keddah::hadoop

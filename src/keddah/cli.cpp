@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "api/specs.h"
 #include "capture/matrix.h"
 #include "gen/ns3_export.h"
 #include "hadoop/attribution.h"
@@ -15,6 +16,7 @@
 #include "keddah/sweep.h"
 #include "model/calibration.h"
 #include "keddah/toolchain.h"
+#include "serve/server.h"
 #include "stats/fitting.h"
 #include "stats/summary.h"
 #include "util/args.h"
@@ -77,15 +79,6 @@ hadoop::FaultPlan faults_from_args(const util::Args& args,
   return plan;
 }
 
-int reject_unused(const util::Args& args, std::ostream& err) {
-  const auto unused = args.unused_keys();
-  if (unused.empty()) return 0;
-  err << "error: unknown flag(s):";
-  for (const auto& key : unused) err << " --" << key;
-  err << "\n";
-  return 2;
-}
-
 int cmd_capture(const util::Args& args, std::ostream& out, std::ostream& err) {
   const auto cfg = config_from_args(args);
   const auto workload = workloads::workload_from_name(args.get("job", "sort"));
@@ -96,7 +89,7 @@ int cmd_capture(const util::Args& args, std::ostream& out, std::ostream& err) {
   const auto threads = static_cast<std::size_t>(args.get_int("threads", 1));
   const std::string out_base = args.get("out", "keddah_run");
   const auto faults = faults_from_args(args, cfg);
-  if (const int rc = reject_unused(args, err)) return rc;
+  args.reject_unknown();
 
   core::CaptureSpec spec;
   spec.workload = workload;
@@ -134,7 +127,7 @@ int cmd_train(const util::Args& args, std::ostream& out, std::ostream& err) {
   const std::string name = args.get("name", "job");
   const std::string model_path = args.get("out", "keddah_model.json");
   const std::string size_kind = args.get("size-model", "parametric");
-  if (const int rc = reject_unused(args, err)) return rc;
+  args.reject_unknown();
   if (bases.empty()) {
     err << "error: --runs requires a comma-separated list of run basenames\n";
     return 2;
@@ -168,7 +161,7 @@ int cmd_generate(const util::Args& args, std::ostream& out, std::ostream& err) {
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   const bool normalize = args.get_bool("normalize-volume", false);
   const std::string schedule_path = args.get("out", "keddah_schedule.csv");
-  if (const int rc = reject_unused(args, err)) return rc;
+  args.reject_unknown();
 
   const auto model = model::KeddahModel::load(model_path);
   gen::Scenario scenario;
@@ -203,7 +196,7 @@ gen::SyntheticTrafficSchedule load_schedule(const std::string& path) {
 int cmd_replay(const util::Args& args, std::ostream& out, std::ostream& err) {
   const std::string schedule_path = args.get("schedule", "keddah_schedule.csv");
   const auto cfg = config_from_args(args);
-  if (const int rc = reject_unused(args, err)) return rc;
+  args.reject_unknown();
   const auto schedule = load_schedule(schedule_path);
   const auto result = gen::replay(schedule, cfg.build_topology());
   out << "replayed " << result.trace.size() << " flows\n";
@@ -224,7 +217,7 @@ int cmd_validate(const util::Args& args, std::ostream& out, std::ostream& err) {
   spec.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   spec.repetitions = static_cast<std::size_t>(args.get_int("reps", 1));
   spec.threads = static_cast<std::size_t>(args.get_int("threads", 0));
-  if (const int rc = reject_unused(args, err)) return rc;
+  args.reject_unknown();
   if (run_base.empty()) {
     err << "error: --run <basename> is required\n";
     return 2;
@@ -243,7 +236,7 @@ int cmd_export_ns3(const util::Args& args, std::ostream& out, std::ostream& err)
   options.num_hosts = static_cast<std::size_t>(args.get_int("hosts", 16));
   options.link_rate = args.get("link-rate", "1Gbps");
   options.link_delay = args.get("link-delay", "100us");
-  if (const int rc = reject_unused(args, err)) return rc;
+  args.reject_unknown();
   const auto schedule = load_schedule(schedule_path);
   gen::export_ns3(schedule, out_base, options);
   out << "wrote " << out_base << ".csv and " << out_base << ".cc (" << schedule.flows.size()
@@ -255,7 +248,7 @@ int cmd_analyze(const util::Args& args, std::ostream& out, std::ostream& err) {
   const std::string trace_path = args.get("trace", "");
   const std::string history_path = args.get("history", "");
   const auto hosts = static_cast<std::size_t>(args.get_int("hosts", 0));
-  if (const int rc = reject_unused(args, err)) return rc;
+  args.reject_unknown();
   if (trace_path.empty()) {
     err << "error: --trace <file.csv> is required\n";
     return 2;
@@ -330,7 +323,7 @@ int cmd_calibrate(const util::Args& args, std::ostream& out, std::ostream& err) 
   const auto nodes = static_cast<std::size_t>(args.get_int("nodes", 16));
   const auto replication = static_cast<std::uint32_t>(args.get_int("replication", 3));
   const double compress = args.get_double("compress-ratio", 1.0);
-  if (const int rc = reject_unused(args, err)) return rc;
+  args.reject_unknown();
   if (run_base.empty()) {
     err << "error: --run <basename> is required\n";
     return 2;
@@ -405,7 +398,11 @@ int cmd_run_scenario(const util::Args& args, std::ostream& out, std::ostream& er
   const std::string history_path = args.get("history-out", "");
   // Overrides the scenarios' own "threads" fields for the batch sweep.
   const auto threads = static_cast<std::size_t>(args.get_int("threads", 0));
-  if (const int rc = reject_unused(args, err)) return rc;
+  // --json prints the Spec-API response document instead of tables; the
+  // bytes are identical to a `keddah serve` /v1/whatif response for the
+  // same scenario (api/specs.h).
+  const bool as_json = args.get_bool("json", false);
+  args.reject_unknown();
   if (file.empty()) {
     err << "error: --file <scenario.json>[,more.json...] is required\n";
     return 2;
@@ -417,6 +414,10 @@ int cmd_run_scenario(const util::Args& args, std::ostream& out, std::ostream& er
   const auto outcomes = core::run_scenarios(specs, threads);
 
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    if (as_json) {
+      out << api::to_body(api::whatif_response(outcomes[i]));
+      continue;
+    }
     if (outcomes.size() > 1) out << (i > 0 ? "\n" : "") << "=== " << files[i] << " ===\n";
     print_scenario_outcome(outcomes[i], out);
   }
@@ -435,7 +436,7 @@ int cmd_run_scenario(const util::Args& args, std::ostream& out, std::ostream& er
 
 int cmd_report(const util::Args& args, std::ostream& out, std::ostream& err) {
   const std::string model_path = args.get("model", "keddah_model.json");
-  if (const int rc = reject_unused(args, err)) return rc;
+  args.reject_unknown();
   const auto model = model::KeddahModel::load(model_path);
   const auto& ctx = model.context();
   out << "# Keddah model report: " << model.job_name() << "\n\n";
@@ -508,9 +509,18 @@ std::string usage() {
       "             mix, iterations, fault injections; see src/keddah/scenario.h).\n"
       "             Several comma-separated files run in parallel across\n"
       "             --threads workers (0 = all cores); results print in file\n"
-      "             order and are identical at any thread count.\n"
-      "             --file FILE[,FILE...] [--threads N]\n"
+      "             order and are identical at any thread count. --json\n"
+      "             prints the Spec-API response document (byte-identical\n"
+      "             to a `keddah serve` /v1/whatif response).\n"
+      "             --file FILE[,FILE...] [--threads N] [--json]\n"
       "             [--trace-out FILE] [--history-out FILE]\n"
+      "  serve      resident what-if daemon: keeps models hot, answers\n"
+      "             Spec-API queries over HTTP (/v1/health /v1/stats\n"
+      "             /v1/whatif /v1/reproduce /v1/validate /v1/shutdown),\n"
+      "             and caches responses by request content hash.\n"
+      "             [--port N (0 = ephemeral)] [--threads N]\n"
+      "             [--models FILE,FILE...] [--model-bank FILE]\n"
+      "             [--max-models N] [--cache-entries N]\n"
       "  analyze    characterize a captured trace (classes, fits, hotspots,\n"
       "             temporal profile; attribution when a history is given)\n"
       "             --trace FILE [--history FILE] [--hosts N]\n"
@@ -544,7 +554,11 @@ int run(const std::vector<std::string>& tokens, std::ostream& out, std::ostream&
     if (command == "run-scenario") return cmd_run_scenario(args, out, err);
     if (command == "analyze") return cmd_analyze(args, out, err);
     if (command == "calibrate") return cmd_calibrate(args, out, err);
+    if (command == "serve") return serve::run_serve_command(args, out, err);
     err << "error: unknown subcommand '" << command << "'\n" << usage();
+    return 2;
+  } catch (const util::UsageError& e) {
+    err << "error: " << e.what() << "\n";
     return 2;
   } catch (const std::exception& e) {
     err << "error: " << e.what() << "\n";

@@ -3,6 +3,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "hadoop/config_json.h"
 #include "hadoop/faults.h"
 #include "util/log.h"
 #include "util/strings.h"
@@ -26,43 +27,13 @@ std::uint64_t parse_size_field(const util::Json& doc, const std::string& key,
   return bytes;
 }
 
-hadoop::ClusterConfig parse_cluster(const util::Json& doc) {
-  hadoop::ClusterConfig cfg;
-  cfg.containers_per_node = 4;
-  cfg.locality_delay_s = 2.0;
-  if (!doc.contains("cluster")) return cfg;
-  const auto& c = doc.at("cluster");
-  const std::string topo = c.get_string("topology", "racktree");
-  if (topo == "star") {
-    cfg.topology = hadoop::TopologyKind::kStar;
-  } else if (topo == "fattree") {
-    cfg.topology = hadoop::TopologyKind::kFatTree;
-  } else if (topo == "racktree") {
-    cfg.topology = hadoop::TopologyKind::kRackTree;
-  } else {
-    throw std::invalid_argument("scenario: unknown topology '" + topo + "'");
-  }
-  cfg.racks = static_cast<std::size_t>(c.get_number("racks", 4));
-  cfg.hosts_per_rack = static_cast<std::size_t>(c.get_number("hosts_per_rack", 4));
-  cfg.fat_tree_k = static_cast<std::size_t>(c.get_number("fat_tree_k", 4));
-  cfg.access_bps = c.get_number("access_gbps", 1.0) * 1e9;
-  cfg.core_bps = c.get_number("core_gbps", 10.0) * 1e9;
-  cfg.block_size = parse_size_field(c, "block_size", 128ull << 20);
-  cfg.replication = static_cast<std::uint32_t>(c.get_number("replication", 3));
-  cfg.containers_per_node = static_cast<std::size_t>(c.get_number("containers", 4));
-  cfg.slowstart = c.get_number("slowstart", 0.05);
-  cfg.locality_delay_s = c.get_number("locality_delay_s", 2.0);
-  cfg.map_output_compress_ratio = c.get_number("compress_ratio", 1.0);
-  cfg.straggler_fraction = c.get_number("straggler_fraction", 0.0);
-  if (c.contains("speculative")) cfg.speculative_execution = c.at("speculative").as_bool();
-  return cfg;
-}
-
 }  // namespace
 
 ScenarioSpec parse_scenario(const util::Json& doc, const std::string& context) {
   ScenarioSpec spec;
-  spec.cluster = parse_cluster(doc);
+  spec.cluster = doc.contains("cluster")
+                     ? hadoop::parse_cluster_config(doc.at("cluster"), context)
+                     : hadoop::default_scenario_cluster();
   spec.seed = static_cast<std::uint64_t>(doc.get_number("seed", 1));
   spec.threads = static_cast<std::size_t>(doc.get_number("threads", 0));
   if (!doc.contains("jobs") || doc.at("jobs").size() == 0) {

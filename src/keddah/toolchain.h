@@ -54,22 +54,6 @@ struct CaptureSpec {
 std::vector<model::TrainingRun> capture_runs(const hadoop::ClusterConfig& config,
                                              const CaptureSpec& spec);
 
-/// Deprecated positional facade; forwards to the CaptureSpec overload
-/// (serially — old call sites predate the thread knob).
-[[deprecated("use capture_runs(config, CaptureSpec)")]]
-inline std::vector<model::TrainingRun> capture_runs(const hadoop::ClusterConfig& config,
-                                                    workloads::Workload workload,
-                                                    std::span<const std::uint64_t> input_sizes,
-                                                    std::size_t repetitions, std::uint64_t seed) {
-  CaptureSpec spec;
-  spec.workload = workload;
-  spec.input_sizes.assign(input_sizes.begin(), input_sizes.end());
-  spec.repetitions = repetitions;
-  spec.seed = seed;
-  spec.threads = 1;
-  return capture_runs(config, spec);
-}
-
 /// MODEL: trains a KeddahModel from captured runs, recording the cluster
 /// configuration in the model context.
 model::KeddahModel train(const std::string& job_name, std::span<const model::TrainingRun> runs,
@@ -92,19 +76,6 @@ struct ReproduceResult {
 ReproduceResult generate_and_replay(const model::KeddahModel& model, const ReproduceSpec& spec,
                                     const net::Topology& topology);
 
-/// Deprecated positional facade; forwards to the ReproduceSpec overload.
-[[deprecated("use generate_and_replay(model, ReproduceSpec, topology)")]]
-inline ReproduceResult generate_and_replay(const model::KeddahModel& model,
-                                           const gen::Scenario& scenario,
-                                           const net::Topology& topology, std::uint64_t seed,
-                                           gen::GeneratorOptions gen_options = {}) {
-  ReproduceSpec spec;
-  spec.scenario = scenario;
-  spec.seed = seed;
-  spec.gen_options = gen_options;
-  return generate_and_replay(model, spec, topology);
-}
-
 /// How to validate: reproduce the reference run `repetitions` times (seeds
 /// derive_seed(seed, rep), fanned across `threads` workers) and compare
 /// against the capture. With repetitions > 1 the generated-side columns of
@@ -123,20 +94,6 @@ struct ValidateSpec {
 ValidationReport validate_model(const model::KeddahModel& model,
                                 const model::TrainingRun& reference,
                                 const hadoop::ClusterConfig& config, const ValidateSpec& spec);
-
-/// Deprecated positional facade; forwards to the ValidateSpec overload
-/// (one repetition, serial).
-[[deprecated("use validate_model(model, reference, config, ValidateSpec)")]]
-inline ValidationReport validate_model(const model::KeddahModel& model,
-                                       const model::TrainingRun& reference,
-                                       const hadoop::ClusterConfig& config, std::uint64_t seed,
-                                       gen::GeneratorOptions gen_options = {}) {
-  ValidateSpec spec;
-  spec.seed = seed;
-  spec.gen_options = gen_options;
-  spec.threads = 1;
-  return validate_model(model, reference, config, spec);
-}
 
 /// Persists a captured run as `<basename>.csv` (flows) plus
 /// `<basename>.meta.json` (job-log metadata), the on-disk interchange

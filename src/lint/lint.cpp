@@ -562,8 +562,11 @@ void lint_scenario(const util::Json& doc, const std::string& file,
     add(out, file, "$", "a scenario must be a JSON object");
     return;
   }
+  // "api" admits Spec-API request envelopes (api/specs.h): a /v1/whatif
+  // request body is a scenario document optionally tagged with its wire
+  // version.
   warn_unknown_keys(doc, "",
-                    {"seed", "threads", "cluster", "jobs", "faults", "failures", "horizon"},
+                    {"api", "seed", "threads", "cluster", "jobs", "faults", "failures", "horizon"},
                     file, out);
   if (checked_number(doc, "", "seed", 1.0, file, out) < 0.0) {
     add(out, file, "seed", "must be >= 0");

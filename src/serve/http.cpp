@@ -1,0 +1,181 @@
+#include "serve/http.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace keddah::serve {
+
+namespace {
+
+/// Reads until `fd` yields EOF, an error, or `stop` returns true.
+bool read_some(int fd, std::string& buffer) {
+  char chunk[4096];
+  const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+  if (n <= 0) return false;
+  buffer.append(chunk, static_cast<std::size_t>(n));
+  return true;
+}
+
+void write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n <= 0) return;  // peer went away; nothing useful to do
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+/// Case-insensitive Content-Length lookup over the raw header block.
+std::size_t content_length(const std::string& headers) {
+  for (const auto& line : util::split(headers, '\n')) {
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    if (util::to_lower(util::trim(line.substr(0, colon))) != "content-length") continue;
+    const auto value = util::trim(line.substr(colon + 1));
+    std::size_t length = 0;
+    for (const char c : value) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) return 0;
+      length = length * 10 + static_cast<std::size_t>(c - '0');
+    }
+    return length;
+  }
+  return 0;
+}
+
+}  // namespace
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 500: return "Internal Server Error";
+    default: return "Unknown";
+  }
+}
+
+HttpServer::HttpServer(std::uint16_t port, std::size_t threads) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("serve: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(util::format("serve: cannot bind 127.0.0.1:%u (%s)",
+                                          static_cast<unsigned>(port), detail.c_str()));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("serve: listen() failed");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+  pool_ = std::make_unique<util::ThreadPool>(util::resolved_threads(threads));
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::start(HttpHandler handler) {
+  handler_ = std::move(handler);
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void HttpServer::stop() {
+  if (stopping_.exchange(true)) {
+    if (acceptor_.joinable()) acceptor_.join();
+    return;
+  }
+  if (listen_fd_ >= 0) {
+    // shutdown() unblocks a pending accept(); close() releases the port.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  // The pool destructor drains connections still being answered.
+  pool_.reset();
+}
+
+void HttpServer::accept_loop() {
+  while (!stopping_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load()) break;
+      if (errno == EINTR) continue;
+      break;  // listener is gone; nothing to accept on
+    }
+    pool_->submit([this, fd] { handle_connection(fd); });
+  }
+}
+
+void HttpServer::handle_connection(int fd) {
+  // Read the header block, then exactly Content-Length body bytes.
+  std::string data;
+  std::size_t header_end = std::string::npos;
+  while ((header_end = data.find("\r\n\r\n")) == std::string::npos) {
+    if (!read_some(fd, data) || data.size() > (1u << 20)) {
+      ::close(fd);
+      return;
+    }
+  }
+  const std::size_t body_start = header_end + 4;
+  const std::size_t body_length = content_length(data.substr(0, header_end));
+  while (data.size() < body_start + body_length) {
+    if (!read_some(fd, data) || data.size() > (64u << 20)) {
+      ::close(fd);
+      return;
+    }
+  }
+
+  HttpRequest request;
+  const auto line_end = data.find("\r\n");
+  const auto request_line = data.substr(0, line_end);
+  const auto first_space = request_line.find(' ');
+  const auto second_space =
+      first_space == std::string::npos ? std::string::npos
+                                       : request_line.find(' ', first_space + 1);
+  HttpResponse response;
+  if (second_space == std::string::npos) {
+    response = HttpResponse{400, "application/json",
+                            "{\"error\": {\"message\": \"malformed request line\"}}\n"};
+  } else {
+    request.method = request_line.substr(0, first_space);
+    request.path = request_line.substr(first_space + 1, second_space - first_space - 1);
+    request.body = data.substr(body_start, body_length);
+    try {
+      response = handler_(request);
+    } catch (const std::exception& e) {
+      response.status = 500;
+      response.body = std::string("{\"error\": {\"message\": \"") + e.what() + "\"}}\n";
+    }
+  }
+
+  std::string out = util::format("HTTP/1.1 %d %s\r\n", response.status,
+                                 status_text(response.status));
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += util::format("Content-Length: %zu\r\n", response.body.size());
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  write_all(fd, out);
+  ::close(fd);
+}
+
+}  // namespace keddah::serve

@@ -1,0 +1,80 @@
+// A minimal embedded HTTP/1.1 server for the `keddah serve` daemon.
+//
+// Deliberately small: IPv4 loopback only, one request per connection
+// (Connection: close), bodies sized by Content-Length, no TLS, no chunked
+// transfer. That is exactly enough for a localhost JSON query daemon and
+// keeps the whole transport auditable in one file. The accept loop runs on
+// a dedicated thread; each accepted connection is handed to a
+// util::ThreadPool worker which reads the request, invokes the handler,
+// writes the response, and closes the socket. stop() closes the listener
+// (unblocking accept) and drains in-flight connections before returning.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "util/thread_pool.h"
+
+namespace keddah::serve {
+
+struct HttpRequest {
+  std::string method;  ///< "GET", "POST", ...
+  std::string path;    ///< Request target, e.g. "/v1/whatif".
+  std::string body;    ///< Raw body (Content-Length bytes).
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+/// Standard reason phrase for the handful of statuses the daemon emits.
+const char* status_text(int status);
+
+/// Request handler; runs on a pool worker. Must not throw (the server wraps
+/// handler exceptions into a 500, but well-behaved handlers map their own
+/// failures to 4xx/5xx bodies).
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+class HttpServer {
+ public:
+  /// Binds and listens on 127.0.0.1:`port` (0 = kernel-assigned ephemeral
+  /// port, readable via port() immediately). `threads` sizes the connection
+  /// pool (0 = hardware concurrency). Throws std::runtime_error when the
+  /// socket cannot be bound.
+  HttpServer(std::uint16_t port, std::size_t threads);
+
+  /// Stops the server if still running.
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// The bound port (the actual one when constructed with port 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Spawns the accept thread. Call once.
+  void start(HttpHandler handler);
+
+  /// Closes the listening socket, joins the accept thread, and drains
+  /// in-flight connections. Idempotent.
+  void stop();
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd);
+
+  HttpHandler handler_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+  std::unique_ptr<util::ThreadPool> pool_;
+};
+
+}  // namespace keddah::serve

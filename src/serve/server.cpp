@@ -1,0 +1,431 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "api/specs.h"
+#include "keddah/scenario.h"
+#include "keddah/toolchain.h"
+#include "lint/lint.h"
+#include "util/args.h"
+#include "util/strings.h"
+
+namespace keddah::serve {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a(std::string_view text, std::uint64_t hash = kFnvOffset) {
+  for (const unsigned char c : text) {
+    hash ^= c;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+/// Cache key: endpoint, canonical (compact, key-sorted) request, and the
+/// content hash of any model involved. NUL separators keep field
+/// boundaries unambiguous.
+std::uint64_t cache_key(std::string_view endpoint, std::string_view canonical,
+                        std::uint64_t model_hash) {
+  std::uint64_t hash = fnv1a(endpoint);
+  hash = fnv1a(std::string_view("\0", 1), hash);
+  hash = fnv1a(canonical, hash);
+  hash = fnv1a(std::string_view("\0", 1), hash);
+  for (int i = 0; i < 8; ++i) {
+    const char byte = static_cast<char>((model_hash >> (8 * i)) & 0xff);
+    hash = fnv1a(std::string_view(&byte, 1), hash);
+  }
+  return hash;
+}
+
+HttpResponse json_response(int status, const util::Json& doc) {
+  return HttpResponse{status, "application/json", api::to_body(doc)};
+}
+
+/// {"api": "v1", "error": {"message": ...}}.
+HttpResponse error_response(int status, const std::string& message,
+                            const std::string& hint = "") {
+  util::Json error = util::Json::object();
+  error["message"] = util::Json(message);
+  if (!hint.empty()) error["hint"] = util::Json(hint);
+  util::Json doc = util::Json::object();
+  doc["api"] = util::Json(api::kApiVersionString);
+  doc["error"] = std::move(error);
+  return json_response(status, doc);
+}
+
+HttpResponse spec_error_response(const api::SpecError& error) {
+  util::Json doc = util::Json::object();
+  doc["api"] = util::Json(api::kApiVersionString);
+  doc["error"] = error.to_json();
+  return json_response(400, doc);
+}
+
+/// 400 listing every lint error with its key path, keddah-lint style.
+HttpResponse lint_error_response(const std::vector<lint::Diagnostic>& diagnostics) {
+  util::Json rows = util::Json::array();
+  for (const auto& d : diagnostics) {
+    if (d.severity != lint::Severity::kError) continue;
+    util::Json row = util::Json::object();
+    row["file"] = util::Json(d.file);
+    row["key"] = util::Json(d.key);
+    row["message"] = util::Json(d.message);
+    if (!d.hint.empty()) row["hint"] = util::Json(d.hint);
+    rows.push_back(std::move(row));
+  }
+  util::Json error = util::Json::object();
+  error["message"] = util::Json("request failed lint");
+  util::Json doc = util::Json::object();
+  doc["api"] = util::Json(api::kApiVersionString);
+  doc["error"] = std::move(error);
+  doc["diagnostics"] = std::move(rows);
+  return json_response(400, doc);
+}
+
+bool has_lint_errors(const std::vector<lint::Diagnostic>& diagnostics) {
+  return std::any_of(diagnostics.begin(), diagnostics.end(), [](const lint::Diagnostic& d) {
+    return d.severity == lint::Severity::kError;
+  });
+}
+
+}  // namespace
+
+Server::Server(ServeOptions options)
+    : options_(std::move(options)), http_(options_.port, options_.threads) {
+  if (options_.max_resident_models == 0) options_.max_resident_models = 1;
+  if (options_.max_cache_entries == 0) options_.max_cache_entries = 1;
+  for (const auto& path : options_.model_files) {
+    register_model_file(path, /*expect_bank=*/false);
+  }
+  if (!options_.model_bank_file.empty()) {
+    register_model_file(options_.model_bank_file, /*expect_bank=*/true);
+  }
+}
+
+void Server::register_model_file(const std::string& path, bool expect_bank) {
+  const util::Json doc = util::Json::load_file(path);
+  if (doc.is_object() && doc.contains("models")) {
+    const auto& models = doc.at("models").as_array();
+    for (std::size_t i = 0; i < models.size(); ++i) register_model_doc(models[i], path, i);
+    return;
+  }
+  if (expect_bank) {
+    throw std::invalid_argument(path + ": models: missing required array (not a model bank)");
+  }
+  register_model_doc(doc, path, std::nullopt);
+}
+
+void Server::register_model_doc(const util::Json& doc, const std::string& path,
+                                std::optional<std::size_t> bank_index) {
+  std::string name = doc.get_string("job_name", "");
+  if (name.empty()) {
+    throw std::invalid_argument(path + ": job_name: missing required string (not a model)");
+  }
+  // Distinct models sharing a job name stay addressable via "#2", "#3", ...
+  if (registry_.count(name) != 0) {
+    std::size_t n = 2;
+    while (registry_.count(util::format("%s#%zu", name.c_str(), n)) != 0) ++n;
+    name = util::format("%s#%zu", name.c_str(), n);
+  }
+  ModelSource source;
+  source.path = path;
+  source.bank_index = bank_index;
+  source.content_hash = fnv1a(doc.dump(-1));
+  registry_.emplace(std::move(name), std::move(source));
+}
+
+std::shared_ptr<const model::KeddahModel> Server::acquire_model(const std::string& name) {
+  std::lock_guard<std::mutex> lock(models_mutex_);
+  const auto reg = registry_.find(name);
+  if (reg == registry_.end()) return nullptr;
+  if (const auto it = resident_.find(name); it != resident_.end()) {
+    model_lru_.splice(model_lru_.begin(), model_lru_, it->second.second);
+    return it->second.first;
+  }
+  const util::Json doc = util::Json::load_file(reg->second.path);
+  const util::Json& node =
+      reg->second.bank_index ? doc.at("models").at(*reg->second.bank_index) : doc;
+  auto loaded = std::make_shared<const model::KeddahModel>(model::KeddahModel::from_json(node));
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++model_loads_;
+  }
+  model_lru_.push_front(name);
+  resident_[name] = {loaded, model_lru_.begin()};
+  while (resident_.size() > options_.max_resident_models) {
+    resident_.erase(model_lru_.back());
+    model_lru_.pop_back();
+  }
+  return loaded;
+}
+
+std::uint64_t Server::model_hash(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(models_mutex_);
+  const auto it = registry_.find(name);
+  return it == registry_.end() ? 0 : it->second.content_hash;
+}
+
+std::vector<std::string> Server::model_names() const {
+  std::lock_guard<std::mutex> lock(models_mutex_);
+  std::vector<std::string> names;
+  names.reserve(registry_.size());
+  for (const auto& [name, source] : registry_) names.push_back(name);
+  return names;
+}
+
+std::optional<std::string> Server::cache_lookup(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  const auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++cache_misses_;
+    return std::nullopt;
+  }
+  cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second.lru_it);
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++cache_hits_;
+  }
+  return it->second.body;
+}
+
+void Server::cache_store(std::uint64_t key, const std::string& body) {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  if (cache_.count(key) != 0) return;  // a concurrent miss computed it first
+  cache_lru_.push_front(key);
+  cache_[key] = CacheEntry{body, cache_lru_.begin()};
+  while (cache_.size() > options_.max_cache_entries) {
+    cache_.erase(cache_lru_.back());
+    cache_lru_.pop_back();
+  }
+}
+
+HttpResponse Server::handle(const HttpRequest& request) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++requests_;
+  }
+  HttpResponse response;
+  try {
+    if (request.path == "/v1/health") {
+      response = request.method == "GET" ? json_response(200, health_json())
+                                         : error_response(405, "use GET " + request.path);
+    } else if (request.path == "/v1/stats") {
+      response = request.method == "GET" ? json_response(200, stats_json())
+                                         : error_response(405, "use GET " + request.path);
+    } else if (request.path == "/v1/whatif") {
+      response = request.method == "POST" ? handle_whatif(request.body)
+                                          : error_response(405, "use POST " + request.path);
+    } else if (request.path == "/v1/reproduce") {
+      response = request.method == "POST" ? handle_reproduce(request.body)
+                                          : error_response(405, "use POST " + request.path);
+    } else if (request.path == "/v1/validate") {
+      response = request.method == "POST" ? handle_validate(request.body)
+                                          : error_response(405, "use POST " + request.path);
+    } else if (request.path == "/v1/shutdown") {
+      if (request.method != "POST") {
+        response = error_response(405, "use POST " + request.path);
+      } else {
+        util::Json doc = util::Json::object();
+        doc["api"] = util::Json(api::kApiVersionString);
+        doc["status"] = util::Json("shutting down");
+        response = json_response(200, doc);
+        // Only flag + notify here: stop() would join the pool this handler
+        // runs on. The waiter in run_serve_command performs the stop.
+        request_shutdown();
+      }
+    } else {
+      response = error_response(
+          404, "unknown endpoint " + request.path,
+          "endpoints: /v1/health /v1/stats /v1/whatif /v1/reproduce /v1/validate /v1/shutdown");
+    }
+  } catch (const api::SpecError& e) {
+    response = spec_error_response(e);
+  } catch (const std::invalid_argument& e) {
+    response = error_response(400, e.what());
+  } catch (const std::exception& e) {
+    response = error_response(500, e.what());
+  }
+  if (response.status != 200) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++errors_;
+  }
+  return response;
+}
+
+HttpResponse Server::handle_whatif(const std::string& body) {
+  util::Json doc;
+  try {
+    doc = util::Json::parse(body);
+  } catch (const std::exception& e) {
+    return error_response(400, e.what(), "the request body must be a JSON scenario document");
+  }
+  // Lint before running: the linter reports every defective key path in one
+  // pass, where the parser would stop at the first.
+  std::vector<lint::Diagnostic> diagnostics;
+  lint::lint_scenario(doc, "request", diagnostics);
+  if (has_lint_errors(diagnostics)) return lint_error_response(diagnostics);
+
+  const std::string canonical = doc.dump(-1);
+  const std::uint64_t key = cache_key("whatif", canonical, 0);
+  if (const auto cached = cache_lookup(key)) {
+    return HttpResponse{200, "application/json", *cached};
+  }
+  const auto request = api::parse_whatif_request(doc, "request");
+  const auto outcome = core::run_scenario(request.scenario);
+  const std::string response_body = api::to_body(api::whatif_response(outcome));
+  cache_store(key, response_body);
+  return HttpResponse{200, "application/json", response_body};
+}
+
+HttpResponse Server::handle_reproduce(const std::string& body) {
+  util::Json doc;
+  try {
+    doc = util::Json::parse(body);
+  } catch (const std::exception& e) {
+    return error_response(400, e.what(), "the request body must be a JSON reproduce request");
+  }
+  const auto request = api::parse_reproduce_request(doc, "request");
+  const auto model = acquire_model(request.model);
+  if (!model) {
+    return error_response(404, "unknown model '" + request.model + "'",
+                          "registered models: " + util::join(model_names(), ", "));
+  }
+  const std::string canonical = doc.dump(-1);
+  const std::uint64_t key = cache_key("reproduce", canonical, model_hash(request.model));
+  if (const auto cached = cache_lookup(key)) {
+    return HttpResponse{200, "application/json", *cached};
+  }
+  const auto result = core::generate_and_replay(*model, request.spec,
+                                                request.cluster.build_topology());
+  const std::string response_body = api::to_body(api::reproduce_response(result));
+  cache_store(key, response_body);
+  return HttpResponse{200, "application/json", response_body};
+}
+
+HttpResponse Server::handle_validate(const std::string& body) {
+  util::Json doc;
+  try {
+    doc = util::Json::parse(body);
+  } catch (const std::exception& e) {
+    return error_response(400, e.what(), "the request body must be a JSON validate request");
+  }
+  const auto request = api::parse_validate_request(doc, "request");
+  const auto model = acquire_model(request.model);
+  if (!model) {
+    return error_response(404, "unknown model '" + request.model + "'",
+                          "registered models: " + util::join(model_names(), ", "));
+  }
+  const std::string canonical = doc.dump(-1);
+  const std::uint64_t key = cache_key("validate", canonical, model_hash(request.model));
+  if (const auto cached = cache_lookup(key)) {
+    return HttpResponse{200, "application/json", *cached};
+  }
+  model::TrainingRun reference;
+  try {
+    reference = core::load_run(request.run);
+  } catch (const std::exception& e) {
+    return error_response(404, std::string("cannot load run: ") + e.what(),
+                          "`run` names the basename of a `keddah capture` output");
+  }
+  const auto report = core::validate_model(*model, reference, request.cluster, request.spec);
+  const std::string response_body = api::to_body(api::validate_response(report));
+  cache_store(key, response_body);
+  return HttpResponse{200, "application/json", response_body};
+}
+
+util::Json Server::health_json() const {
+  util::Json doc = util::Json::object();
+  doc["api"] = util::Json(api::kApiVersionString);
+  doc["status"] = util::Json("ok");
+  util::Json endpoints = util::Json::array();
+  for (const char* e : {"/v1/health", "/v1/reproduce", "/v1/shutdown", "/v1/stats",
+                        "/v1/validate", "/v1/whatif"}) {
+    endpoints.push_back(util::Json(e));
+  }
+  doc["endpoints"] = std::move(endpoints);
+  util::Json models = util::Json::array();
+  for (const auto& name : model_names()) models.push_back(util::Json(name));
+  doc["models"] = std::move(models);
+  return doc;
+}
+
+util::Json Server::stats_json() {
+  util::Json cache = util::Json::object();
+  util::Json models = util::Json::object();
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    cache["entries"] = util::Json(static_cast<std::uint64_t>(cache_.size()));
+  }
+  cache["capacity"] = util::Json(static_cast<std::uint64_t>(options_.max_cache_entries));
+  {
+    std::lock_guard<std::mutex> lock(models_mutex_);
+    models["registered"] = util::Json(static_cast<std::uint64_t>(registry_.size()));
+    models["resident"] = util::Json(static_cast<std::uint64_t>(resident_.size()));
+  }
+  models["max_resident"] = util::Json(static_cast<std::uint64_t>(options_.max_resident_models));
+  util::Json doc = util::Json::object();
+  doc["api"] = util::Json(api::kApiVersionString);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    doc["requests"] = util::Json(requests_);
+    doc["errors"] = util::Json(errors_);
+    cache["hits"] = util::Json(cache_hits_);
+    cache["misses"] = util::Json(cache_misses_);
+    models["loads"] = util::Json(model_loads_);
+  }
+  doc["cache"] = std::move(cache);
+  doc["models"] = std::move(models);
+  return doc;
+}
+
+void Server::start() {
+  http_.start([this](const HttpRequest& request) { return handle(request); });
+}
+
+void Server::wait_for_shutdown() {
+  std::unique_lock<std::mutex> lock(shutdown_mutex_);
+  shutdown_cv_.wait(lock, [this] { return shutdown_requested_; });
+}
+
+void Server::request_shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    shutdown_requested_ = true;
+  }
+  shutdown_cv_.notify_all();
+}
+
+void Server::stop() { http_.stop(); }
+
+int run_serve_command(const util::Args& args, std::ostream& out, std::ostream& err) {
+  ServeOptions options;
+  options.port = static_cast<std::uint16_t>(args.get_int("port", 0));
+  options.threads = static_cast<std::size_t>(args.get_int("threads", 0));
+  options.model_bank_file = args.get("model-bank", "");
+  options.max_resident_models = static_cast<std::size_t>(args.get_int("max-models", 8));
+  options.max_cache_entries = static_cast<std::size_t>(args.get_int("cache-entries", 128));
+  for (const auto& path : util::split(args.get("models", ""), ',')) {
+    if (!path.empty()) options.model_files.push_back(path);
+  }
+  args.reject_unknown();
+
+  Server server(std::move(options));
+  server.start();
+  out << "keddah serve listening on http://127.0.0.1:" << server.port() << "\n";
+  const auto models = server.model_names();
+  if (!models.empty()) out << "models: " << util::join(models, ", ") << "\n";
+  out.flush();
+  server.wait_for_shutdown();
+  server.stop();
+  out << "keddah serve: shutdown complete\n";
+  (void)err;
+  return 0;
+}
+
+}  // namespace keddah::serve

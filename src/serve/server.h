@@ -1,0 +1,156 @@
+// `keddah serve`: a resident what-if query daemon.
+//
+// The batch CLI pays scenario parsing, model loading, and process startup
+// on every question. The daemon keeps a bank of trained models hot behind a
+// small LRU, answers Spec-API (api/specs.h) requests over embedded HTTP,
+// and memoizes whole responses keyed by a content hash of (endpoint,
+// canonical request, model), so repeated what-ifs — the common interactive
+// pattern — return cached bytes.
+//
+// Endpoints (all JSON, wire format v1):
+//   GET  /v1/health    liveness + the registered model names
+//   GET  /v1/stats     request/cache/model-bank counters
+//   POST /v1/whatif    scenario document -> core::run_scenario outcome
+//   POST /v1/reproduce model sample + fabric replay (api::ReproduceRequest)
+//   POST /v1/validate  model vs saved capture    (api::ValidateRequest)
+//   POST /v1/shutdown  clean stop
+//
+// Determinism contract: a /v1/whatif response body is byte-identical to
+// `keddah run-scenario --file X --json` for the same document — both sides
+// are api::to_body(api::whatif_response(core::run_scenario(...))) and the
+// daemon adds no request-dependent state to the body. Request bodies are
+// vetted by keddah-lint before execution, so a malformed scenario gets a
+// 400 naming every defective key path instead of a first-throw message.
+//
+// Caching assumes the daemon's inputs are immutable for its lifetime:
+// model files are hashed once at registration, and /v1/validate run files
+// are re-read per miss but never invalidate earlier cache entries. Restart
+// the daemon after retraining.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/keddah_model.h"
+#include "serve/http.h"
+#include "util/json.h"
+
+namespace keddah::util {
+class Args;
+}
+
+namespace keddah::serve {
+
+struct ServeOptions {
+  /// Listen port; 0 asks the kernel for an ephemeral port.
+  std::uint16_t port = 0;
+  /// Connection/handler worker threads; 0 = hardware concurrency.
+  std::size_t threads = 0;
+  /// Standalone model files (each a KeddahModel JSON document).
+  std::vector<std::string> model_files;
+  /// Optional model-bank file ({"models": [...]}); every entry registers.
+  std::string model_bank_file;
+  /// Resident-model LRU capacity (models beyond it reload on demand).
+  std::size_t max_resident_models = 8;
+  /// Whole-response cache capacity (entries, LRU-evicted).
+  std::size_t max_cache_entries = 128;
+};
+
+/// The daemon. Construction registers models (reading each file once to
+/// name and hash it); start()/stop() manage the HTTP front end; handle()
+/// is the transport-free entry point tests and benches drive in-process.
+class Server {
+ public:
+  explicit Server(ServeOptions options);
+
+  /// Answers one request. Thread-safe; usable without start().
+  HttpResponse handle(const HttpRequest& request);
+
+  /// Boots the HTTP listener.
+  void start();
+  /// The bound port (valid after construction).
+  std::uint16_t port() const { return http_.port(); }
+
+  /// Blocks until a /v1/shutdown request (or request_shutdown()) arrives.
+  void wait_for_shutdown();
+  /// Unblocks wait_for_shutdown().
+  void request_shutdown();
+  /// Stops the HTTP listener and drains in-flight requests. Idempotent.
+  void stop();
+
+  /// Registered model names, sorted.
+  std::vector<std::string> model_names() const;
+
+ private:
+  /// Where a registered model lives on disk; models reload from here when
+  /// they fall out of the resident LRU.
+  struct ModelSource {
+    std::string path;
+    /// Index into the file's "models" array for bank entries.
+    std::optional<std::size_t> bank_index;
+    /// FNV-1a over the model's canonical JSON — part of every cache key
+    /// that involves the model.
+    std::uint64_t content_hash = 0;
+  };
+
+  void register_model_file(const std::string& path, bool expect_bank);
+  void register_model_doc(const util::Json& doc, const std::string& path,
+                          std::optional<std::size_t> bank_index);
+  /// Resident-LRU model lookup; loads from disk on miss. Returns nullptr
+  /// for unregistered names. The shared_ptr keeps an evicted model alive
+  /// while a request still uses it.
+  std::shared_ptr<const model::KeddahModel> acquire_model(const std::string& name);
+  std::uint64_t model_hash(const std::string& name) const;
+
+  std::optional<std::string> cache_lookup(std::uint64_t key);
+  void cache_store(std::uint64_t key, const std::string& body);
+
+  HttpResponse handle_whatif(const std::string& body);
+  HttpResponse handle_reproduce(const std::string& body);
+  HttpResponse handle_validate(const std::string& body);
+  util::Json health_json() const;
+  util::Json stats_json();
+
+  ServeOptions options_;
+  HttpServer http_;
+
+  mutable std::mutex models_mutex_;
+  std::map<std::string, ModelSource> registry_;
+  std::list<std::string> model_lru_;  // front = most recently used
+  std::map<std::string, std::pair<std::shared_ptr<const model::KeddahModel>,
+                                  std::list<std::string>::iterator>>
+      resident_;
+
+  std::mutex cache_mutex_;
+  std::list<std::uint64_t> cache_lru_;  // front = most recently used
+  struct CacheEntry {
+    std::string body;
+    std::list<std::uint64_t>::iterator lru_it;
+  };
+  std::map<std::uint64_t, CacheEntry> cache_;
+
+  std::mutex stats_mutex_;
+  std::uint64_t requests_ = 0;
+  std::uint64_t errors_ = 0;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
+  std::uint64_t model_loads_ = 0;
+
+  std::mutex shutdown_mutex_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+};
+
+/// The `keddah serve` subcommand: builds ServeOptions from flags, boots the
+/// daemon, prints the listen line ("keddah serve listening on
+/// http://127.0.0.1:PORT"), and blocks until shutdown.
+int run_serve_command(const util::Args& args, std::ostream& out, std::ostream& err);
+
+}  // namespace keddah::serve

@@ -103,4 +103,30 @@ std::vector<std::string> Args::unused_keys() const {
   return unused;
 }
 
+void Args::reject_unknown() const {
+  const auto unknown = unused_keys();
+  if (unknown.empty()) return;
+  std::string message = "unknown flag(s):";
+  for (const auto& key : unknown) {
+    message += " --" + key;
+    // Suggest the closest flag this command actually reads, when one is
+    // plausibly a typo (distance scales with the flag's length).
+    std::size_t best_distance = std::string::npos;
+    std::string best;
+    for (const auto& [candidate, read] : accessed_) {
+      (void)read;
+      const std::size_t distance = edit_distance(key, candidate);
+      if (distance < best_distance || (distance == best_distance && candidate < best)) {
+        best_distance = distance;
+        best = candidate;
+      }
+    }
+    const std::size_t threshold = key.size() / 3 > 2 ? key.size() / 3 : 2;
+    if (!best.empty() && best_distance <= threshold) {
+      message += " (did you mean --" + best + "?)";
+    }
+  }
+  throw UsageError(message);
+}
+
 }  // namespace keddah::util

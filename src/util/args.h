@@ -6,10 +6,19 @@
 
 #include <cstdint>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace keddah::util {
+
+/// A command-line usage mistake (unknown flag, ...). Distinct from
+/// std::invalid_argument so the CLI driver can map it to exit code 2
+/// (usage) rather than 1 (runtime failure).
+class UsageError : public std::invalid_argument {
+ public:
+  explicit UsageError(const std::string& message) : std::invalid_argument(message) {}
+};
 
 /// Parsed command line.
 class Args {
@@ -40,6 +49,12 @@ class Args {
 
   /// Keys that were never read by any getter; lets the CLI reject typos.
   std::vector<std::string> unused_keys() const;
+
+  /// Throws UsageError when any flag was never read by a getter. Call after
+  /// every getter a command supports has run: the accessed keys define the
+  /// command's flag vocabulary, and the nearest one (by edit distance) is
+  /// suggested — "unknown flag --reducer (did you mean --reducers?)".
+  void reject_unknown() const;
 
  private:
   std::vector<std::string> positionals_;

@@ -116,4 +116,23 @@ bool parse_bytes(std::string_view text, std::uint64_t* out) {
   return true;
 }
 
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  // Single-row dynamic program: row[j] = distance(a[0..i), b[0..j)).
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diagonal = row[0];  // distance(a[0..i-1), b[0..j-1))
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t substitute = diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diagonal = row[j];
+      const std::size_t remove = row[j] + 1;     // delete from a
+      const std::size_t insert = row[j - 1] + 1; // insert into a
+      row[j] = substitute < remove ? substitute : remove;
+      if (insert < row[j]) row[j] = insert;
+    }
+  }
+  return row[b.size()];
+}
+
 }  // namespace keddah::util

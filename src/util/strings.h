@@ -36,4 +36,8 @@ std::string human_seconds(double seconds);
 /// malformed input.
 bool parse_bytes(std::string_view text, std::uint64_t* out);
 
+/// Levenshtein distance (insert/delete/substitute, unit costs). Powers
+/// did-you-mean suggestions for mistyped CLI flags.
+std::size_t edit_distance(std::string_view a, std::string_view b);
+
 }  // namespace keddah::util

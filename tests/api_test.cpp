@@ -1,0 +1,179 @@
+// Tests for the versioned Spec API (api/specs.h): JSON round-trips of the
+// toolchain spec structs, key-path diagnostics on malformed documents, and
+// the wire-version gate.
+#include <gtest/gtest.h>
+
+#include "api/specs.h"
+#include "hadoop/config_json.h"
+#include "util/json.h"
+
+namespace ka = keddah::api;
+namespace kh = keddah::hadoop;
+namespace ku = keddah::util;
+
+TEST(SpecError, RendersLintStyleLine) {
+  const ka::SpecError error("req.json", "jobs[0].input", "missing required byte size",
+                            "add an input size");
+  EXPECT_STREQ(error.what(),
+               "req.json: jobs[0].input: missing required byte size (add an input size)");
+  const auto doc = error.to_json();
+  EXPECT_EQ(doc.at("file").as_string(), "req.json");
+  EXPECT_EQ(doc.at("key").as_string(), "jobs[0].input");
+  EXPECT_EQ(doc.at("hint").as_string(), "add an input size");
+}
+
+TEST(SpecApi, CaptureSpecRoundTrips) {
+  const auto doc = ku::Json::parse(R"({
+    "workload": "wordcount", "input_sizes": ["256MB", 1073741824],
+    "repetitions": 3, "seed": 42, "threads": 2,
+    "faults": [{"kind": "crash", "worker": 1, "at": 5.0}]
+  })");
+  const auto spec = ka::parse_capture_spec(doc, "test");
+  EXPECT_EQ(spec.input_sizes, (std::vector<std::uint64_t>{256ull << 20, 1ull << 30}));
+  EXPECT_EQ(spec.repetitions, 3u);
+  EXPECT_EQ(spec.seed, 42u);
+  EXPECT_EQ(spec.threads, 2u);
+  ASSERT_EQ(spec.faults.size(), 1u);
+
+  // to_json -> parse is the identity on every modelled field.
+  const auto again = ka::parse_capture_spec(ka::capture_spec_to_json(spec), "round-trip");
+  EXPECT_EQ(again.input_sizes, spec.input_sizes);
+  EXPECT_EQ(again.repetitions, spec.repetitions);
+  EXPECT_EQ(again.seed, spec.seed);
+  EXPECT_EQ(again.threads, spec.threads);
+  EXPECT_EQ(again.faults.size(), spec.faults.size());
+  EXPECT_EQ(ka::capture_spec_to_json(again).dump(-1), ka::capture_spec_to_json(spec).dump(-1));
+}
+
+TEST(SpecApi, CaptureSpecErrorsNameKeyPaths) {
+  try {
+    ka::parse_capture_spec(ku::Json::parse(R"({"input_sizes": ["256MB", "nope"]})"), "req");
+    FAIL() << "expected SpecError";
+  } catch (const ka::SpecError& e) {
+    EXPECT_EQ(e.file(), "req");
+    EXPECT_EQ(e.key(), "input_sizes[1]");
+  }
+  try {
+    ka::parse_capture_spec(
+        ku::Json::parse(R"({"input_sizes": ["1GB"], "repetitions": 0})"), "req");
+    FAIL() << "expected SpecError";
+  } catch (const ka::SpecError& e) {
+    EXPECT_EQ(e.key(), "repetitions");
+  }
+}
+
+TEST(SpecApi, ReproduceAndValidateSpecsRoundTrip) {
+  const auto rspec = ka::parse_reproduce_spec(
+      ku::Json::parse(
+          R"({"scenario": {"input": "8GB", "hosts": 12, "maps": 3}, "seed": 9,
+              "normalize_volume": true})"),
+      "test");
+  EXPECT_DOUBLE_EQ(rspec.scenario.input_bytes, static_cast<double>(8ull << 30));
+  EXPECT_EQ(rspec.scenario.num_hosts, 12u);
+  EXPECT_EQ(rspec.scenario.num_maps, 3u);
+  EXPECT_TRUE(rspec.gen_options.normalize_volume);
+  EXPECT_EQ(ka::reproduce_spec_to_json(
+                ka::parse_reproduce_spec(ka::reproduce_spec_to_json(rspec), "rt"))
+                .dump(-1),
+            ka::reproduce_spec_to_json(rspec).dump(-1));
+
+  const auto vspec = ka::parse_validate_spec(
+      ku::Json::parse(R"({"seed": 4, "repetitions": 2, "threads": 1})"), "test");
+  EXPECT_EQ(vspec.seed, 4u);
+  EXPECT_EQ(vspec.repetitions, 2u);
+  EXPECT_EQ(ka::validate_spec_to_json(
+                ka::parse_validate_spec(ka::validate_spec_to_json(vspec), "rt"))
+                .dump(-1),
+            ka::validate_spec_to_json(vspec).dump(-1));
+}
+
+TEST(SpecApi, ReproduceSpecRequiresScenarioInput) {
+  try {
+    ka::parse_reproduce_spec(ku::Json::parse(R"({"scenario": {}})"), "req");
+    FAIL() << "expected SpecError";
+  } catch (const ka::SpecError& e) {
+    EXPECT_EQ(e.key(), "scenario.input");
+  }
+}
+
+TEST(SpecApi, WhatIfAcceptsScenarioDocumentWithOptionalVersionTag) {
+  const char* scenario = R"({
+    "seed": 3,
+    "cluster": {"racks": 2, "hosts_per_rack": 2},
+    "jobs": [{"workload": "grep", "input": "64MB"}]
+  })";
+  const auto untagged = ka::parse_whatif_request(ku::Json::parse(scenario), "req");
+  EXPECT_EQ(untagged.scenario.jobs.size(), 1u);
+  EXPECT_EQ(untagged.scenario.cluster.num_workers(), 4u);
+
+  auto tagged = ku::Json::parse(scenario);
+  tagged["api"] = ku::Json("v1");
+  EXPECT_EQ(ka::parse_whatif_request(tagged, "req").scenario.seed, 3u);
+
+  tagged["api"] = ku::Json("v2");
+  try {
+    ka::parse_whatif_request(tagged, "req");
+    FAIL() << "expected SpecError";
+  } catch (const ka::SpecError& e) {
+    EXPECT_EQ(e.key(), "api");
+    EXPECT_NE(e.message().find("unsupported"), std::string::npos);
+  }
+}
+
+TEST(SpecApi, ReproduceRequestParsesModelAndCluster) {
+  const auto request = ka::parse_reproduce_request(
+      ku::Json::parse(R"({
+        "api": "v1", "model": "sort",
+        "scenario": {"input": "1GB"}, "seed": 2,
+        "cluster": {"racks": 2, "hosts_per_rack": 3}
+      })"),
+      "req");
+  EXPECT_EQ(request.model, "sort");
+  // No explicit host count: the replay fabric's size wins.
+  EXPECT_EQ(request.spec.scenario.num_hosts, 6u);
+  const auto again = ka::parse_reproduce_request(ka::reproduce_request_to_json(request), "rt");
+  EXPECT_EQ(ka::reproduce_request_to_json(again).dump(-1),
+            ka::reproduce_request_to_json(request).dump(-1));
+
+  try {
+    ka::parse_reproduce_request(ku::Json::parse(R"({"scenario": {"input": "1GB"}})"), "req");
+    FAIL() << "expected SpecError";
+  } catch (const ka::SpecError& e) {
+    EXPECT_EQ(e.key(), "model");
+  }
+}
+
+TEST(SpecApi, ValidateRequestRoundTrips) {
+  const auto request = ka::parse_validate_request(
+      ku::Json::parse(R"({"model": "sort", "run": "/tmp/run_0", "seed": 5,
+                          "repetitions": 2})"),
+      "req");
+  EXPECT_EQ(request.run, "/tmp/run_0");
+  const auto again = ka::parse_validate_request(ka::validate_request_to_json(request), "rt");
+  EXPECT_EQ(ka::validate_request_to_json(again).dump(-1),
+            ka::validate_request_to_json(request).dump(-1));
+}
+
+TEST(ClusterJson, RoundTripsThroughScenarioSchema) {
+  kh::ClusterConfig cfg = kh::default_scenario_cluster();
+  cfg.racks = 3;
+  cfg.topology = kh::TopologyKind::kFatTree;
+  cfg.fat_tree_k = 4;
+  cfg.replication = 2;
+  const auto doc = kh::cluster_config_to_json(cfg);
+  const auto parsed = kh::parse_cluster_config(doc, "rt");
+  EXPECT_EQ(kh::cluster_config_to_json(parsed).dump(-1), doc.dump(-1));
+  EXPECT_EQ(parsed.topology, kh::TopologyKind::kFatTree);
+  EXPECT_EQ(parsed.replication, 2u);
+}
+
+TEST(ClusterJson, ErrorsCarryContextAndKeyPath) {
+  try {
+    kh::parse_cluster_config(ku::Json::parse(R"({"topology": "mesh"})"), "scn.json");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("scn.json"), std::string::npos);
+    EXPECT_NE(what.find("cluster.topology"), std::string::npos);
+  }
+}

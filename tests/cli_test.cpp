@@ -8,6 +8,7 @@
 
 #include "keddah/cli.h"
 #include "util/args.h"
+#include "util/strings.h"
 
 namespace ku = keddah::util;
 
@@ -79,6 +80,46 @@ TEST(Args, UnusedKeysTracked) {
   const auto unused = args.unused_keys();
   ASSERT_EQ(unused.size(), 1u);
   EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Args, RejectUnknownSuggestsNearestFlag) {
+  const auto args = ku::Args::parse({"--reducer", "4"});
+  (void)args.get_int("reducers", 0);
+  (void)args.get_int("seed", 0);
+  try {
+    args.reject_unknown();
+    FAIL() << "expected UsageError";
+  } catch (const ku::UsageError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--reducer"), std::string::npos);
+    EXPECT_NE(what.find("did you mean --reducers?"), std::string::npos) << what;
+  }
+}
+
+TEST(Args, RejectUnknownOmitsFarfetchedSuggestions) {
+  const auto args = ku::Args::parse({"--zzzzzz", "1"});
+  (void)args.get_int("seed", 0);
+  try {
+    args.reject_unknown();
+    FAIL() << "expected UsageError";
+  } catch (const ku::UsageError& e) {
+    EXPECT_EQ(std::string(e.what()).find("did you mean"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Args, RejectUnknownPassesWhenAllFlagsRead) {
+  const auto args = ku::Args::parse({"--seed", "1"});
+  (void)args.get_int("seed", 0);
+  EXPECT_NO_THROW(args.reject_unknown());
+}
+
+TEST(Args, EditDistanceIsLevenshtein) {
+  EXPECT_EQ(ku::edit_distance("", ""), 0u);
+  EXPECT_EQ(ku::edit_distance("abc", ""), 3u);
+  EXPECT_EQ(ku::edit_distance("", "abc"), 3u);
+  EXPECT_EQ(ku::edit_distance("reducer", "reducers"), 1u);
+  EXPECT_EQ(ku::edit_distance("kitten", "sitting"), 3u);
+  EXPECT_EQ(ku::edit_distance("flaw", "lawn"), 2u);
 }
 
 // ---------------------------------------------------------------- cli

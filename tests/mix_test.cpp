@@ -7,10 +7,6 @@
 #include "keddah/toolchain.h"
 #include "workloads/suite.h"
 
-// Exercises the deprecated span-based capture_runs until removal; do not
-// fail it under KEDDAH_WERROR.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
 namespace kh = keddah::hadoop;
 namespace kn = keddah::net;
 namespace kw = keddah::workloads;
@@ -28,6 +24,18 @@ kh::ClusterConfig test_config() {
   cfg.block_size = 64ull << 20;
   cfg.containers_per_node = 4;
   return cfg;
+}
+
+// One serial capture run at one size — training input for the mix tests.
+std::vector<keddah::model::TrainingRun> capture_one(const kh::ClusterConfig& cfg,
+                                                    kw::Workload workload, std::uint64_t size,
+                                                    std::uint64_t seed) {
+  kc::CaptureSpec spec;
+  spec.workload = workload;
+  spec.input_sizes = {size};
+  spec.seed = seed;
+  spec.threads = 1;
+  return kc::capture_runs(cfg, spec);
 }
 
 }  // namespace
@@ -88,8 +96,7 @@ TEST(RunMix, EmptyMixIsEmpty) {
 
 TEST(GenerateMix, ComposesAndShiftsSchedules) {
   const auto cfg = test_config();
-  const std::vector<std::uint64_t> sizes = {256 * kMiB};
-  const auto runs = kc::capture_runs(cfg, kw::Workload::kSort, sizes, 1, 113);
+  const auto runs = capture_one(cfg, kw::Workload::kSort, 256 * kMiB, 113);
   const auto model = kc::train("sort", runs, cfg);
 
   kg::MixEntry a;
@@ -124,8 +131,7 @@ TEST(GenerateMix, NullModelThrows) {
 
 TEST(GenerateMix, ReplayableOnTopology) {
   const auto cfg = test_config();
-  const std::vector<std::uint64_t> sizes = {256 * kMiB};
-  const auto runs = kc::capture_runs(cfg, kw::Workload::kGrep, sizes, 1, 127);
+  const auto runs = capture_one(cfg, kw::Workload::kGrep, 256 * kMiB, 127);
   const auto model = kc::train("grep", runs, cfg);
   kg::MixEntry entry;
   entry.model = &model;

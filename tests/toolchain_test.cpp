@@ -8,11 +8,6 @@
 
 #include "keddah/toolchain.h"
 
-// Some tests below intentionally exercise the deprecated span-based entry
-// points to keep them covered until removal; do not fail them under
-// KEDDAH_WERROR.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
 namespace kc = keddah::core;
 namespace kg = keddah::gen;
 namespace kh = keddah::hadoop;
@@ -33,11 +28,25 @@ kh::ClusterConfig small_config() {
 
 constexpr std::uint64_t kMiB = 1ull << 20;
 
+// Serial one-size capture sweep (these tests predate the thread knob and
+// pin their expectations on serial-equivalent output, which SweepRunner
+// guarantees at any thread count anyway).
+kc::CaptureSpec capture_spec(kw::Workload workload, std::vector<std::uint64_t> sizes,
+                             std::size_t repetitions, std::uint64_t seed) {
+  kc::CaptureSpec spec;
+  spec.workload = workload;
+  spec.input_sizes = std::move(sizes);
+  spec.repetitions = repetitions;
+  spec.seed = seed;
+  spec.threads = 1;
+  return spec;
+}
+
 }  // namespace
 
 TEST(Toolchain, CaptureRunsProducesTrainingData) {
   const std::vector<std::uint64_t> sizes = {256 * kMiB};
-  const auto runs = kc::capture_runs(small_config(), kw::Workload::kSort, sizes, 2, 7);
+  const auto runs = kc::capture_runs(small_config(), capture_spec(kw::Workload::kSort, sizes, 2, 7));
   ASSERT_EQ(runs.size(), 2u);
   for (const auto& run : runs) {
     EXPECT_GT(run.trace.size(), 0u);
@@ -52,7 +61,7 @@ TEST(Toolchain, CaptureRunsProducesTrainingData) {
 TEST(Toolchain, TrainRecordsClusterContext) {
   const auto cfg = small_config();
   const std::vector<std::uint64_t> sizes = {256 * kMiB};
-  const auto runs = kc::capture_runs(cfg, kw::Workload::kSort, sizes, 1, 11);
+  const auto runs = kc::capture_runs(cfg, capture_spec(kw::Workload::kSort, sizes, 1, 11));
   const auto model = kc::train("sort", runs, cfg);
   EXPECT_EQ(model.job_name(), "sort");
   EXPECT_EQ(model.context().block_size, cfg.block_size);
@@ -66,9 +75,12 @@ TEST(Toolchain, TrainRecordsClusterContext) {
 TEST(Toolchain, EndToEndValidationWithinBounds) {
   const auto cfg = small_config();
   const std::vector<std::uint64_t> sizes = {512 * kMiB};
-  const auto runs = kc::capture_runs(cfg, kw::Workload::kSort, sizes, 3, 13);
+  const auto runs = kc::capture_runs(cfg, capture_spec(kw::Workload::kSort, sizes, 3, 13));
   const auto model = kc::train("sort", runs, cfg);
-  const auto report = kc::validate_model(model, runs[0], cfg, 99);
+  kc::ValidateSpec vspec;
+  vspec.seed = 99;
+  vspec.threads = 1;
+  const auto report = kc::validate_model(model, runs[0], cfg, vspec);
 
   const auto& shuffle = report.of(kn::FlowKind::kShuffle);
   EXPECT_GT(shuffle.captured_flows, 0u);
@@ -88,11 +100,13 @@ TEST(Toolchain, EndToEndValidationWithinBounds) {
 TEST(Toolchain, VolumeNormalizationTightensVolumes) {
   const auto cfg = small_config();
   const std::vector<std::uint64_t> sizes = {512 * kMiB};
-  const auto runs = kc::capture_runs(cfg, kw::Workload::kSort, sizes, 2, 17);
+  const auto runs = kc::capture_runs(cfg, capture_spec(kw::Workload::kSort, sizes, 2, 17));
   const auto model = kc::train("sort", runs, cfg);
-  kg::GeneratorOptions normalize;
-  normalize.normalize_volume = true;
-  const auto report = kc::validate_model(model, runs[0], cfg, 3, normalize);
+  kc::ValidateSpec vspec;
+  vspec.seed = 3;
+  vspec.threads = 1;
+  vspec.gen_options.normalize_volume = true;
+  const auto report = kc::validate_model(model, runs[0], cfg, vspec);
   // Normalized generation pins per-class volume to the scaling law, which
   // was trained on these runs: total volume error shrinks well under 25%.
   EXPECT_LT(std::fabs(report.total_volume_error()), 0.25);
@@ -101,14 +115,17 @@ TEST(Toolchain, VolumeNormalizationTightensVolumes) {
 TEST(Toolchain, GenerateAndReplayProducesClassifiableTraffic) {
   const auto cfg = small_config();
   const std::vector<std::uint64_t> sizes = {256 * kMiB};
-  const auto runs = kc::capture_runs(cfg, kw::Workload::kNutchIndex, sizes, 1, 19);
+  const auto runs = kc::capture_runs(cfg, capture_spec(kw::Workload::kNutchIndex, sizes, 1, 19));
   const auto model = kc::train("nutchindex", runs, cfg);
   kg::Scenario scenario;
   scenario.input_bytes = 256.0 * kMiB;
   scenario.num_maps = runs[0].num_maps;
   scenario.num_reducers = runs[0].num_reducers;
   scenario.num_hosts = 8;
-  const auto result = kc::generate_and_replay(model, scenario, cfg.build_topology(), 5);
+  kc::ReproduceSpec rspec;
+  rspec.scenario = scenario;
+  rspec.seed = 5;
+  const auto result = kc::generate_and_replay(model, rspec, cfg.build_topology());
   ASSERT_GT(result.schedule.flows.size(), 0u);
   EXPECT_EQ(result.replay.trace.size(), result.schedule.flows.size());
   // Replayed records classify into the classes the schedule requested.
@@ -121,7 +138,7 @@ TEST(Toolchain, GenerateAndReplayProducesClassifiableTraffic) {
 TEST(Toolchain, ModelRoundTripThroughDiskReproducesSchedule) {
   const auto cfg = small_config();
   const std::vector<std::uint64_t> sizes = {256 * kMiB};
-  const auto runs = kc::capture_runs(cfg, kw::Workload::kSort, sizes, 1, 23);
+  const auto runs = kc::capture_runs(cfg, capture_spec(kw::Workload::kSort, sizes, 1, 23));
   const auto model = kc::train("sort", runs, cfg);
   const std::string path = ::testing::TempDir() + "/keddah_toolchain_model.json";
   model.save(path);
@@ -147,8 +164,8 @@ TEST(Toolchain, ModelRoundTripThroughDiskReproducesSchedule) {
 TEST(Toolchain, ShuffleHeavyVsLightJobsModelDifferently) {
   const auto cfg = small_config();
   const std::vector<std::uint64_t> sizes = {512 * kMiB};
-  const auto sort_runs = kc::capture_runs(cfg, kw::Workload::kSort, sizes, 1, 29);
-  const auto grep_runs = kc::capture_runs(cfg, kw::Workload::kGrep, sizes, 1, 29);
+  const auto sort_runs = kc::capture_runs(cfg, capture_spec(kw::Workload::kSort, sizes, 1, 29));
+  const auto grep_runs = kc::capture_runs(cfg, capture_spec(kw::Workload::kGrep, sizes, 1, 29));
   const auto sort_model = kc::train("sort", sort_runs, cfg);
   const auto grep_model = kc::train("grep", grep_runs, cfg);
   const double sort_shuffle = sort_model.predict_volume(kn::FlowKind::kShuffle, 1e9);

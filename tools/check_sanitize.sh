@@ -31,7 +31,7 @@ cmake --build "${BUILD}" \
       --target parallel_test net_network_test fault_injection_test \
                hadoop_faults_test scenario_test invariant_audit_test \
                net_differential_test golden_trace_test net_property_test \
-               perf_scheduler -j"$(nproc)"
+               api_test serve_test keddah perf_scheduler perf_serve -j"$(nproc)"
 
 # The parallel subsystem, the network layer it drives concurrently, and the
 # fault-injection/recovery machinery (aborts, retries, node churn). The
@@ -41,11 +41,44 @@ cmake --build "${BUILD}" \
 # fast path to the reference recompute, and GoldenTrace pins end-to-end
 # scenario output byte-for-byte — both with the KEDDAH_CHECK audits live.
 ctest --test-dir "${BUILD}" --output-on-failure \
-      -R 'ThreadPool|SweepRunner|ParallelDeterminism|DeriveSeed|ResolvedThreads|Network|NodeFailure|TransientOutage|DegradedLink|SlowNode|FaultPlan|Scenario|InvariantAudit|SchedulerDifferential|GoldenTrace'
+      -R 'ThreadPool|SweepRunner|ParallelDeterminism|DeriveSeed|ResolvedThreads|Network|NodeFailure|TransientOutage|DegradedLink|SlowNode|FaultPlan|Scenario|InvariantAudit|SchedulerDifferential|GoldenTrace|SpecApi|SpecError|Serve'
 
 # A quick pass of the scheduler benchmark under the sanitizer: exercises
 # the incremental and reference schedulers back to back on all three
 # shapes. Results land in the sanitized build dir, not the repo root.
 "${BUILD}/bench/perf_scheduler" --quick --out "${BUILD}/BENCH_scheduler.json"
+
+# The serve benchmark doubles as a concurrency smoke for the daemon: eight
+# in-process clients hammer Server::handle() while the response cache and
+# resident-model LRU are shared state — exactly what TSan should watch.
+"${BUILD}/bench/perf_serve" --quick --out "${BUILD}/BENCH_serve.json"
+
+# End-to-end serve smoke over real HTTP: boot the daemon on an ephemeral
+# port, ask one what-if from the example corpus, and shut it down cleanly
+# through the /v1/shutdown endpoint (so the sanitizer sees the teardown
+# path too, not a SIGKILL).
+"${BUILD}/tools/keddah" serve --port 0 >"${BUILD}/serve.log" 2>&1 &
+SERVE_PID=$!
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's#^keddah serve listening on http://127\.0\.0\.1:##p' "${BUILD}/serve.log")"
+  [ -n "${PORT}" ] && break
+  sleep 0.1
+done
+if [ -z "${PORT}" ]; then
+  echo "keddah serve did not come up; log follows" >&2
+  cat "${BUILD}/serve.log" >&2
+  kill "${SERVE_PID}" 2>/dev/null || true
+  exit 1
+fi
+BODY="$(curl -sf -X POST --data-binary @"${ROOT}/examples/scenarios/clean.json" \
+        "http://127.0.0.1:${PORT}/v1/whatif")"
+if [ -z "${BODY}" ]; then
+  echo "empty /v1/whatif response from keddah serve" >&2
+  kill "${SERVE_PID}" 2>/dev/null || true
+  exit 1
+fi
+curl -sf -X POST "http://127.0.0.1:${PORT}/v1/shutdown" >/dev/null
+wait "${SERVE_PID}"
 
 echo "OK: ${SAN} sanitizer run clean"
