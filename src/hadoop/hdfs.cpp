@@ -343,8 +343,10 @@ std::size_t HdfsCluster::handle_datanode_failure(net::NodeId node) {
   if (datanodes_.empty()) throw std::logic_error("hdfs: last datanode failed");
 
   std::size_t transfers = 0;
-  for (auto& [id, info] : files_) {
-    (void)id;
+  // Sorted file order: each re-replication below starts a network transfer,
+  // so iteration order is scheduling order and must be platform-independent.
+  for (const FileId id : sorted_file_ids()) {
+    FileInfo& info = files_.at(id);
     for (auto& block : info.blocks) {
       const auto it = std::find(block.replicas.begin(), block.replicas.end(), node);
       if (it == block.replicas.end()) continue;
@@ -402,9 +404,24 @@ std::uint64_t HdfsCluster::pipeline_rebuilds(std::uint32_t job_id) const {
   return it == pipeline_rebuilds_by_job_.end() ? 0 : it->second;
 }
 
-std::unordered_map<net::NodeId, std::uint64_t> HdfsCluster::datanode_usage() const {
-  std::unordered_map<net::NodeId, std::uint64_t> usage;
+std::vector<FileId> HdfsCluster::sorted_file_ids() const {
+  std::vector<FileId> ids;
+  ids.reserve(files_.size());
+  // Key collection is order-insensitive; the sort below restores a stable
+  // order for the callers. detlint:allow(unordered-iter)
+  for (const auto& [id, info] : files_) {
+    (void)info;
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::map<net::NodeId, std::uint64_t> HdfsCluster::datanode_usage() const {
+  std::map<net::NodeId, std::uint64_t> usage;
   for (const auto dn : datanodes_) usage[dn] = 0;
+  // Pure commutative accumulation into an ordered map; the files_ walk
+  // order cannot reach the result. detlint:allow(unordered-iter)
   for (const auto& [id, info] : files_) {
     (void)id;
     for (const auto& block : info.blocks) {
@@ -462,8 +479,10 @@ std::size_t HdfsCluster::run_balancer(double threshold, std::size_t max_moves) {
     // Pick a block on `over` whose replica set does not already include
     // `under`, preferring the largest movable block (fastest convergence).
     BlockInfo* candidate = nullptr;
-    for (auto& [id, info] : files_) {
-      (void)id;
+    // Sorted file order: ties between equal-sized movable blocks fall to
+    // the first file visited, which must not depend on bucket order.
+    for (const FileId id : sorted_file_ids()) {
+      FileInfo& info = files_.at(id);
       for (auto& block : info.blocks) {
         const bool on_over = std::find(block.replicas.begin(), block.replicas.end(), over) !=
                              block.replicas.end();

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -103,8 +104,9 @@ class HdfsCluster {
   /// mid-transfer.
   std::uint64_t read_retries() const { return read_retries_; }
 
-  /// Stored bytes per DataNode (sum of replica sizes it holds).
-  std::unordered_map<net::NodeId, std::uint64_t> datanode_usage() const;
+  /// Stored bytes per DataNode (sum of replica sizes it holds). Ordered
+  /// so callers that iterate (balancer, reports) see a stable order.
+  std::map<net::NodeId, std::uint64_t> datanode_usage() const;
 
   /// Storage imbalance: max DataNode usage / mean usage (1.0 = balanced).
   double storage_imbalance() const;
@@ -157,6 +159,11 @@ class HdfsCluster {
   /// DataNode), second on a different rack, third on the second's rack.
   /// Down nodes are never chosen.
   std::vector<net::NodeId> place_replicas(net::NodeId writer);
+
+  /// File ids in ascending order — the deterministic iteration order for
+  /// every files_ walk whose side effects are order-visible (re-replication
+  /// scheduling, balancer block picks).
+  std::vector<FileId> sorted_file_ids() const;
 
   net::Network& network_;
   std::vector<net::NodeId> datanodes_;

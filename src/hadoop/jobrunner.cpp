@@ -98,6 +98,8 @@ struct JobRunner::Execution {
 
   std::size_t valid_attempts_for(std::size_t map_index) const {
     std::size_t n = 0;
+    // Order-insensitive count; iteration order cannot reach the result.
+    // detlint:allow(unordered-iter)
     for (const auto& [id, att] : attempts) {
       (void)id;
       n += (att.valid && att.map_index == map_index);
@@ -534,7 +536,8 @@ void JobRunner::handle_node_event(net::NodeId node, bool outputs_lost) {
 
     // Kill attempts running on the node. Erasing makes every in-flight
     // continuation of the attempt (startup, read, compute) a no-op via
-    // attempt_valid().
+    // attempt_valid(). Visit order is invisible: the erase set depends only
+    // on the node match. detlint:allow(unordered-iter)
     for (auto it = exec->attempts.begin(); it != exec->attempts.end();) {
       if (it->second.node == node) {
         it = exec->attempts.erase(it);

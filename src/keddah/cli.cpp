@@ -80,6 +80,7 @@ hadoop::FaultPlan faults_from_args(const util::Args& args,
 }
 
 int cmd_capture(const util::Args& args, std::ostream& out, std::ostream& err) {
+  (void)err;  // kept for subcommand-signature uniformity
   const auto cfg = config_from_args(args);
   const auto workload = workloads::workload_from_name(args.get("job", "sort"));
   const std::uint64_t input = args.get_bytes("input", 2ull << 30);
@@ -194,6 +195,7 @@ gen::SyntheticTrafficSchedule load_schedule(const std::string& path) {
 }
 
 int cmd_replay(const util::Args& args, std::ostream& out, std::ostream& err) {
+  (void)err;  // kept for subcommand-signature uniformity
   const std::string schedule_path = args.get("schedule", "keddah_schedule.csv");
   const auto cfg = config_from_args(args);
   args.reject_unknown();
@@ -230,6 +232,7 @@ int cmd_validate(const util::Args& args, std::ostream& out, std::ostream& err) {
 }
 
 int cmd_export_ns3(const util::Args& args, std::ostream& out, std::ostream& err) {
+  (void)err;  // kept for subcommand-signature uniformity
   const std::string schedule_path = args.get("schedule", "keddah_schedule.csv");
   const std::string out_base = args.get("out", "keddah-replay");
   gen::Ns3ExportOptions options;
@@ -435,6 +438,7 @@ int cmd_run_scenario(const util::Args& args, std::ostream& out, std::ostream& er
 }
 
 int cmd_report(const util::Args& args, std::ostream& out, std::ostream& err) {
+  (void)err;  // kept for subcommand-signature uniformity
   const std::string model_path = args.get("model", "keddah_model.json");
   args.reject_unknown();
   const auto model = model::KeddahModel::load(model_path);

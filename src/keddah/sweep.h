@@ -22,13 +22,13 @@
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/thread_pool.h"
 
 namespace keddah::core {
@@ -71,9 +71,12 @@ class SweepRunner {
       return out;
     }
 
+    // `slots` and `errors` need no lock: each worker writes only its own
+    // index. `progress_mutex` guards `done` and serializes the progress
+    // callback (GUARDED_BY is member/global-only, hence this comment).
     std::vector<std::optional<Result>> slots(count);
     std::vector<std::exception_ptr> errors(count);
-    std::mutex progress_mutex;
+    util::Mutex progress_mutex;
     std::size_t done = 0;
     {
       util::ThreadPool pool(workers);
@@ -84,7 +87,7 @@ class SweepRunner {
           } catch (...) {
             errors[i] = std::current_exception();
           }
-          std::lock_guard<std::mutex> lock(progress_mutex);
+          util::MutexLock lock(&progress_mutex);
           report_progress(++done, count);
         });
       }

@@ -1,0 +1,18 @@
+#include "lint/diagnostic.h"
+
+#include <ostream>
+
+namespace keddah::lint {
+
+std::string format_diagnostic(const std::string& file, const std::string& locus,
+                              const std::string& message, const std::string& hint) {
+  std::string line = file + ": " + locus + ": " + message;
+  if (!hint.empty()) line += " (" + hint + ")";
+  return line;
+}
+
+void print_diagnostic_line(std::ostream& os, bool is_error, const std::string& formatted) {
+  os << (is_error ? "error: " : "warning: ") << formatted << "\n";
+}
+
+}  // namespace keddah::lint

@@ -1,0 +1,26 @@
+// Shared diagnostic formatting for the keddah static tools.
+//
+// keddah-lint (JSON artifacts, locus = key path) and keddah-detlint (C++
+// sources, locus = "line: rule-id") print through the same formatter so
+// tool output is uniform and greppable:
+//
+//   <file>: <locus>: <message> (<hint>)
+//
+// The hint parenthetical is omitted when empty. print_diagnostic_line adds
+// the "error: " / "warning: " severity prefix the CLIs emit.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace keddah::lint {
+
+/// "<file>: <locus>: <message> (<hint>)"; no parenthetical when `hint` is
+/// empty.
+std::string format_diagnostic(const std::string& file, const std::string& locus,
+                              const std::string& message, const std::string& hint);
+
+/// Writes "error: <formatted>\n" (or "warning: ...") to `os`.
+void print_diagnostic_line(std::ostream& os, bool is_error, const std::string& formatted);
+
+}  // namespace keddah::lint

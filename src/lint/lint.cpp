@@ -1,5 +1,7 @@
 #include "lint/lint.h"
 
+#include "lint/diagnostic.h"
+
 #include <algorithm>
 #include <cmath>
 #include <ostream>
@@ -541,9 +543,7 @@ const char* file_kind_name(FileKind kind) {
 }
 
 std::string Diagnostic::to_string() const {
-  std::string line = file + ": " + key + ": " + message;
-  if (!hint.empty()) line += " (" + hint + ")";
-  return line;
+  return format_diagnostic(file, key, message, hint);
 }
 
 std::size_t LintReport::num_errors() const {
@@ -743,7 +743,7 @@ void print_report(const LintReport& report, std::ostream& os) {
   for (const auto severity : {Severity::kError, Severity::kWarning}) {
     for (const auto& d : report.diagnostics) {
       if (d.severity != severity) continue;
-      os << (d.severity == Severity::kError ? "error: " : "warning: ") << d.to_string() << "\n";
+      print_diagnostic_line(os, d.severity == Severity::kError, d.to_string());
     }
   }
 }

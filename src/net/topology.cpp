@@ -85,8 +85,8 @@ std::vector<NodeId> Topology::hosts() const {
   return out;
 }
 
-std::unordered_map<int, std::vector<NodeId>> Topology::hosts_by_rack() const {
-  std::unordered_map<int, std::vector<NodeId>> out;
+std::map<int, std::vector<NodeId>> Topology::hosts_by_rack() const {
+  std::map<int, std::vector<NodeId>> out;
   for (const auto& n : nodes_) {
     if (!n.is_switch) out[n.rack].push_back(n.id);
   }

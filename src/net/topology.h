@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -93,8 +94,9 @@ class Topology {
   /// All host (non-switch) node ids, in creation order.
   std::vector<NodeId> hosts() const;
 
-  /// Hosts grouped by rack index.
-  std::unordered_map<int, std::vector<NodeId>> hosts_by_rack() const;
+  /// Hosts grouped by rack index, ordered by rack so iteration (which
+  /// feeds placement and report output) is platform-independent.
+  std::map<int, std::vector<NodeId>> hosts_by_rack() const;
 
   /// Shortest path from src to dst as a sequence of directed arcs.
   /// `flow_key` seeds the ECMP hash so distinct flows may take distinct

@@ -103,11 +103,14 @@ void HttpServer::stop() {
     if (acceptor_.joinable()) acceptor_.join();
     return;
   }
-  if (listen_fd_ >= 0) {
-    // shutdown() unblocks a pending accept(); close() releases the port.
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  {
+    util::MutexLock lock(&state_mutex_);
+    if (listen_fd_ >= 0) {
+      // shutdown() unblocks a pending accept(); close() releases the port.
+      ::shutdown(listen_fd_, SHUT_RDWR);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
   }
   if (acceptor_.joinable()) acceptor_.join();
   // The pool destructor drains connections still being answered.
@@ -116,7 +119,13 @@ void HttpServer::stop() {
 
 void HttpServer::accept_loop() {
   while (!stopping_.load()) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    int listen_fd = -1;
+    {
+      util::MutexLock lock(&state_mutex_);
+      listen_fd = listen_fd_;
+    }
+    if (listen_fd < 0) break;  // stop() already closed the listener
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (stopping_.load()) break;
       if (errno == EINTR) continue;

@@ -17,6 +17,7 @@
 #include <string>
 #include <thread>
 
+#include "util/mutex.h"
 #include "util/thread_pool.h"
 
 namespace keddah::serve {
@@ -66,12 +67,18 @@ class HttpServer {
   void stop();
 
  private:
-  void accept_loop();
+  void accept_loop() EXCLUDES(state_mutex_);
   void handle_connection(int fd);
 
-  HttpHandler handler_;
-  int listen_fd_ = -1;
-  std::uint16_t port_ = 0;
+  // Shutdown handshake: stop() wins the stopping_ exchange, then closes
+  // listen_fd_ under state_mutex_ (unblocking a pending accept), joins the
+  // acceptor, and finally drains the pool. The acceptor re-reads
+  // listen_fd_ under the same mutex each round, so a closed-and-reset fd
+  // is observed as -1 rather than a stale descriptor number.
+  HttpHandler handler_;  // set in start() before the acceptor spawns
+  mutable util::Mutex state_mutex_;
+  int listen_fd_ GUARDED_BY(state_mutex_) = -1;
+  std::uint16_t port_ = 0;  // written once in the constructor
   std::atomic<bool> stopping_{false};
   std::thread acceptor_;
   std::unique_ptr<util::ThreadPool> pool_;

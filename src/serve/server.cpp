@@ -99,6 +99,9 @@ Server::Server(ServeOptions options)
     : options_(std::move(options)), http_(options_.port, options_.threads) {
   if (options_.max_resident_models == 0) options_.max_resident_models = 1;
   if (options_.max_cache_entries == 0) options_.max_cache_entries = 1;
+  // No request threads exist yet, but registration helpers REQUIRE the
+  // models capability, so hold it for the whole registration pass.
+  util::MutexLock lock(&models_mutex_);
   for (const auto& path : options_.model_files) {
     register_model_file(path, /*expect_bank=*/false);
   }
@@ -140,7 +143,7 @@ void Server::register_model_doc(const util::Json& doc, const std::string& path,
 }
 
 std::shared_ptr<const model::KeddahModel> Server::acquire_model(const std::string& name) {
-  std::lock_guard<std::mutex> lock(models_mutex_);
+  util::MutexLock lock(&models_mutex_);
   const auto reg = registry_.find(name);
   if (reg == registry_.end()) return nullptr;
   if (const auto it = resident_.find(name); it != resident_.end()) {
@@ -152,7 +155,7 @@ std::shared_ptr<const model::KeddahModel> Server::acquire_model(const std::strin
       reg->second.bank_index ? doc.at("models").at(*reg->second.bank_index) : doc;
   auto loaded = std::make_shared<const model::KeddahModel>(model::KeddahModel::from_json(node));
   {
-    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    util::MutexLock stats_lock(&stats_mutex_);
     ++model_loads_;
   }
   model_lru_.push_front(name);
@@ -165,13 +168,13 @@ std::shared_ptr<const model::KeddahModel> Server::acquire_model(const std::strin
 }
 
 std::uint64_t Server::model_hash(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(models_mutex_);
+  util::MutexLock lock(&models_mutex_);
   const auto it = registry_.find(name);
   return it == registry_.end() ? 0 : it->second.content_hash;
 }
 
 std::vector<std::string> Server::model_names() const {
-  std::lock_guard<std::mutex> lock(models_mutex_);
+  util::MutexLock lock(&models_mutex_);
   std::vector<std::string> names;
   names.reserve(registry_.size());
   for (const auto& [name, source] : registry_) names.push_back(name);
@@ -179,23 +182,23 @@ std::vector<std::string> Server::model_names() const {
 }
 
 std::optional<std::string> Server::cache_lookup(std::uint64_t key) {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
+  util::MutexLock lock(&cache_mutex_);
   const auto it = cache_.find(key);
   if (it == cache_.end()) {
-    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    util::MutexLock stats_lock(&stats_mutex_);
     ++cache_misses_;
     return std::nullopt;
   }
   cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second.lru_it);
   {
-    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    util::MutexLock stats_lock(&stats_mutex_);
     ++cache_hits_;
   }
   return it->second.body;
 }
 
 void Server::cache_store(std::uint64_t key, const std::string& body) {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
+  util::MutexLock lock(&cache_mutex_);
   if (cache_.count(key) != 0) return;  // a concurrent miss computed it first
   cache_lru_.push_front(key);
   cache_[key] = CacheEntry{body, cache_lru_.begin()};
@@ -207,7 +210,7 @@ void Server::cache_store(std::uint64_t key, const std::string& body) {
 
 HttpResponse Server::handle(const HttpRequest& request) {
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    util::MutexLock lock(&stats_mutex_);
     ++requests_;
   }
   HttpResponse response;
@@ -252,7 +255,7 @@ HttpResponse Server::handle(const HttpRequest& request) {
     response = error_response(500, e.what());
   }
   if (response.status != 200) {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    util::MutexLock lock(&stats_mutex_);
     ++errors_;
   }
   return response;
@@ -359,12 +362,12 @@ util::Json Server::stats_json() {
   util::Json cache = util::Json::object();
   util::Json models = util::Json::object();
   {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
+    util::MutexLock lock(&cache_mutex_);
     cache["entries"] = util::Json(static_cast<std::uint64_t>(cache_.size()));
   }
   cache["capacity"] = util::Json(static_cast<std::uint64_t>(options_.max_cache_entries));
   {
-    std::lock_guard<std::mutex> lock(models_mutex_);
+    util::MutexLock lock(&models_mutex_);
     models["registered"] = util::Json(static_cast<std::uint64_t>(registry_.size()));
     models["resident"] = util::Json(static_cast<std::uint64_t>(resident_.size()));
   }
@@ -372,7 +375,7 @@ util::Json Server::stats_json() {
   util::Json doc = util::Json::object();
   doc["api"] = util::Json(api::kApiVersionString);
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    util::MutexLock lock(&stats_mutex_);
     doc["requests"] = util::Json(requests_);
     doc["errors"] = util::Json(errors_);
     cache["hits"] = util::Json(cache_hits_);
@@ -389,13 +392,13 @@ void Server::start() {
 }
 
 void Server::wait_for_shutdown() {
-  std::unique_lock<std::mutex> lock(shutdown_mutex_);
-  shutdown_cv_.wait(lock, [this] { return shutdown_requested_; });
+  util::MutexLock lock(&shutdown_mutex_);
+  while (!shutdown_requested_) shutdown_cv_.wait(shutdown_mutex_);
 }
 
 void Server::request_shutdown() {
   {
-    std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    util::MutexLock lock(&shutdown_mutex_);
     shutdown_requested_ = true;
   }
   shutdown_cv_.notify_all();

@@ -28,12 +28,10 @@
 // the daemon after retraining.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -41,6 +39,7 @@
 #include "model/keddah_model.h"
 #include "serve/http.h"
 #include "util/json.h"
+#include "util/mutex.h"
 
 namespace keddah::util {
 class Args;
@@ -100,52 +99,60 @@ class Server {
     std::uint64_t content_hash = 0;
   };
 
-  void register_model_file(const std::string& path, bool expect_bank);
+  void register_model_file(const std::string& path, bool expect_bank)
+      REQUIRES(models_mutex_);
   void register_model_doc(const util::Json& doc, const std::string& path,
-                          std::optional<std::size_t> bank_index);
+                          std::optional<std::size_t> bank_index) REQUIRES(models_mutex_);
   /// Resident-LRU model lookup; loads from disk on miss. Returns nullptr
   /// for unregistered names. The shared_ptr keeps an evicted model alive
   /// while a request still uses it.
-  std::shared_ptr<const model::KeddahModel> acquire_model(const std::string& name);
-  std::uint64_t model_hash(const std::string& name) const;
+  std::shared_ptr<const model::KeddahModel> acquire_model(const std::string& name)
+      EXCLUDES(models_mutex_);
+  std::uint64_t model_hash(const std::string& name) const EXCLUDES(models_mutex_);
 
-  std::optional<std::string> cache_lookup(std::uint64_t key);
-  void cache_store(std::uint64_t key, const std::string& body);
+  std::optional<std::string> cache_lookup(std::uint64_t key) EXCLUDES(cache_mutex_);
+  void cache_store(std::uint64_t key, const std::string& body) EXCLUDES(cache_mutex_);
 
   HttpResponse handle_whatif(const std::string& body);
   HttpResponse handle_reproduce(const std::string& body);
   HttpResponse handle_validate(const std::string& body);
   util::Json health_json() const;
-  util::Json stats_json();
+  util::Json stats_json() EXCLUDES(stats_mutex_, cache_mutex_, models_mutex_);
 
   ServeOptions options_;
   HttpServer http_;
 
-  mutable std::mutex models_mutex_;
-  std::map<std::string, ModelSource> registry_;
-  std::list<std::string> model_lru_;  // front = most recently used
+  // Capability map (see DESIGN.md "Concurrency model"): models_mutex_
+  // guards the registry + resident LRU, cache_mutex_ the response cache,
+  // stats_mutex_ the counters, shutdown_mutex_ the shutdown flag.
+  // stats_mutex_ is a leaf: it is acquired inside models_mutex_
+  // (acquire_model) and inside cache_mutex_ (cache_lookup) and never the
+  // other way around.
+  mutable util::Mutex models_mutex_;
+  std::map<std::string, ModelSource> registry_ GUARDED_BY(models_mutex_);
+  std::list<std::string> model_lru_ GUARDED_BY(models_mutex_);  // front = MRU
   std::map<std::string, std::pair<std::shared_ptr<const model::KeddahModel>,
                                   std::list<std::string>::iterator>>
-      resident_;
+      resident_ GUARDED_BY(models_mutex_);
 
-  std::mutex cache_mutex_;
-  std::list<std::uint64_t> cache_lru_;  // front = most recently used
+  util::Mutex cache_mutex_;
+  std::list<std::uint64_t> cache_lru_ GUARDED_BY(cache_mutex_);  // front = MRU
   struct CacheEntry {
     std::string body;
     std::list<std::uint64_t>::iterator lru_it;
   };
-  std::map<std::uint64_t, CacheEntry> cache_;
+  std::map<std::uint64_t, CacheEntry> cache_ GUARDED_BY(cache_mutex_);
 
-  std::mutex stats_mutex_;
-  std::uint64_t requests_ = 0;
-  std::uint64_t errors_ = 0;
-  std::uint64_t cache_hits_ = 0;
-  std::uint64_t cache_misses_ = 0;
-  std::uint64_t model_loads_ = 0;
+  util::Mutex stats_mutex_;
+  std::uint64_t requests_ GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t errors_ GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t cache_hits_ GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t cache_misses_ GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t model_loads_ GUARDED_BY(stats_mutex_) = 0;
 
-  std::mutex shutdown_mutex_;
-  std::condition_variable shutdown_cv_;
-  bool shutdown_requested_ = false;
+  util::Mutex shutdown_mutex_;
+  util::CondVar shutdown_cv_;
+  bool shutdown_requested_ GUARDED_BY(shutdown_mutex_) = false;
 };
 
 /// The `keddah serve` subcommand: builds ServeOptions from flags, boots the

@@ -4,7 +4,8 @@
 #include <atomic>
 #include <cctype>
 #include <iostream>
-#include <mutex>
+
+#include "util/mutex.h"
 
 namespace keddah::util {
 
@@ -13,7 +14,7 @@ namespace {
 // while a driver thread (re)configures it; a mutex keeps emitted lines
 // whole when several workers log at once.
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_output_mutex;
+Mutex g_output_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -53,7 +54,7 @@ namespace detail {
 bool log_enabled(LogLevel level) { return level >= g_level.load(std::memory_order_relaxed); }
 
 void log_line(LogLevel level, const std::string& msg) {
-  std::lock_guard<std::mutex> lock(g_output_mutex);
+  MutexLock lock(&g_output_mutex);
   std::cerr << "[" << level_name(level) << "] " << msg << "\n";
 }
 

@@ -1,0 +1,77 @@
+// Annotated mutex / scoped-lock / condition-variable wrappers.
+//
+// Thin shims over <mutex> and <condition_variable> that carry the Clang
+// thread-safety capability attributes (util/thread_annotations.h). Every
+// concurrent component in the repo locks through these types so that a
+// `GUARDED_BY(mutex_)` field access outside its lock is a compile error
+// under `clang -Wthread-safety` — the compile-time counterpart to the
+// TSan gate in tools/check_sanitize.sh. keddah-detlint's bare-mutex rule
+// keeps new code from reaching for std::mutex directly (this file is the
+// one allowed implementation site).
+#pragma once
+
+#include <condition_variable>  // detlint:allow(bare-mutex) wrapper implementation
+#include <mutex>               // detlint:allow(bare-mutex) wrapper implementation
+
+#include "util/thread_annotations.h"
+
+namespace keddah::util {
+
+/// A std::mutex declared as a thread-safety capability. Prefer MutexLock
+/// for scoped sections; the raw lock()/unlock() pair exists for hand-over
+/// -hand patterns like ThreadPool::worker_loop.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;  // detlint:allow(bare-mutex) wrapper implementation
+};
+
+/// RAII lock over a util::Mutex, analysis-visible as a scoped capability.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->lock(); }
+  ~MutexLock() RELEASE() { mu_->unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// Condition variable paired with util::Mutex. wait() declares (via
+/// REQUIRES) that the caller holds the mutex; the implementation briefly
+/// adopts the held lock into a std::unique_lock for the underlying wait
+/// and releases ownership back before returning, so the caller's hold is
+/// continuous as far as the analysis (and RAII) is concerned.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, sleeps, and reacquires `mu` before
+  /// returning. Spurious wakeups happen; callers loop on their predicate.
+  void wait(Mutex& mu) REQUIRES(mu) NO_THREAD_SAFETY_ANALYSIS {
+    // detlint:allow(bare-mutex) wrapper implementation
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller still owns the (re-acquired) mutex
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;  // detlint:allow(bare-mutex) wrapper implementation
+};
+
+}  // namespace keddah::util

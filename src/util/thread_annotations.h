@@ -1,0 +1,62 @@
+// Clang thread-safety-analysis attribute macros (no-ops elsewhere).
+//
+// These annotations turn lock discipline into a compile-time property: a
+// field declares which mutex guards it (GUARDED_BY), a function declares
+// which capabilities it needs (REQUIRES) or manipulates (ACQUIRE/RELEASE),
+// and `clang -Wthread-safety` proves every access site consistent. GCC and
+// other compilers see empty macros, so the annotations cost nothing where
+// the analysis is unavailable. tools/check_static.sh and CI run the Clang
+// configuration with KEDDAH_WERROR=ON, where a violation is a build error.
+//
+// Use the annotated util::Mutex / util::MutexLock / util::CondVar wrappers
+// (util/mutex.h) rather than std::mutex directly — keddah-detlint's
+// bare-mutex rule enforces this, because only the wrappers carry the
+// capability attributes the analysis understands.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define KEDDAH_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define KEDDAH_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+/// Declares a class to be a capability (lockable type).
+#define CAPABILITY(x) KEDDAH_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII class whose lifetime holds a capability.
+#define SCOPED_CAPABILITY KEDDAH_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Field/variable may only be accessed while holding capability `x`.
+#define GUARDED_BY(x) KEDDAH_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointed-to data may only be accessed while holding capability `x`.
+#define PT_GUARDED_BY(x) KEDDAH_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function requires the listed capabilities to be held on entry.
+#define REQUIRES(...) KEDDAH_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the listed capabilities held.
+#define EXCLUDES(...) KEDDAH_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (held on return).
+#define ACQUIRE(...) KEDDAH_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (no longer held on return).
+#define RELEASE(...) KEDDAH_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function tries to acquire; holds the capabilities iff it returned `b`.
+#define TRY_ACQUIRE(b, ...) \
+  KEDDAH_THREAD_ANNOTATION_(try_acquire_capability(b, __VA_ARGS__))
+
+/// Function returns a reference to the named capability.
+#define RETURN_CAPABILITY(x) KEDDAH_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Asserts (at analysis time) that the capability is already held.
+#define ASSERT_CAPABILITY(x) KEDDAH_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Opts a function out of the analysis — use only for trusted plumbing
+/// (e.g. the CondVar::wait implementation, which hands a held lock to
+/// std::condition_variable and takes it back).
+#define NO_THREAD_SAFETY_ANALYSIS KEDDAH_THREAD_ANNOTATION_(no_thread_safety_analysis)

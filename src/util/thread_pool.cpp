@@ -19,7 +19,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 ThreadPool::~ThreadPool() {
   wait_idle();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     stopping_ = true;
   }
   work_cv_.notify_all();
@@ -28,30 +28,33 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     queue_.push_back(std::move(task));
   }
   work_cv_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  MutexLock lock(&mutex_);
+  while (!idle()) idle_cv_.wait(mutex_);
 }
 
 void ThreadPool::worker_loop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  mutex_.lock();
   for (;;) {
-    work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-    if (queue_.empty()) return;  // stopping_ and drained
+    while (!stopping_ && queue_.empty()) work_cv_.wait(mutex_);
+    if (queue_.empty()) {  // stopping_ and drained
+      mutex_.unlock();
+      return;
+    }
     std::function<void()> task = std::move(queue_.front());
     queue_.pop_front();
     ++in_flight_;
-    lock.unlock();
+    mutex_.unlock();
     task();
-    lock.lock();
+    mutex_.lock();
     --in_flight_;
-    if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+    if (idle()) idle_cv_.notify_all();
   }
 }
 

@@ -6,15 +6,19 @@
 // Determinism is the caller's job — the pool makes no ordering promises
 // about *execution*, so callers that need reproducible output must write
 // results into per-task slots keyed by task index (see core::SweepRunner).
+//
+// Concurrency: one capability (`mutex_`) guards the queue, the in-flight
+// counter, and the stop flag; the GUARDED_BY annotations below make
+// `clang -Wthread-safety` prove that discipline at compile time.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace keddah::util {
 
@@ -39,22 +43,25 @@ class ThreadPool {
 
   /// Enqueues a task. Tasks must not throw (wrap and capture exceptions at
   /// the call site); an escaping exception terminates the process.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) EXCLUDES(mutex_);
 
   /// Blocks until the queue is empty and no worker is mid-task. The pool
   /// accepts new work afterwards.
-  void wait_idle();
+  void wait_idle() EXCLUDES(mutex_);
 
  private:
-  void worker_loop();
+  void worker_loop() EXCLUDES(mutex_);
+
+  /// True when every task has been picked up and finished.
+  bool idle() const REQUIRES(mutex_) { return queue_.empty() && in_flight_ == 0; }
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable work_cv_;  // signalled when work arrives / shutdown
-  std::condition_variable idle_cv_;  // signalled when the pool may be idle
-  std::size_t in_flight_ = 0;
-  bool stopping_ = false;
+  Mutex mutex_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mutex_);
+  CondVar work_cv_;  // signalled when work arrives / shutdown
+  CondVar idle_cv_;  // signalled when the pool may be idle
+  std::size_t in_flight_ GUARDED_BY(mutex_) = 0;
+  bool stopping_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace keddah::util

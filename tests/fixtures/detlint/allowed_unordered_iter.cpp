@@ -1,0 +1,14 @@
+// expect: clean
+// Fixture: a justified allow comment fully suppresses the finding.
+#include <unordered_map>
+
+int count_entries() {
+  std::unordered_map<int, int> m{{1, 1}, {2, 2}};
+  int n = 0;
+  // Order-insensitive count. detlint:allow(unordered-iter)
+  for (const auto& [k, v] : m) {
+    (void)k;
+    n += v;
+  }
+  return n;
+}

@@ -1,0 +1,8 @@
+// expect: bare-mutex
+// Fixture: raw std::mutex instead of the annotated util::Mutex wrapper.
+#include <mutex>  // detlint:allow(bare-mutex) keep the finding on the member below
+
+struct Counter {
+  std::mutex mu;
+  int value = 0;
+};

@@ -1,0 +1,7 @@
+// expect: pointer-key
+// Fixture: std::map ordered by pointer value (ASLR-dependent).
+#include <map>
+
+struct Node {};
+
+std::map<Node*, int> ranks;

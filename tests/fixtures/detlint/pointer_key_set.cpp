@@ -1,0 +1,7 @@
+// expect: pointer-key
+// Fixture: std::set of pointers — iteration order is the address order.
+#include <set>
+
+struct Task {};
+
+std::set<const Task*> pending;

@@ -1,0 +1,8 @@
+// expect: random-device
+// Fixture: nondeterministic seeding.
+#include <random>
+
+unsigned fresh_seed() {
+  std::random_device rd;
+  return rd();
+}

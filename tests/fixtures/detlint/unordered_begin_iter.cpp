@@ -1,0 +1,9 @@
+// expect: unordered-iter
+// Fixture: explicit begin() iteration instead of a range-for.
+#include <unordered_map>
+
+int first_key() {
+  std::unordered_map<int, int> m{{1, 2}};
+  auto it = m.begin();
+  return it == m.end() ? 0 : it->first;
+}

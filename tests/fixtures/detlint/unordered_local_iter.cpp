@@ -1,0 +1,11 @@
+// expect: unordered-iter
+// Fixture: range-for over a local unordered_set.
+#include <iostream>
+#include <unordered_set>
+
+int sum_all() {
+  std::unordered_set<int> seen{1, 2, 3};
+  int total = 0;
+  for (const int v : seen) total += v;
+  return total;
+}

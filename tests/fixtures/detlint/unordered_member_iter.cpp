@@ -1,0 +1,10 @@
+// expect: unordered-iter
+#include "unordered_member_iter.h"
+
+#include <iostream>
+
+void Registry::dump() const {
+  for (const auto& [k, v] : entries) {
+    std::cout << k << "=" << v << "\n";
+  }
+}

@@ -1,0 +1,10 @@
+// expect: unordered-iter
+// Fixture: a member declared in a header and iterated in the paired .cpp.
+#pragma once
+#include <string>
+#include <unordered_map>
+
+struct Registry {
+  void dump() const;
+  std::unordered_map<int, std::string> entries;
+};

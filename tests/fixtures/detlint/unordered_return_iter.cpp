@@ -1,0 +1,15 @@
+// expect: unordered-iter
+// Fixture: iterating the return value of an unordered-returning function.
+#include <string>
+#include <unordered_map>
+
+std::unordered_map<std::string, int> load_counts();
+
+int total_counts() {
+  int total = 0;
+  for (const auto& [name, n] : load_counts()) {
+    (void)name;
+    total += n;
+  }
+  return total;
+}

@@ -1,0 +1,8 @@
+// expect: wall-clock
+// Fixture: wall-clock read inside simulation code.
+#include <chrono>
+
+long long now_ns() {
+  const auto t = std::chrono::steady_clock::now();
+  return t.time_since_epoch().count();
+}

@@ -22,6 +22,14 @@ esac
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${ROOT}/build-${SAN}san"
 
+# Route every TSan-instrumented process (tests, benches, the serve smoke)
+# through the shared suppressions file. The file is kept empty of engine
+# code — see the policy comment inside it — and halt_on_error makes the
+# first report fail fast instead of drowning in follow-on noise.
+if [ "${SAN}" = "thread" ]; then
+  export TSAN_OPTIONS="suppressions=${ROOT}/tools/tsan.suppressions:halt_on_error=1${TSAN_OPTIONS:+:${TSAN_OPTIONS}}"
+fi
+
 # KEDDAH_CHECK compiles the byte-conservation / fault-stats / sim-clock
 # audits into the sanitized build, so every audited seam is exercised with
 # the checks live while the sanitizer watches.

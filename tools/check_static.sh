@@ -7,9 +7,13 @@
 #   2. keddah-lint over the shipped example scenarios (must pass) and over
 #      the seeded-defect fixtures in tests/fixtures/lint (every one must
 #      FAIL — a fixture that lints clean means a diagnostic regressed).
-#   3. clang-tidy over src/, if clang-tidy is installed (skipped with a
+#   3. keddah-detlint over src/ (zero unsuppressed determinism hazards)
+#      and over the seeded-hazard fixtures in tests/fixtures/detlint
+#      (every one must fail with exactly the rule its `// expect:` header
+#      names; the `expect: clean` fixture must pass).
+#   4. clang-tidy over src/, if clang-tidy is installed (skipped with a
 #      note otherwise; config in .clang-tidy).
-#   4. cppcheck over src/, if cppcheck is installed (skipped with a note
+#   5. cppcheck over src/, if cppcheck is installed (skipped with a note
 #      otherwise; suppressions in tools/cppcheck.suppress).
 #
 # Stages 1-2 need only the baked-in toolchain and always run; the script
@@ -39,21 +43,57 @@ for fixture in "${ROOT}"/tests/fixtures/lint/*.json; do
 done
 echo "all $(ls "${ROOT}"/tests/fixtures/lint/*.json | wc -l) fixtures flagged"
 
+DETLINT="${BUILD}/tools/keddah-detlint"
+
+echo "== stage 3a: keddah-detlint on src/ (zero unsuppressed hazards) =="
+"${DETLINT}" "${ROOT}/src"
+
+echo "== stage 3b: keddah-detlint on seeded-hazard fixtures =="
+for fixture in "${ROOT}"/tests/fixtures/detlint/*.cpp; do
+  expected="$(sed -n '1s#^// expect: ##p' "${fixture}")"
+  if [ -z "${expected}" ]; then
+    echo "FAIL: ${fixture} has no '// expect: <rule>' header" >&2
+    exit 1
+  fi
+  if [ "${expected}" = "clean" ]; then
+    if ! "${DETLINT}" "${fixture}" >/dev/null 2>&1; then
+      echo "FAIL: ${fixture} expects a clean scan but was flagged" >&2
+      exit 1
+    fi
+    continue
+  fi
+  # Scan the fixture together with its paired header, if any, so member
+  # declarations resolve the same way they do in the test suite.
+  header="${fixture%.cpp}.h"
+  paths=("${fixture}")
+  [ -f "${header}" ] && paths+=("${header}")
+  out="$("${DETLINT}" "${paths[@]}" 2>&1)" && {
+    echo "FAIL: ${fixture} scans clean but seeds hazard '${expected}'" >&2
+    exit 1
+  }
+  if ! grep -q "\[${expected}\]" <<<"${out}"; then
+    echo "FAIL: ${fixture} expected rule '${expected}' but got:" >&2
+    echo "${out}" >&2
+    exit 1
+  fi
+done
+echo "all $(ls "${ROOT}"/tests/fixtures/detlint/*.cpp | wc -l) fixtures behaved as declared"
+
 if command -v clang-tidy >/dev/null 2>&1; then
-  echo "== stage 3: clang-tidy =="
+  echo "== stage 4: clang-tidy =="
   find "${ROOT}/src" -name '*.cpp' -print0 |
     xargs -0 -P "$(nproc)" -n 4 clang-tidy -p "${BUILD}" --quiet
 else
-  echo "== stage 3: clang-tidy not installed, skipped =="
+  echo "== stage 4: clang-tidy not installed, skipped =="
 fi
 
 if command -v cppcheck >/dev/null 2>&1; then
-  echo "== stage 4: cppcheck =="
+  echo "== stage 5: cppcheck =="
   cppcheck --enable=warning,performance,portability --error-exitcode=1 \
            --inline-suppr --suppressions-list="${ROOT}/tools/cppcheck.suppress" \
            --std=c++20 --quiet -I "${ROOT}/src" "${ROOT}/src"
 else
-  echo "== stage 4: cppcheck not installed, skipped =="
+  echo "== stage 5: cppcheck not installed, skipped =="
 fi
 
 echo "OK: static checks clean"
