@@ -1,0 +1,77 @@
+#include "api/error.h"
+
+#include "api/specs.h"
+
+namespace keddah::api {
+
+const char* error_code_id(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kBadRequest: return "bad_request";
+    case ErrorCode::kLintRejected: return "lint_rejected";
+    case ErrorCode::kSpecInvalid: return "spec_invalid";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kMethodNotAllowed: return "method_not_allowed";
+    case ErrorCode::kRequestTimeout: return "request_timeout";
+    case ErrorCode::kPayloadTooLarge: return "payload_too_large";
+    case ErrorCode::kQueueFull: return "queue_full";
+    case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::kDraining: return "draining";
+  }
+  return "internal";
+}
+
+int error_http_status(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kBadRequest:
+    case ErrorCode::kLintRejected:
+    case ErrorCode::kSpecInvalid: return 400;
+    case ErrorCode::kNotFound: return 404;
+    case ErrorCode::kMethodNotAllowed: return 405;
+    case ErrorCode::kRequestTimeout: return 408;
+    case ErrorCode::kPayloadTooLarge: return 413;
+    case ErrorCode::kQueueFull: return 429;
+    case ErrorCode::kInternal: return 500;
+    case ErrorCode::kOverloaded:
+    case ErrorCode::kDeadlineExceeded:
+    case ErrorCode::kDraining: return 503;
+  }
+  return 500;
+}
+
+bool error_retryable(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kRequestTimeout:
+    case ErrorCode::kQueueFull:
+    case ErrorCode::kOverloaded:
+    case ErrorCode::kDeadlineExceeded:
+    case ErrorCode::kDraining: return true;
+    case ErrorCode::kBadRequest:
+    case ErrorCode::kLintRejected:
+    case ErrorCode::kSpecInvalid:
+    case ErrorCode::kNotFound:
+    case ErrorCode::kMethodNotAllowed:
+    case ErrorCode::kPayloadTooLarge:
+    case ErrorCode::kInternal: return false;
+  }
+  return false;
+}
+
+util::Json error_envelope(ErrorCode code, const std::string& message, util::Json details) {
+  util::Json error = util::Json::object();
+  error["code"] = util::Json(error_code_id(code));
+  error["message"] = util::Json(message);
+  error["retryable"] = util::Json(error_retryable(code));
+  if (!details.is_null()) error["details"] = std::move(details);
+  util::Json doc = util::Json::object();
+  doc["api"] = util::Json(kApiVersionString);
+  doc["error"] = std::move(error);
+  return doc;
+}
+
+std::string error_body(ErrorCode code, const std::string& message, util::Json details) {
+  return to_body(error_envelope(code, message, std::move(details)));
+}
+
+}  // namespace keddah::api

@@ -1,0 +1,65 @@
+// The wire-format error taxonomy (wire format v1).
+//
+// Every non-200 the daemon or its HTTP transport can emit is one of the
+// codes below, rendered as one envelope shape:
+//
+//   {"api": "v1",
+//    "error": {"code": "queue_full",
+//              "message": "...",
+//              "retryable": true,
+//              "details": { ... code-specific ... }}}
+//
+// `code` is a stable machine-readable id (clients switch on it, not on
+// prose), `retryable` tells a client whether backing off and retrying can
+// succeed (408/429/503: yes; 4xx input defects and 500: no), and `details`
+// carries structured context — lint diagnostics, the defective key path of
+// a SpecError, queue occupancy for a rejection. Bodies are built with
+// util::Json, so any text placed in `message` (including exception text
+// with quotes or backslashes) is escaped correctly; never assemble an
+// error body by string concatenation.
+#pragma once
+
+#include <string>
+
+#include "util/json.h"
+
+namespace keddah::api {
+
+/// Stable error codes, one per distinct failure the serving path can hit.
+/// The HTTP status is a projection of the code (error_http_status); two
+/// codes may share a status (e.g. kOverloaded and kDeadlineExceeded are
+/// both 503) but a code never maps to two statuses.
+enum class ErrorCode {
+  kBadRequest,        ///< 400: malformed JSON body, HTTP framing, Content-Length.
+  kLintRejected,      ///< 400: request failed keddah-lint (details.diagnostics).
+  kSpecInvalid,       ///< 400: SpecError — details carry file/key/hint.
+  kNotFound,          ///< 404: unknown endpoint, model, or run.
+  kMethodNotAllowed,  ///< 405: known endpoint, wrong verb.
+  kRequestTimeout,    ///< 408: header/body read budget exhausted (slow client).
+  kPayloadTooLarge,   ///< 413: header block or declared body over the cap.
+  kQueueFull,         ///< 429: admission queue at capacity.
+  kInternal,          ///< 500: handler exception.
+  kOverloaded,        ///< 503: overload mode shed this cold work.
+  kDeadlineExceeded,  ///< 503: request sat past its wall-clock budget.
+  kDraining,          ///< 503: server is shutting down.
+};
+
+/// The stable wire id, e.g. "queue_full".
+const char* error_code_id(ErrorCode code);
+
+/// The HTTP status the code projects to (400/404/405/408/413/429/500/503).
+int error_http_status(ErrorCode code);
+
+/// Whether a client retry (after backoff / Retry-After) can succeed.
+bool error_retryable(ErrorCode code);
+
+/// Builds the envelope document. `details` is embedded verbatim when
+/// non-null and omitted otherwise.
+util::Json error_envelope(ErrorCode code, const std::string& message,
+                          util::Json details = util::Json());
+
+/// to_body(error_envelope(...)) — the serialized wire form.
+std::string error_body(ErrorCode code, const std::string& message,
+                       util::Json details = util::Json());
+
+}  // namespace keddah::api

@@ -1,0 +1,113 @@
+#include "serve/admission.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace keddah::serve {
+
+OverloadPolicy parse_overload_policy(const std::string& text) {
+  if (text == "shed") return OverloadPolicy::kShed;
+  if (text == "reject") return OverloadPolicy::kReject;
+  if (text == "none") return OverloadPolicy::kNone;
+  throw std::invalid_argument("unknown overload policy '" + text +
+                              "' (want shed, reject, or none)");
+}
+
+const char* overload_policy_name(OverloadPolicy policy) {
+  switch (policy) {
+    case OverloadPolicy::kShed: return "shed";
+    case OverloadPolicy::kReject: return "reject";
+    case OverloadPolicy::kNone: return "none";
+  }
+  return "shed";
+}
+
+std::size_t AdmissionController::endpoint_cost(const std::string& path) {
+  if (path == "/v1/whatif") return 2;
+  if (path == "/v1/reproduce") return 2;
+  if (path == "/v1/validate") return 3;
+  return 0;  // health/stats/shutdown and 404-bound paths are always served
+}
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(std::move(options)) {
+  if (options_.capacity == 0) options_.capacity = 1;
+  if (options_.shed_threshold == 0) options_.shed_threshold = (3 * options_.capacity) / 4;
+  if (options_.shed_threshold == 0) options_.shed_threshold = 1;
+  if (options_.shed_threshold > options_.capacity) {
+    options_.shed_threshold = options_.capacity;
+  }
+}
+
+AdmissionController::Ticket::Ticket(Ticket&& other) noexcept
+    : controller_(other.controller_), cost_(other.cost_) {
+  other.controller_ = nullptr;
+  other.cost_ = 0;
+}
+
+AdmissionController::Ticket& AdmissionController::Ticket::operator=(Ticket&& other) noexcept {
+  if (this != &other) {
+    if (controller_ != nullptr) controller_->release(cost_);
+    controller_ = other.controller_;
+    cost_ = other.cost_;
+    other.controller_ = nullptr;
+    other.cost_ = 0;
+  }
+  return *this;
+}
+
+AdmissionController::Ticket::~Ticket() {
+  if (controller_ != nullptr) controller_->release(cost_);
+}
+
+AdmissionController::Verdict AdmissionController::try_admit(std::size_t cost,
+                                                            Ticket* ticket) {
+  util::MutexLock lock(&mutex_);
+  if (cost == 0 || options_.policy == OverloadPolicy::kNone) {
+    ++admitted_;
+    if (cost > 0) {
+      in_flight_cost_ += cost;
+      *ticket = Ticket(this, cost);
+    }
+    return Verdict::kAdmit;
+  }
+  if (in_flight_cost_ + cost > options_.capacity) {
+    ++rejected_;
+    return Verdict::kReject;
+  }
+  if (options_.policy == OverloadPolicy::kShed &&
+      in_flight_cost_ >= options_.shed_threshold) {
+    ++shed_;
+    return Verdict::kShed;
+  }
+  in_flight_cost_ += cost;
+  ++admitted_;
+  *ticket = Ticket(this, cost);
+  return Verdict::kAdmit;
+}
+
+bool AdmissionController::overloaded() const {
+  util::MutexLock lock(&mutex_);
+  return in_flight_cost_ >= options_.shed_threshold;
+}
+
+AdmissionController::Snapshot AdmissionController::snapshot() const {
+  Snapshot snapshot;
+  snapshot.capacity = options_.capacity;
+  snapshot.shed_threshold = options_.shed_threshold;
+  snapshot.policy = overload_policy_name(options_.policy);
+  util::MutexLock lock(&mutex_);
+  snapshot.in_flight_cost = in_flight_cost_;
+  snapshot.overloaded = in_flight_cost_ >= options_.shed_threshold;
+  snapshot.admitted = admitted_;
+  snapshot.rejected = rejected_;
+  snapshot.shed = shed_;
+  return snapshot;
+}
+
+void AdmissionController::release(std::size_t cost) {
+  util::MutexLock lock(&mutex_);
+  in_flight_cost_ -= cost;
+}
+
+}  // namespace keddah::serve

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "api/error.h"
 #include "api/specs.h"
 #include "keddah/scenario.h"
 #include "keddah/toolchain.h"
@@ -44,26 +45,29 @@ std::uint64_t cache_key(std::string_view endpoint, std::string_view canonical,
 }
 
 HttpResponse json_response(int status, const util::Json& doc) {
-  return HttpResponse{status, "application/json", api::to_body(doc)};
+  return HttpResponse{status, "application/json", api::to_body(doc), 0};
 }
 
-/// {"api": "v1", "error": {"message": ...}}.
-HttpResponse error_response(int status, const std::string& message,
-                            const std::string& hint = "") {
-  util::Json error = util::Json::object();
-  error["message"] = util::Json(message);
-  if (!hint.empty()) error["hint"] = util::Json(hint);
-  util::Json doc = util::Json::object();
-  doc["api"] = util::Json(api::kApiVersionString);
-  doc["error"] = std::move(error);
-  return json_response(status, doc);
+/// An api::ErrorCode envelope response; retryable codes carry a fixed
+/// Retry-After so response bytes stay deterministic.
+HttpResponse error_response(api::ErrorCode code, const std::string& message,
+                            util::Json details = util::Json()) {
+  HttpResponse response;
+  response.status = api::error_http_status(code);
+  response.body = api::error_body(code, message, std::move(details));
+  if (api::error_retryable(code)) response.retry_after_s = 1;
+  return response;
+}
+
+/// A details object with just a hint string.
+util::Json hint_details(const std::string& hint) {
+  util::Json details = util::Json::object();
+  details["hint"] = util::Json(hint);
+  return details;
 }
 
 HttpResponse spec_error_response(const api::SpecError& error) {
-  util::Json doc = util::Json::object();
-  doc["api"] = util::Json(api::kApiVersionString);
-  doc["error"] = error.to_json();
-  return json_response(400, doc);
+  return error_response(api::ErrorCode::kSpecInvalid, error.what(), error.to_json());
 }
 
 /// 400 listing every lint error with its key path, keddah-lint style.
@@ -78,13 +82,10 @@ HttpResponse lint_error_response(const std::vector<lint::Diagnostic>& diagnostic
     if (!d.hint.empty()) row["hint"] = util::Json(d.hint);
     rows.push_back(std::move(row));
   }
-  util::Json error = util::Json::object();
-  error["message"] = util::Json("request failed lint");
-  util::Json doc = util::Json::object();
-  doc["api"] = util::Json(api::kApiVersionString);
-  doc["error"] = std::move(error);
-  doc["diagnostics"] = std::move(rows);
-  return json_response(400, doc);
+  util::Json details = util::Json::object();
+  details["diagnostics"] = std::move(rows);
+  return error_response(api::ErrorCode::kLintRejected, "request failed lint",
+                        std::move(details));
 }
 
 bool has_lint_errors(const std::vector<lint::Diagnostic>& diagnostics) {
@@ -93,10 +94,36 @@ bool has_lint_errors(const std::vector<lint::Diagnostic>& diagnostics) {
   });
 }
 
+HttpOptions http_options_from(const ServeOptions& options) {
+  HttpOptions http;
+  http.port = options.port;
+  http.threads = options.threads;
+  http.header_timeout_ms = options.header_timeout_ms;
+  http.body_timeout_ms = options.body_timeout_ms;
+  http.write_timeout_ms = options.write_timeout_ms;
+  http.handler_budget_ms = options.request_timeout_ms;
+  http.max_header_bytes = options.max_header_bytes;
+  http.max_body_bytes = options.max_body_bytes;
+  http.max_pending = options.max_pending;
+  http.drain_timeout_ms = options.drain_timeout_ms;
+  http.sndbuf_bytes = options.sndbuf_bytes;
+  return http;
+}
+
+AdmissionOptions admission_options_from(const ServeOptions& options) {
+  AdmissionOptions admission;
+  admission.capacity = options.queue_depth;
+  admission.shed_threshold = options.shed_threshold;
+  admission.policy = options.overload_policy;
+  return admission;
+}
+
 }  // namespace
 
 Server::Server(ServeOptions options)
-    : options_(std::move(options)), http_(options_.port, options_.threads) {
+    : options_(std::move(options)),
+      http_(http_options_from(options_)),
+      admission_(admission_options_from(options_)) {
   if (options_.max_resident_models == 0) options_.max_resident_models = 1;
   if (options_.max_cache_entries == 0) options_.max_cache_entries = 1;
   // No request threads exist yet, but registration helpers REQUIRE the
@@ -173,12 +200,31 @@ std::uint64_t Server::model_hash(const std::string& name) const {
   return it == registry_.end() ? 0 : it->second.content_hash;
 }
 
+bool Server::model_registered(const std::string& name) const {
+  util::MutexLock lock(&models_mutex_);
+  return registry_.count(name) != 0;
+}
+
 std::vector<std::string> Server::model_names() const {
   util::MutexLock lock(&models_mutex_);
   std::vector<std::string> names;
   names.reserve(registry_.size());
   for (const auto& [name, source] : registry_) names.push_back(name);
   return names;
+}
+
+ServerStats Server::stats() const {
+  ServerStats stats;
+  stats.admission = admission_.snapshot();
+  stats.transport = http_.transport_stats();
+  util::MutexLock lock(&stats_mutex_);
+  stats.requests = requests_;
+  stats.errors = errors_;
+  stats.cache_hits = cache_hits_;
+  stats.cache_misses = cache_misses_;
+  stats.model_loads = model_loads_;
+  stats.deadline_expired = deadline_expired_;
+  return stats;
 }
 
 std::optional<std::string> Server::cache_lookup(std::uint64_t key) {
@@ -208,6 +254,43 @@ void Server::cache_store(std::uint64_t key, const std::string& body) {
   }
 }
 
+std::optional<HttpResponse> Server::admit_cold_work(const HttpRequest& request,
+                                                    AdmissionController::Ticket* ticket) {
+  const std::size_t cost = AdmissionController::endpoint_cost(request.path);
+  switch (admission_.try_admit(cost, ticket)) {
+    case AdmissionController::Verdict::kReject: {
+      const auto snapshot = admission_.snapshot();
+      util::Json details = util::Json::object();
+      details["queue_capacity"] = util::Json(static_cast<std::uint64_t>(snapshot.capacity));
+      details["in_flight_cost"] =
+          util::Json(static_cast<std::uint64_t>(snapshot.in_flight_cost));
+      return error_response(api::ErrorCode::kQueueFull,
+                            "admission queue at capacity; retry after backoff",
+                            std::move(details));
+    }
+    case AdmissionController::Verdict::kShed:
+      return error_response(api::ErrorCode::kOverloaded,
+                            "overloaded: shedding cold " + request.path +
+                                " work (cache hits, /v1/health and /v1/stats "
+                                "still answer)");
+    case AdmissionController::Verdict::kAdmit: break;
+  }
+  // Deadline-aware shedding: a request that already sat past its
+  // wall-clock budget (typically queue time under overload) is turned
+  // away before its heavy work starts — the client has likely given up,
+  // and running it anyway would only deepen the overload.
+  if (request.deadline.expired()) {
+    {
+      util::MutexLock lock(&stats_mutex_);
+      ++deadline_expired_;
+    }
+    return error_response(api::ErrorCode::kDeadlineExceeded,
+                          "request outlived its wall-clock budget before "
+                          "execution started");
+  }
+  return std::nullopt;
+}
+
 HttpResponse Server::handle(const HttpRequest& request) {
   {
     util::MutexLock lock(&stats_mutex_);
@@ -216,23 +299,31 @@ HttpResponse Server::handle(const HttpRequest& request) {
   HttpResponse response;
   try {
     if (request.path == "/v1/health") {
-      response = request.method == "GET" ? json_response(200, health_json())
-                                         : error_response(405, "use GET " + request.path);
+      response = request.method == "GET"
+                     ? json_response(200, health_json())
+                     : error_response(api::ErrorCode::kMethodNotAllowed,
+                                      "use GET " + request.path);
     } else if (request.path == "/v1/stats") {
-      response = request.method == "GET" ? json_response(200, stats_json())
-                                         : error_response(405, "use GET " + request.path);
+      response = request.method == "GET"
+                     ? json_response(200, stats_json())
+                     : error_response(api::ErrorCode::kMethodNotAllowed,
+                                      "use GET " + request.path);
     } else if (request.path == "/v1/whatif") {
-      response = request.method == "POST" ? handle_whatif(request.body)
-                                          : error_response(405, "use POST " + request.path);
+      response = request.method == "POST" ? handle_whatif(request)
+                                          : error_response(api::ErrorCode::kMethodNotAllowed,
+                                                           "use POST " + request.path);
     } else if (request.path == "/v1/reproduce") {
-      response = request.method == "POST" ? handle_reproduce(request.body)
-                                          : error_response(405, "use POST " + request.path);
+      response = request.method == "POST" ? handle_reproduce(request)
+                                          : error_response(api::ErrorCode::kMethodNotAllowed,
+                                                           "use POST " + request.path);
     } else if (request.path == "/v1/validate") {
-      response = request.method == "POST" ? handle_validate(request.body)
-                                          : error_response(405, "use POST " + request.path);
+      response = request.method == "POST" ? handle_validate(request)
+                                          : error_response(api::ErrorCode::kMethodNotAllowed,
+                                                           "use POST " + request.path);
     } else if (request.path == "/v1/shutdown") {
       if (request.method != "POST") {
-        response = error_response(405, "use POST " + request.path);
+        response = error_response(api::ErrorCode::kMethodNotAllowed,
+                                  "use POST " + request.path);
       } else {
         util::Json doc = util::Json::object();
         doc["api"] = util::Json(api::kApiVersionString);
@@ -244,15 +335,16 @@ HttpResponse Server::handle(const HttpRequest& request) {
       }
     } else {
       response = error_response(
-          404, "unknown endpoint " + request.path,
-          "endpoints: /v1/health /v1/stats /v1/whatif /v1/reproduce /v1/validate /v1/shutdown");
+          api::ErrorCode::kNotFound, "unknown endpoint " + request.path,
+          hint_details("endpoints: /v1/health /v1/stats /v1/whatif /v1/reproduce "
+                       "/v1/validate /v1/shutdown"));
     }
   } catch (const api::SpecError& e) {
     response = spec_error_response(e);
   } catch (const std::invalid_argument& e) {
-    response = error_response(400, e.what());
+    response = error_response(api::ErrorCode::kBadRequest, e.what());
   } catch (const std::exception& e) {
-    response = error_response(500, e.what());
+    response = error_response(api::ErrorCode::kInternal, e.what());
   }
   if (response.status != 200) {
     util::MutexLock lock(&stats_mutex_);
@@ -261,12 +353,13 @@ HttpResponse Server::handle(const HttpRequest& request) {
   return response;
 }
 
-HttpResponse Server::handle_whatif(const std::string& body) {
+HttpResponse Server::handle_whatif(const HttpRequest& request) {
   util::Json doc;
   try {
-    doc = util::Json::parse(body);
+    doc = util::Json::parse(request.body);
   } catch (const std::exception& e) {
-    return error_response(400, e.what(), "the request body must be a JSON scenario document");
+    return error_response(api::ErrorCode::kBadRequest, e.what(),
+                          hint_details("the request body must be a JSON scenario document"));
   }
   // Lint before running: the linter reports every defective key path in one
   // pass, where the parser would stop at the first.
@@ -276,76 +369,102 @@ HttpResponse Server::handle_whatif(const std::string& body) {
 
   const std::string canonical = doc.dump(-1);
   const std::uint64_t key = cache_key("whatif", canonical, 0);
+  // Cache hits are answered before admission: they cost microseconds and
+  // are exactly the interactive traffic overload mode exists to protect.
   if (const auto cached = cache_lookup(key)) {
-    return HttpResponse{200, "application/json", *cached};
+    return HttpResponse{200, "application/json", *cached, 0};
   }
-  const auto request = api::parse_whatif_request(doc, "request");
-  const auto outcome = core::run_scenario(request.scenario);
+  AdmissionController::Ticket ticket;
+  if (auto refused = admit_cold_work(request, &ticket)) return std::move(*refused);
+  const auto whatif = api::parse_whatif_request(doc, "request");
+  const auto outcome = core::run_scenario(whatif.scenario);
   const std::string response_body = api::to_body(api::whatif_response(outcome));
   cache_store(key, response_body);
-  return HttpResponse{200, "application/json", response_body};
+  return HttpResponse{200, "application/json", response_body, 0};
 }
 
-HttpResponse Server::handle_reproduce(const std::string& body) {
+HttpResponse Server::handle_reproduce(const HttpRequest& request) {
   util::Json doc;
   try {
-    doc = util::Json::parse(body);
+    doc = util::Json::parse(request.body);
   } catch (const std::exception& e) {
-    return error_response(400, e.what(), "the request body must be a JSON reproduce request");
+    return error_response(api::ErrorCode::kBadRequest, e.what(),
+                          hint_details("the request body must be a JSON reproduce request"));
   }
-  const auto request = api::parse_reproduce_request(doc, "request");
-  const auto model = acquire_model(request.model);
-  if (!model) {
-    return error_response(404, "unknown model '" + request.model + "'",
-                          "registered models: " + util::join(model_names(), ", "));
+  const auto reproduce = api::parse_reproduce_request(doc, "request");
+  if (!model_registered(reproduce.model)) {
+    return error_response(api::ErrorCode::kNotFound,
+                          "unknown model '" + reproduce.model + "'",
+                          hint_details("registered models: " + util::join(model_names(), ", ")));
   }
   const std::string canonical = doc.dump(-1);
-  const std::uint64_t key = cache_key("reproduce", canonical, model_hash(request.model));
+  const std::uint64_t key = cache_key("reproduce", canonical, model_hash(reproduce.model));
   if (const auto cached = cache_lookup(key)) {
-    return HttpResponse{200, "application/json", *cached};
+    return HttpResponse{200, "application/json", *cached, 0};
   }
-  const auto result = core::generate_and_replay(*model, request.spec,
-                                                request.cluster.build_topology());
+  AdmissionController::Ticket ticket;
+  if (auto refused = admit_cold_work(request, &ticket)) return std::move(*refused);
+  const auto model = acquire_model(reproduce.model);
+  if (!model) {
+    return error_response(api::ErrorCode::kNotFound,
+                          "unknown model '" + reproduce.model + "'",
+                          hint_details("registered models: " + util::join(model_names(), ", ")));
+  }
+  const auto result = core::generate_and_replay(*model, reproduce.spec,
+                                                reproduce.cluster.build_topology());
   const std::string response_body = api::to_body(api::reproduce_response(result));
   cache_store(key, response_body);
-  return HttpResponse{200, "application/json", response_body};
+  return HttpResponse{200, "application/json", response_body, 0};
 }
 
-HttpResponse Server::handle_validate(const std::string& body) {
+HttpResponse Server::handle_validate(const HttpRequest& request) {
   util::Json doc;
   try {
-    doc = util::Json::parse(body);
+    doc = util::Json::parse(request.body);
   } catch (const std::exception& e) {
-    return error_response(400, e.what(), "the request body must be a JSON validate request");
+    return error_response(api::ErrorCode::kBadRequest, e.what(),
+                          hint_details("the request body must be a JSON validate request"));
   }
-  const auto request = api::parse_validate_request(doc, "request");
-  const auto model = acquire_model(request.model);
-  if (!model) {
-    return error_response(404, "unknown model '" + request.model + "'",
-                          "registered models: " + util::join(model_names(), ", "));
+  const auto validate = api::parse_validate_request(doc, "request");
+  if (!model_registered(validate.model)) {
+    return error_response(api::ErrorCode::kNotFound,
+                          "unknown model '" + validate.model + "'",
+                          hint_details("registered models: " + util::join(model_names(), ", ")));
   }
   const std::string canonical = doc.dump(-1);
-  const std::uint64_t key = cache_key("validate", canonical, model_hash(request.model));
+  const std::uint64_t key = cache_key("validate", canonical, model_hash(validate.model));
   if (const auto cached = cache_lookup(key)) {
-    return HttpResponse{200, "application/json", *cached};
+    return HttpResponse{200, "application/json", *cached, 0};
+  }
+  AdmissionController::Ticket ticket;
+  if (auto refused = admit_cold_work(request, &ticket)) return std::move(*refused);
+  const auto model = acquire_model(validate.model);
+  if (!model) {
+    return error_response(api::ErrorCode::kNotFound,
+                          "unknown model '" + validate.model + "'",
+                          hint_details("registered models: " + util::join(model_names(), ", ")));
   }
   model::TrainingRun reference;
   try {
-    reference = core::load_run(request.run);
+    reference = core::load_run(validate.run);
   } catch (const std::exception& e) {
-    return error_response(404, std::string("cannot load run: ") + e.what(),
-                          "`run` names the basename of a `keddah capture` output");
+    return error_response(api::ErrorCode::kNotFound,
+                          std::string("cannot load run: ") + e.what(),
+                          hint_details("`run` names the basename of a `keddah capture` output"));
   }
-  const auto report = core::validate_model(*model, reference, request.cluster, request.spec);
+  const auto report = core::validate_model(*model, reference, validate.cluster, validate.spec);
   const std::string response_body = api::to_body(api::validate_response(report));
   cache_store(key, response_body);
-  return HttpResponse{200, "application/json", response_body};
+  return HttpResponse{200, "application/json", response_body, 0};
 }
 
 util::Json Server::health_json() const {
   util::Json doc = util::Json::object();
   doc["api"] = util::Json(api::kApiVersionString);
   doc["status"] = util::Json("ok");
+  // Overload is reported but never blocks this endpoint: health is the
+  // daemon's pulse and the graceful-degradation story depends on it.
+  doc["overloaded"] = util::Json(admission_.overloaded());
   util::Json endpoints = util::Json::array();
   for (const char* e : {"/v1/health", "/v1/reproduce", "/v1/shutdown", "/v1/stats",
                         "/v1/validate", "/v1/whatif"}) {
@@ -384,6 +503,37 @@ util::Json Server::stats_json() {
   }
   doc["cache"] = std::move(cache);
   doc["models"] = std::move(models);
+
+  // The overload-survival counters: admission verdicts + queue occupancy
+  // (429/503 sources), the deadline shed count, and the transport's
+  // 408/413/429/400 tallies — everything the chaos suite and the overload
+  // bench gate on.
+  const auto snapshot = stats();
+  util::Json queue = util::Json::object();
+  queue["capacity"] = util::Json(static_cast<std::uint64_t>(snapshot.admission.capacity));
+  queue["shed_threshold"] =
+      util::Json(static_cast<std::uint64_t>(snapshot.admission.shed_threshold));
+  queue["in_flight_cost"] =
+      util::Json(static_cast<std::uint64_t>(snapshot.admission.in_flight_cost));
+  queue["policy"] = util::Json(snapshot.admission.policy);
+  util::Json transport = util::Json::object();
+  transport["accepted"] = util::Json(snapshot.transport.accepted);
+  transport["rejected_pending"] = util::Json(snapshot.transport.rejected_pending);
+  transport["header_timeouts"] = util::Json(snapshot.transport.header_timeouts);
+  transport["body_timeouts"] = util::Json(snapshot.transport.body_timeouts);
+  transport["oversized"] = util::Json(snapshot.transport.oversized);
+  transport["malformed"] = util::Json(snapshot.transport.malformed);
+  transport["early_disconnects"] = util::Json(snapshot.transport.early_disconnects);
+  transport["write_aborts"] = util::Json(snapshot.transport.write_aborts);
+  util::Json robustness = util::Json::object();
+  robustness["overloaded"] = util::Json(snapshot.admission.overloaded);
+  robustness["admitted"] = util::Json(snapshot.admission.admitted);
+  robustness["rejected"] = util::Json(snapshot.admission.rejected);
+  robustness["shed"] = util::Json(snapshot.admission.shed);
+  robustness["deadline_expired"] = util::Json(snapshot.deadline_expired);
+  robustness["queue"] = std::move(queue);
+  robustness["transport"] = std::move(transport);
+  doc["robustness"] = std::move(robustness);
   return doc;
 }
 
@@ -413,10 +563,23 @@ int run_serve_command(const util::Args& args, std::ostream& out, std::ostream& e
   options.model_bank_file = args.get("model-bank", "");
   options.max_resident_models = static_cast<std::size_t>(args.get_int("max-models", 8));
   options.max_cache_entries = static_cast<std::size_t>(args.get_int("cache-entries", 128));
+  options.request_timeout_ms = args.get_int("request-timeout", options.request_timeout_ms);
+  options.header_timeout_ms = args.get_int("header-timeout", options.header_timeout_ms);
+  options.drain_timeout_ms = args.get_int("drain-timeout", options.drain_timeout_ms);
+  options.queue_depth = static_cast<std::size_t>(
+      args.get_int("queue-depth", static_cast<std::int64_t>(options.queue_depth)));
+  options.max_pending = static_cast<std::size_t>(
+      args.get_int("max-pending", static_cast<std::int64_t>(options.max_pending)));
+  const std::string policy = args.get("overload-policy", "shed");
   for (const auto& path : util::split(args.get("models", ""), ',')) {
     if (!path.empty()) options.model_files.push_back(path);
   }
   args.reject_unknown();
+  try {
+    options.overload_policy = parse_overload_policy(policy);
+  } catch (const std::invalid_argument& e) {
+    throw util::UsageError(std::string("--overload-policy: ") + e.what());
+  }
 
   Server server(std::move(options));
   server.start();

@@ -26,6 +26,15 @@
 // model files are hashed once at registration, and /v1/validate run files
 // are re-read per miss but never invalidate earlier cache entries. Restart
 // the daemon after retraining.
+//
+// Overload survival (DESIGN.md "Serving robustness"): the transport
+// budgets every socket phase (408 on slow clients, 413 on oversized
+// input, 429 past the connection bound), and this layer adds work-level
+// admission — cold heavy requests pay endpoint cost units into a bounded
+// budget (429 when full), overload mode sheds cold /v1/whatif-class work
+// with 503 while health, stats, and cache hits keep answering, and a
+// request that outlives its wall-clock budget is shed before its heavy
+// work starts. Every non-200 is an api::ErrorCode envelope.
 #pragma once
 
 #include <cstdint>
@@ -37,6 +46,7 @@
 #include <vector>
 
 #include "model/keddah_model.h"
+#include "serve/admission.h"
 #include "serve/http.h"
 #include "util/json.h"
 #include "util/mutex.h"
@@ -60,6 +70,50 @@ struct ServeOptions {
   std::size_t max_resident_models = 8;
   /// Whole-response cache capacity (entries, LRU-evicted).
   std::size_t max_cache_entries = 128;
+
+  // Robustness knobs (see DESIGN.md "Serving robustness"). Non-positive
+  // timeouts disable that budget.
+  /// Handler wall-clock budget per request (--request-timeout); a request
+  /// that outlives it before its heavy work starts is shed with a 503.
+  std::int64_t request_timeout_ms = 30000;
+  /// Budget to receive the full header block (--header-timeout; 408).
+  std::int64_t header_timeout_ms = 5000;
+  /// Budget to receive the declared body (408).
+  std::int64_t body_timeout_ms = 10000;
+  /// SO_SNDTIMEO while writing a response (stalled readers).
+  std::int64_t write_timeout_ms = 10000;
+  /// How long stop() waits for in-flight requests (--drain-timeout).
+  std::int64_t drain_timeout_ms = 5000;
+  /// Accepted-but-unfinished connection bound (--max-pending; 429 beyond).
+  std::size_t max_pending = 256;
+  /// Admission budget in endpoint cost units (--queue-depth; 429 beyond).
+  std::size_t queue_depth = 64;
+  /// In-flight cost where overload mode starts; 0 = (3*queue_depth)/4.
+  std::size_t shed_threshold = 0;
+  /// What overload mode does to cold heavy work (--overload-policy).
+  OverloadPolicy overload_policy = OverloadPolicy::kShed;
+  /// Transport caps (413 beyond; not CLI-exposed, tests tighten them).
+  std::size_t max_header_bytes = 1u << 20;
+  std::size_t max_body_bytes = 64u << 20;
+  /// SO_SNDBUF for accepted sockets; 0 = kernel default (chaos-test knob).
+  std::size_t sndbuf_bytes = 0;
+};
+
+/// Point-in-time counters for tests, benches, and /v1/stats. All values
+/// are monotonic totals since construction except the queue/overload
+/// fields, which are instantaneous.
+struct ServerStats {
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t model_loads = 0;
+  /// Requests shed because they outlived their wall-clock budget (503).
+  std::uint64_t deadline_expired = 0;
+  /// Admission verdict counters and occupancy (429/503 sources).
+  AdmissionController::Snapshot admission;
+  /// Transport-level failures (408/413/429/400 before the handler).
+  TransportStats transport;
 };
 
 /// The daemon. Construction registers models (reading each file once to
@@ -87,6 +141,9 @@ class Server {
   /// Registered model names, sorted.
   std::vector<std::string> model_names() const;
 
+  /// Counter snapshot (the same numbers /v1/stats serializes).
+  ServerStats stats() const;
+
  private:
   /// Where a registered model lives on disk; models reload from here when
   /// they fall out of the resident LRU.
@@ -109,18 +166,28 @@ class Server {
   std::shared_ptr<const model::KeddahModel> acquire_model(const std::string& name)
       EXCLUDES(models_mutex_);
   std::uint64_t model_hash(const std::string& name) const EXCLUDES(models_mutex_);
+  /// True when `name` is registered — a cheap existence probe that lets
+  /// 404s and cache hits resolve before any model is loaded from disk.
+  bool model_registered(const std::string& name) const EXCLUDES(models_mutex_);
 
   std::optional<std::string> cache_lookup(std::uint64_t key) EXCLUDES(cache_mutex_);
   void cache_store(std::uint64_t key, const std::string& body) EXCLUDES(cache_mutex_);
 
-  HttpResponse handle_whatif(const std::string& body);
-  HttpResponse handle_reproduce(const std::string& body);
-  HttpResponse handle_validate(const std::string& body);
+  HttpResponse handle_whatif(const HttpRequest& request);
+  HttpResponse handle_reproduce(const HttpRequest& request);
+  HttpResponse handle_validate(const HttpRequest& request);
+  /// The admission/deadline gate every cold heavy request passes after its
+  /// cache lookup missed: queue-full -> 429, overload shed -> 503, expired
+  /// wall-clock budget -> 503. Returns nullopt when the request may run
+  /// (with `*ticket` holding its cost units).
+  std::optional<HttpResponse> admit_cold_work(const HttpRequest& request,
+                                              AdmissionController::Ticket* ticket);
   util::Json health_json() const;
   util::Json stats_json() EXCLUDES(stats_mutex_, cache_mutex_, models_mutex_);
 
   ServeOptions options_;
   HttpServer http_;
+  AdmissionController admission_;
 
   // Capability map (see DESIGN.md "Concurrency model"): models_mutex_
   // guards the registry + resident LRU, cache_mutex_ the response cache,
@@ -143,12 +210,13 @@ class Server {
   };
   std::map<std::uint64_t, CacheEntry> cache_ GUARDED_BY(cache_mutex_);
 
-  util::Mutex stats_mutex_;
+  mutable util::Mutex stats_mutex_;
   std::uint64_t requests_ GUARDED_BY(stats_mutex_) = 0;
   std::uint64_t errors_ GUARDED_BY(stats_mutex_) = 0;
   std::uint64_t cache_hits_ GUARDED_BY(stats_mutex_) = 0;
   std::uint64_t cache_misses_ GUARDED_BY(stats_mutex_) = 0;
   std::uint64_t model_loads_ GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t deadline_expired_ GUARDED_BY(stats_mutex_) = 0;
 
   util::Mutex shutdown_mutex_;
   util::CondVar shutdown_cv_;

@@ -1,0 +1,68 @@
+// Steady-clock deadlines for the serving layer.
+//
+// Simulation time flows exclusively through sim::Clock and never through
+// this header. Deadline exists for the one part of the system where real
+// elapsed time *is* the domain rather than a determinism hazard: request
+// budgets in the `keddah serve` transport and handler path (slow-loris
+// defence, handler wall-clock budgets, drain-on-shutdown). Two rules keep
+// the serve bit-identity pin intact:
+//
+//   1. No 200-response body ever embeds a reading of this clock; deadlines
+//      only decide *whether* work runs, never what its output contains.
+//   2. Error responses triggered by deadlines (408/503) carry fixed
+//      Retry-After values, not measured remainders.
+//
+// keddah-detlint's wall-clock rule is deliberately suppressed on the lines
+// below; every other use site goes through this type, so the suppression
+// surface stays one file.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace keddah::util {
+
+/// A point in real time after which work should be refused. Value type;
+/// default-constructed deadlines never expire (the in-process test/bench
+/// path, which has no transport to enforce budgets for).
+class Deadline {
+ public:
+  // detlint:allow(wall-clock) request timeouts are real time by definition; see file comment
+  using Clock = std::chrono::steady_clock;
+
+  /// A deadline that never expires.
+  static Deadline never() { return Deadline(); }
+
+  /// Expires `budget_ms` milliseconds from now; a non-positive budget means
+  /// "never" (0 is the CLI spelling of "disable this timeout").
+  static Deadline after_ms(std::int64_t budget_ms) {
+    Deadline d;
+    if (budget_ms > 0) {
+      d.at_ = Clock::now() + std::chrono::milliseconds(budget_ms);
+      d.armed_ = true;
+    }
+    return d;
+  }
+
+  /// True when this deadline can expire at all.
+  bool armed() const { return armed_; }
+
+  /// True once the budget is exhausted (always false when unarmed).
+  bool expired() const { return armed_ && Clock::now() >= at_; }
+
+  /// Milliseconds of budget left, clamped to >= 0; `fallback_ms` when
+  /// unarmed (callers use it as the per-read timeout for budget-less
+  /// sockets).
+  std::int64_t remaining_ms(std::int64_t fallback_ms) const {
+    if (!armed_) return fallback_ms;
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(at_ - Clock::now()).count();
+    return left > 0 ? left : 0;
+  }
+
+ private:
+  Clock::time_point at_{};
+  bool armed_ = false;
+};
+
+}  // namespace keddah::util

@@ -10,7 +10,9 @@
 // one allowed implementation site).
 #pragma once
 
+#include <chrono>              // for the timed wait below
 #include <condition_variable>  // detlint:allow(bare-mutex) wrapper implementation
+#include <cstdint>
 #include <mutex>               // detlint:allow(bare-mutex) wrapper implementation
 
 #include "util/thread_annotations.h"
@@ -65,6 +67,18 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();  // the caller still owns the (re-acquired) mutex
+  }
+
+  /// Timed wait: like wait(), but gives up after `timeout_ms`. Returns
+  /// false on timeout, true when notified (spurious wakeups included —
+  /// callers loop on their predicate either way). Powers bounded waits
+  /// like the serve drain-on-shutdown handshake.
+  bool wait_for_ms(Mutex& mu, std::int64_t timeout_ms) REQUIRES(mu) NO_THREAD_SAFETY_ANALYSIS {
+    // detlint:allow(bare-mutex) wrapper implementation
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const auto status = cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms));
+    lock.release();  // the caller still owns the (re-acquired) mutex
+    return status == std::cv_status::no_timeout;
   }
 
   void notify_one() { cv_.notify_one(); }

@@ -1,0 +1,171 @@
+// A misbehaving-HTTP-client driver for the serve chaos suite.
+//
+// Each helper speaks raw sockets on purpose: the point is to produce the
+// traffic a correct client never would — headers that arrive one byte at a
+// time (slow-loris), request lines torn mid-token, connections that vanish
+// before the response is read, bodies that stop short of their declared
+// Content-Length, and readers that accept a response one kilobyte per
+// decade. serve_chaos_test.cpp drives these against a live daemon and
+// asserts the overload-survival contract: the right 4xx/5xx envelope for
+// each abuse, counters in /v1/stats, and /v1/health still answering.
+//
+// Test-only code: sleeps and wall-time bounds are fine here (this is the
+// hostile network, not the simulator).
+#pragma once
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+
+namespace keddah::chaos {
+
+/// Connects to 127.0.0.1:`port`; returns the fd or -1.
+inline int connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Like connect_loopback, but with the receive buffer shrunk to the kernel
+/// minimum first — the stalled-reader scenario needs the peer's window to
+/// fill fast.
+inline int connect_tiny_rcvbuf(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  const int rcvbuf = 1;  // the kernel clamps this up to its minimum
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Sends every byte (EINTR-safe); returns false once the peer refuses more.
+inline bool send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Slow-loris: dribbles `data` out `chunk` bytes at a time with a pause
+/// between sends, never completing the request on its own. Stops early if
+/// the peer hangs up (the expected outcome once the server's header budget
+/// lapses). Returns the number of bytes actually delivered.
+inline std::size_t send_dribble(int fd, const std::string& data, std::size_t chunk,
+                                int delay_ms) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const std::size_t n = std::min(chunk, data.size() - off);
+    if (!send_all(fd, data.substr(off, n))) break;
+    off += n;
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+  return off;
+}
+
+/// Reads until EOF or `budget_ms` elapses; returns whatever arrived (the
+/// raw status line + headers + body).
+inline std::string recv_response(int fd, int budget_ms) {
+  timeval tv{};
+  tv.tv_sec = budget_ms / 1000;
+  tv.tv_usec = (budget_ms % 1000) * 1000;
+  if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      response.append(buffer, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;  // EOF, timeout, or error — return what we have
+  }
+  return response;
+}
+
+/// Parses "HTTP/1.1 NNN ..." into NNN; 0 when the response is empty/torn.
+inline int status_of(const std::string& response) {
+  const auto space = response.find(' ');
+  if (space == std::string::npos || response.size() < space + 4) return 0;
+  int status = 0;
+  for (std::size_t i = space + 1; i < space + 4; ++i) {
+    const char c = response[i];
+    if (c < '0' || c > '9') return 0;
+    status = status * 10 + (c - '0');
+  }
+  return status;
+}
+
+/// The response body (bytes after the blank line).
+inline std::string body_of(const std::string& response) {
+  const auto at = response.find("\r\n\r\n");
+  return at == std::string::npos ? std::string() : response.substr(at + 4);
+}
+
+/// True when the response carries the given header line prefix, e.g.
+/// has_header(r, "Retry-After:").
+inline bool has_header(const std::string& response, const std::string& prefix) {
+  const auto head_end = response.find("\r\n\r\n");
+  const std::string head =
+      head_end == std::string::npos ? response : response.substr(0, head_end);
+  return head.find("\r\n" + prefix) != std::string::npos;
+}
+
+/// A well-formed POST, for the cases where only the client's *behaviour*
+/// (not its bytes) is hostile.
+inline std::string post_text(const std::string& path, const std::string& body) {
+  std::ostringstream request;
+  request << "POST " << path << " HTTP/1.1\r\n"
+          << "Host: 127.0.0.1\r\n"
+          << "Content-Type: application/json\r\n"
+          << "Content-Length: " << body.size() << "\r\n\r\n"
+          << body;
+  return request.str();
+}
+
+inline std::string get_text(const std::string& path) {
+  return "GET " + path + " HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n";
+}
+
+/// One-shot well-behaved round trip (the control case and the health
+/// probe): send, half-close, read to EOF.
+inline std::string round_trip(std::uint16_t port, const std::string& request_text,
+                              int budget_ms = 5000) {
+  const int fd = connect_loopback(port);
+  if (fd < 0) return "";
+  send_all(fd, request_text);
+  ::shutdown(fd, SHUT_WR);
+  const std::string response = recv_response(fd, budget_ms);
+  ::close(fd);
+  return response;
+}
+
+}  // namespace keddah::chaos

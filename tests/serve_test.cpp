@@ -259,6 +259,73 @@ TEST(Serve, ReproduceUsesTheModelBankAndRejectsUnknownModels) {
   std::filesystem::remove(model_path);
 }
 
+namespace {
+
+std::string error_code_of(const std::string& body) {
+  return ku::Json::parse(body).at("error").at("code").as_string();
+}
+
+struct MalformedCase {
+  const char* name;
+  std::string request;     ///< Raw bytes on the wire (then half-close).
+  int status;              ///< Expected status line code.
+  const char* code;        ///< Expected error.code in the envelope.
+  const char* needle;      ///< Substring the message must name.
+};
+
+}  // namespace
+
+TEST(Serve, MalformedHttpGetsTheExactEnvelopeNotASilentClose) {
+  // Tight transport caps so the oversized cases stay small.
+  ks::ServeOptions options;
+  options.max_header_bytes = 1024;
+  options.max_body_bytes = 1024;
+  ks::Server server(options);
+  server.start();
+
+  const std::vector<MalformedCase> cases = {
+      {"torn request line", "GET\r\n\r\n", 400, "bad_request", "malformed request line"},
+      {"header block never terminated",
+       "POST /v1/whatif HTTP/1.1\r\nContent-Length: 5\r\n", 400, "bad_request",
+       "truncated request"},
+      {"header block over the cap",
+       "GET /v1/health HTTP/1.1\r\nX-Pad: " + std::string(2048, 'a') + "\r\n\r\n", 413,
+       "payload_too_large", "header block exceeds"},
+      {"body shorter than declared",
+       "POST /v1/whatif HTTP/1.1\r\nContent-Length: 100\r\n\r\n{}", 400, "bad_request",
+       "shorter than the declared"},
+      {"malformed Content-Length",
+       "POST /v1/whatif HTTP/1.1\r\nContent-Length: banana\r\n\r\n", 400, "bad_request",
+       "malformed Content-Length"},
+      {"declared body over the cap",
+       "POST /v1/whatif HTTP/1.1\r\nContent-Length: 4096\r\n\r\n", 413,
+       "payload_too_large", "exceeds the 1024 byte cap"},
+  };
+  for (const auto& c : cases) {
+    const auto response = http_round_trip(server.port(), c.request);
+    EXPECT_NE(response.find(std::to_string(c.status)), std::string::npos)
+        << c.name << ": " << response;
+    const auto body = body_of(response);
+    EXPECT_EQ(error_code_of(body), c.code) << c.name << ": " << body;
+    EXPECT_NE(body.find(c.needle), std::string::npos) << c.name << ": " << body;
+  }
+  // None of the abuse above wedged the daemon.
+  const auto health = http_round_trip(server.port(), "GET /v1/health HTTP/1.1\r\n\r\n");
+  EXPECT_NE(health.find("200 OK"), std::string::npos);
+  server.stop();
+}
+
+TEST(Serve, ErrorEnvelopeEscapesHostileText) {
+  // A body whose parse error embeds quotes/backslashes must still yield a
+  // well-formed JSON envelope (the 500/400 path routes through util::Json).
+  ks::Server server(ks::ServeOptions{});
+  const auto response = server.handle(post("/v1/whatif", "{\"a\": \"\\x\" quote \" }"));
+  EXPECT_EQ(response.status, 400);
+  const auto doc = ku::Json::parse(response.body);  // throws if corrupt
+  EXPECT_EQ(doc.at("api").as_string(), "v1");
+  EXPECT_FALSE(doc.at("error").at("message").as_string().empty());
+}
+
 TEST(Serve, ServeCommandRejectsUnknownFlagsWithSuggestion) {
   const auto result = run_cli({"serve", "--prot", "0"});
   EXPECT_EQ(result.code, 2);

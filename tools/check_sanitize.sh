@@ -39,7 +39,8 @@ cmake --build "${BUILD}" \
       --target parallel_test net_network_test fault_injection_test \
                hadoop_faults_test scenario_test invariant_audit_test \
                net_differential_test golden_trace_test net_property_test \
-               api_test serve_test keddah perf_scheduler perf_serve -j"$(nproc)"
+               api_test serve_test serve_chaos_test keddah \
+               perf_scheduler perf_serve perf_overload -j"$(nproc)"
 
 # The parallel subsystem, the network layer it drives concurrently, and the
 # fault-injection/recovery machinery (aborts, retries, node churn). The
@@ -49,7 +50,7 @@ cmake --build "${BUILD}" \
 # fast path to the reference recompute, and GoldenTrace pins end-to-end
 # scenario output byte-for-byte — both with the KEDDAH_CHECK audits live.
 ctest --test-dir "${BUILD}" --output-on-failure \
-      -R 'ThreadPool|SweepRunner|ParallelDeterminism|DeriveSeed|ResolvedThreads|Network|NodeFailure|TransientOutage|DegradedLink|SlowNode|FaultPlan|Scenario|InvariantAudit|SchedulerDifferential|GoldenTrace|SpecApi|SpecError|Serve'
+      -R 'ThreadPool|SweepRunner|ParallelDeterminism|DeriveSeed|ResolvedThreads|Network|NodeFailure|TransientOutage|DegradedLink|SlowNode|FaultPlan|Scenario|InvariantAudit|SchedulerDifferential|GoldenTrace|SpecApi|SpecError|Serve|Chaos'
 
 # A quick pass of the scheduler benchmark under the sanitizer: exercises
 # the incremental and reference schedulers back to back on all three
@@ -60,6 +61,14 @@ ctest --test-dir "${BUILD}" --output-on-failure \
 # in-process clients hammer Server::handle() while the response cache and
 # resident-model LRU are shared state — exactly what TSan should watch.
 "${BUILD}/bench/perf_serve" --quick --out "${BUILD}/BENCH_serve.json"
+
+# Overload chaos smoke: a 4x burst of cold what-if work over real sockets
+# with admission, shedding, and deadline counters all hot. The bench gates
+# on zero crashes and a bounded cached-request p99 and exits non-zero when
+# a gate fails, so this line is the assertion. The chaos *tests* (hostile
+# clients: slow-loris, torn frames, stalled readers) already ran in the
+# ctest pass above; this adds the sustained-burst shape.
+"${BUILD}/bench/perf_overload" --quick --out "${BUILD}/BENCH_serve.json"
 
 # End-to-end serve smoke over real HTTP: boot the daemon on an ephemeral
 # port, ask one what-if from the example corpus, and shut it down cleanly
