@@ -164,6 +164,12 @@ int main(int argc, char** argv) {
               "flows/sec", "links/reshare", "re-rated", "heap_ops");
   std::string json = "{\n";
   bool first = true;
+  struct ShapeSummary {
+    std::string shape;
+    double link_ratio = 0.0;
+    double speedup = 0.0;
+  };
+  std::vector<ShapeSummary> summaries;
   for (const std::string shape : {"small", "medium", "large"}) {
     ModeResult results[2];
     for (const bool reference : {false, true}) {
@@ -187,8 +193,16 @@ int main(int argc, char** argv) {
         "    \"links_per_reshare_ratio\": %.3f,\n    \"wall_speedup\": %.3f\n  }",
         shape.c_str(), mode_json(results[0]).c_str(), mode_json(results[1]).c_str(), link_ratio,
         speedup);
+    summaries.push_back({shape, link_ratio, speedup});
   }
   json += "\n}\n";
+
+  // Per-shape rollup of the two headline ratios (reference / incremental),
+  // so a --quick run ends with the whole comparison in one table.
+  std::printf("%-8s %22s %14s\n", "shape", "links_per_reshare_ratio", "wall_speedup");
+  for (const auto& s : summaries) {
+    std::printf("%-8s %21.2fx %13.2fx\n", s.shape.c_str(), s.link_ratio, s.speedup);
+  }
 
   std::ofstream out(out_path, std::ios::trunc);
   if (!out) {

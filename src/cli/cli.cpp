@@ -1,4 +1,4 @@
-#include "keddah/cli.h"
+#include "cli/cli.h"
 
 #include <fstream>
 #include <iostream>

@@ -476,16 +476,15 @@ void check_file(const CleanSource& src, const Registry& registry, DetlintReport&
       ++report.suppressions_used;
       continue;
     }
-    report.diagnostics.push_back(DetDiagnostic{src.path, f.line, f.rule, f.message, f.hint});
+    report.diagnostics.push_back(Diagnostic{.file = src.path,
+                                            .message = f.message,
+                                            .hint = f.hint,
+                                            .line = f.line,
+                                            .rule = f.rule});
   }
 }
 
 }  // namespace
-
-std::string DetDiagnostic::to_string() const {
-  return format_diagnostic(file, util::format("line %zu: [%s]", line, rule.c_str()), message,
-                           hint);
-}
 
 const std::vector<std::string>& detlint_rule_ids() {
   static const std::vector<std::string> kRules = {

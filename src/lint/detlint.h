@@ -39,20 +39,13 @@
 #include <string>
 #include <vector>
 
+#include "lint/diagnostic.h"
+
 namespace keddah::lint {
 
-/// One determinism finding: file, 1-based line, stable rule id, message,
-/// and a fix hint. Formatting matches keddah-lint (lint/diagnostic.h).
-struct DetDiagnostic {
-  std::string file;
-  std::size_t line = 0;
-  std::string rule;
-  std::string message;
-  std::string hint;
-
-  /// "file: line N: [rule] message (hint)" via the shared formatter.
-  std::string to_string() const;
-};
+/// One determinism finding: the shared lint::Diagnostic with `line` + `rule`
+/// set ("file: line N: [rule] message (hint)" via the one formatter).
+using DetDiagnostic = Diagnostic;
 
 /// Result of one scan.
 struct DetlintReport {

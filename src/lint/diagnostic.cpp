@@ -2,7 +2,17 @@
 
 #include <ostream>
 
+#include "util/strings.h"
+
 namespace keddah::lint {
+
+std::string Diagnostic::to_string() const {
+  if (!rule.empty()) {
+    return format_diagnostic(file, util::format("line %zu: [%s]", line, rule.c_str()), message,
+                             hint);
+  }
+  return format_diagnostic(file, key, message, hint);
+}
 
 std::string format_diagnostic(const std::string& file, const std::string& locus,
                               const std::string& message, const std::string& hint) {

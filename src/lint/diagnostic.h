@@ -1,8 +1,9 @@
-// Shared diagnostic formatting for the keddah static tools.
+// Shared diagnostic type + formatting for the keddah static tools.
 //
-// keddah-lint (JSON artifacts, locus = key path) and keddah-detlint (C++
-// sources, locus = "line: rule-id") print through the same formatter so
-// tool output is uniform and greppable:
+// keddah-lint (JSON artifacts, locus = key path), keddah-detlint and
+// keddah-archlint (C++ sources, locus = "line N: [rule-id]") all report
+// through one Diagnostic struct and one formatter so tool output is uniform
+// and greppable:
 //
 //   <file>: <locus>: <message> (<hint>)
 //
@@ -10,10 +11,39 @@
 // the "error: " / "warning: " severity prefix the CLIs emit.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
 namespace keddah::lint {
+
+/// Diagnostic severity. Errors fail the lint (CLI exit 1); warnings flag
+/// suspicious-but-runnable constructs.
+enum class Severity : std::uint8_t { kWarning = 0, kError = 1 };
+
+/// One finding from any of the three checkers. JSON-artifact checkers set
+/// `key` (the JSON key path); source checkers set `line` + `rule` and leave
+/// `key` empty. to_string() picks the locus accordingly.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  /// Source file (or caller-supplied context string).
+  std::string file;
+  /// JSON key path of the offending value, e.g. "faults[2].at" or
+  /// "classes.shuffle.size.parametric.p1". Empty for source checkers.
+  std::string key;
+  /// What is wrong.
+  std::string message;
+  /// How to fix it; empty when the message is self-explanatory.
+  std::string hint;
+  /// 1-based source line (detlint/archlint); 0 when the locus is `key`.
+  std::size_t line = 0;
+  /// Stable rule id (detlint/archlint); empty when the locus is `key`.
+  std::string rule;
+
+  /// "file: key: message (hint)" or "file: line N: [rule] message (hint)".
+  std::string to_string() const;
+};
 
 /// "<file>: <locus>: <message> (<hint>)"; no parenthetical when `hint` is
 /// empty.

@@ -542,10 +542,6 @@ const char* file_kind_name(FileKind kind) {
   return "unknown";
 }
 
-std::string Diagnostic::to_string() const {
-  return format_diagnostic(file, key, message, hint);
-}
-
 std::size_t LintReport::num_errors() const {
   return static_cast<std::size_t>(
       std::count_if(diagnostics.begin(), diagnostics.end(),

@@ -17,13 +17,10 @@
 #include <string>
 #include <vector>
 
+#include "lint/diagnostic.h"
 #include "util/json.h"
 
 namespace keddah::lint {
-
-/// Diagnostic severity. Errors fail the lint (CLI exit 1); warnings flag
-/// suspicious-but-runnable constructs.
-enum class Severity : std::uint8_t { kWarning = 0, kError = 1 };
 
 /// What kind of document a file was recognized as.
 enum class FileKind : std::uint8_t {
@@ -37,22 +34,8 @@ enum class FileKind : std::uint8_t {
 /// Stable kind name ("scenario", "fault_plan", "model", "model_bank").
 const char* file_kind_name(FileKind kind);
 
-/// One finding: file, JSON key path, message, and a fix hint.
-struct Diagnostic {
-  Severity severity = Severity::kError;
-  /// Source file (or caller-supplied context string).
-  std::string file;
-  /// JSON key path of the offending value, e.g. "faults[2].at" or
-  /// "classes.shuffle.size.parametric.p1".
-  std::string key;
-  /// What is wrong.
-  std::string message;
-  /// How to fix it; empty when the message is self-explanatory.
-  std::string hint;
-
-  /// "file: key: message (hint)" — the CLI output line.
-  std::string to_string() const;
-};
+// Diagnostic + Severity live in lint/diagnostic.h, shared with detlint and
+// archlint. keddah-lint findings set the `key` locus (JSON key path).
 
 /// Result of linting one document.
 struct LintReport {

@@ -49,6 +49,13 @@ Network::Network(sim::Simulator& sim, Topology topology, NetworkOptions options)
   arc_visit_.assign(n_arcs, 0);
   arc_local_idx_.assign(n_arcs, 0);
   arc_bits_.assign(n_arcs, 0.0);
+  // Arc-bounded solver scratch is pre-sized once here; the flow-bounded
+  // scratch buffers grow on first use and then retain capacity, so a
+  // steady-state solve allocates nothing.
+  scratch_arc_stack_.reserve(n_arcs);
+  scratch_local_arcs_.reserve(n_arcs);
+  scratch_residual_.reserve(n_arcs);
+  scratch_unfrozen_.reserve(n_arcs);
   node_down_.assign(topology_.num_nodes(), false);
   reference_mode_ = options_.reference_scheduler;
   const char* env = std::getenv("KEDDAH_REFERENCE_SCHEDULER");
@@ -229,6 +236,7 @@ double Network::aggregate_rate_bps() const {
   return total;
 }
 
+// keddah:hot(start-flow)
 FlowId Network::start_flow(NodeId src, NodeId dst, util::Bytes bytes, FlowMeta meta,
                            CompletionCallback on_complete, util::Rate rate_cap) {
   if (bytes.value() < 0.0) throw std::invalid_argument("network: negative flow size");
@@ -315,6 +323,9 @@ FlowId Network::start_flow(NodeId src, NodeId dst, util::Bytes bytes, FlowMeta m
                      af.member_pos.assign(af.flow.path.size(), 0);
                      af.heap_pos = kNotInHeap;
                      af.in_use = true;
+                     // archlint:allow(hot-node-container): the id->slot map
+                     // is the lookup the columnar-arena roadmap item
+                     // replaces; see the archlint JSON inventory.
                      slot_of_.emplace(af.flow.id, slot);
                      add_membership(slot);
                      heap_insert(slot);
@@ -325,6 +336,7 @@ FlowId Network::start_flow(NodeId src, NodeId dst, util::Bytes bytes, FlowMeta m
 
 // --- lazy progress ---------------------------------------------------------
 
+// keddah:hot(materialize)
 void Network::materialize(std::uint32_t slot) {
   ActiveFlow& af = arena_[slot];
   const sim::Time now = sim_.now();
@@ -407,6 +419,7 @@ std::pair<Flow, Network::CompletionCallback> Network::detach(std::uint32_t slot)
 
 // --- fair sharing ----------------------------------------------------------
 
+// keddah:hot(reshare)
 void Network::reshare() {
   ++sched_stats_.reshares;
   if (reference_mode_) compute_max_min_rates_reference();
@@ -437,6 +450,7 @@ void Network::assign_rate(std::uint32_t slot, double rate_bps) {
   ++sched_stats_.flows_rerated;
 }
 
+// keddah:hot(solve)
 void Network::solve_dirty() {
   ++sched_stats_.solves;
   ++visit_epoch_;
@@ -470,6 +484,8 @@ void Network::solve_dirty() {
       (void)pi;
       if (slot_visit_[slot] == epoch) continue;
       slot_visit_[slot] = epoch;
+      // archlint:allow(hot-push-back): flow-bounded scratch; capacity
+      // persists across solves, so growth amortizes to zero steady-state.
       scratch_flows_.push_back(slot);
       for (const Arc arc : arena_[slot].flow.path) {
         const std::uint32_t aj = arc.index();
@@ -515,7 +531,11 @@ void Network::solve_dirty() {
   }
 
   // CSR of flow -> local arcs (path arcs, then the virtual cap arc if any).
-  std::vector<std::uint32_t> flow_arc_off(nf + 1, 0);
+  // All of the solve state below lives in member scratch buffers (hoisted
+  // locals): assign() reuses retained capacity, so repeat solves allocate
+  // nothing once the buffers have grown to the component's size.
+  auto& flow_arc_off = scratch_flow_arc_off_;
+  flow_arc_off.assign(nf + 1, 0);
   std::size_t n_virtual = 0;
   for (std::size_t fi = 0; fi < nf; ++fi) {
     const Flow& f = arena_[scratch_flows_[fi]].flow;
@@ -525,10 +545,14 @@ void Network::solve_dirty() {
     if (capped) ++n_virtual;
   }
   const std::size_t n_arcs = n_real + n_virtual;
-  std::vector<std::uint32_t> flow_arcs(flow_arc_off[nf]);
-  std::vector<double> residual(n_arcs);
-  std::vector<std::uint32_t> unfrozen(n_arcs, 0);
-  std::vector<std::uint32_t> virtual_member(n_virtual);
+  auto& flow_arcs = scratch_flow_arcs_;
+  flow_arcs.assign(flow_arc_off[nf], 0);
+  auto& residual = scratch_residual_;
+  residual.assign(n_arcs, 0.0);
+  auto& unfrozen = scratch_unfrozen_;
+  unfrozen.assign(n_arcs, 0);
+  auto& virtual_member = scratch_virtual_member_;
+  virtual_member.assign(n_virtual, 0);
 
   for (std::size_t li = 0; li < n_real; ++li) {
     residual[li] = arcs_[scratch_local_arcs_[li]].capacity_bps;
@@ -562,14 +586,16 @@ void Network::solve_dirty() {
     if (a.first != b.first) return a.first > b.first;
     return a.second > b.second;
   };
-  std::vector<ShareEntry> share_heap;
+  auto& share_heap = scratch_share_heap_;
+  share_heap.clear();
   share_heap.reserve(n_arcs * 2);
   for (std::uint32_t li = 0; li < n_arcs; ++li) {
     if (unfrozen[li] > 0) share_heap.emplace_back(arc_share(li), li);
   }
   std::make_heap(share_heap.begin(), share_heap.end(), later);
 
-  std::vector<bool> frozen(nf, false);
+  auto& frozen = scratch_frozen_;
+  frozen.assign(nf, 0);
   std::size_t remaining_flows = nf;
   while (remaining_flows > 0) {
     assert(!share_heap.empty());
@@ -696,6 +722,7 @@ void Network::rearm_completion() {
   armed_time_ = target;
 }
 
+// keddah:hot(completion)
 void Network::on_completion_event() {
   completion_event_ = sim::kInvalidEvent;
   armed_time_ = kInf;
@@ -703,8 +730,11 @@ void Network::on_completion_event() {
   // Every flow whose projected finish has arrived is mathematically drained:
   // a projected finish goes stale only when the rate changes, and a rate
   // change recomputes it. Any residue after materialization is
-  // floating-point noise at the payload's ulp scale.
-  std::vector<std::pair<Flow, CompletionCallback>> drained;
+  // floating-point noise at the payload's ulp scale. The drained batch is
+  // member scratch (hoisted local): completion events fire per flow, and a
+  // fresh vector here was a per-event allocation. Callbacks run after the
+  // heap drain and never re-enter this handler, so reuse is safe.
+  scratch_drained_.clear();
   while (!finish_heap_.empty() && arena_[finish_heap_.front()].projected_finish <= now) {
     const std::uint32_t slot = finish_heap_.front();
     materialize(slot);
@@ -712,11 +742,13 @@ void Network::on_completion_event() {
                      kDrainEpsilonBits + 1e-9 * arena_[slot].flow.bytes.bits(),
                  "completed flow left real payload behind");
     arena_[slot].flow.remaining = util::Bytes(0.0);
-    drained.push_back(detach(slot));
+    // archlint:allow(hot-push-back): flow-bounded scratch; capacity
+    // persists across completion events.
+    scratch_drained_.push_back(detach(slot));
   }
   // Heap pop order is (finish, id): simultaneous completions resolve in
   // flow-id order, keeping downstream callbacks deterministic.
-  for (auto& [flow, cb] : drained) resolve_finished(std::move(flow), std::move(cb));
+  for (auto& [flow, cb] : scratch_drained_) resolve_finished(std::move(flow), std::move(cb));
   reshare();
   if constexpr (util::kAuditEnabled) audit_conservation();
 }

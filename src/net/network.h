@@ -341,6 +341,19 @@ class Network {
   std::vector<std::uint32_t> scratch_arc_stack_;
   std::vector<std::uint32_t> scratch_local_arcs_;
   std::vector<std::uint32_t> arc_local_idx_;
+  /// solve_dirty() working set, hoisted out of the solve loop so repeat
+  /// solves are allocation-free in steady state: CSR of the dirty
+  /// component, residual capacities, the share heap, and freeze flags.
+  std::vector<std::uint32_t> scratch_flow_arc_off_;
+  std::vector<std::uint32_t> scratch_flow_arcs_;
+  std::vector<double> scratch_residual_;
+  std::vector<std::uint32_t> scratch_unfrozen_;
+  std::vector<std::uint32_t> scratch_virtual_member_;
+  std::vector<std::pair<double, std::uint32_t>> scratch_share_heap_;
+  std::vector<std::uint8_t> scratch_frozen_;
+  /// on_completion_event() drained batch (flow + callback pairs), reused
+  /// across completion events.
+  std::vector<std::pair<Flow, CompletionCallback>> scratch_drained_;
 
   FlowId next_flow_id_ = 1;
   sim::EventId completion_event_ = sim::kInvalidEvent;

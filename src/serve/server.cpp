@@ -227,27 +227,33 @@ ServerStats Server::stats() const {
   return stats;
 }
 
-std::optional<std::string> Server::cache_lookup(std::uint64_t key) {
+// keddah:hot(cache-hit)
+std::shared_ptr<const std::string> Server::cache_lookup(std::uint64_t key) {
   util::MutexLock lock(&cache_mutex_);
   const auto it = cache_.find(key);
   if (it == cache_.end()) {
     util::MutexLock stats_lock(&stats_mutex_);
     ++cache_misses_;
-    return std::nullopt;
+    return nullptr;
   }
   cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second.lru_it);
   {
     util::MutexLock stats_lock(&stats_mutex_);
     ++cache_hits_;
   }
+  // A hit hands out the stored body by refcount bump; the byte copy into
+  // the HTTP response happens outside cache_mutex_.
   return it->second.body;
 }
 
 void Server::cache_store(std::uint64_t key, const std::string& body) {
+  // The miss path allocates once per distinct response; eviction keeps the
+  // map bounded at max_cache_entries.
+  auto shared = std::make_shared<const std::string>(body);
   util::MutexLock lock(&cache_mutex_);
   if (cache_.count(key) != 0) return;  // a concurrent miss computed it first
   cache_lru_.push_front(key);
-  cache_[key] = CacheEntry{body, cache_lru_.begin()};
+  cache_[key] = CacheEntry{std::move(shared), cache_lru_.begin()};
   while (cache_.size() > options_.max_cache_entries) {
     cache_.erase(cache_lru_.back());
     cache_lru_.pop_back();

@@ -170,7 +170,7 @@ class Server {
   /// 404s and cache hits resolve before any model is loaded from disk.
   bool model_registered(const std::string& name) const EXCLUDES(models_mutex_);
 
-  std::optional<std::string> cache_lookup(std::uint64_t key) EXCLUDES(cache_mutex_);
+  std::shared_ptr<const std::string> cache_lookup(std::uint64_t key) EXCLUDES(cache_mutex_);
   void cache_store(std::uint64_t key, const std::string& body) EXCLUDES(cache_mutex_);
 
   HttpResponse handle_whatif(const HttpRequest& request);
@@ -205,7 +205,9 @@ class Server {
   util::Mutex cache_mutex_;
   std::list<std::uint64_t> cache_lru_ GUARDED_BY(cache_mutex_);  // front = MRU
   struct CacheEntry {
-    std::string body;
+    // Shared so a cache hit hands out a refcount bump under cache_mutex_
+    // instead of copying a multi-kilobyte response body while holding it.
+    std::shared_ptr<const std::string> body;
     std::list<std::uint64_t>::iterator lru_it;
   };
   std::map<std::uint64_t, CacheEntry> cache_ GUARDED_BY(cache_mutex_);

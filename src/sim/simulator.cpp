@@ -9,23 +9,40 @@
 
 namespace keddah::sim {
 
+// keddah:hot(schedule)
 EventId Simulator::schedule_at(Time at, std::function<void()> fn) {
   if (at < now_) throw std::invalid_argument("sim: schedule_at in the past");
   const EventId id = next_id_++;
+  // archlint:allow(hot-shared-ptr): the callback must outlive both the heap
+  // entry and the live map under lazy deletion; one control block per event
+  // is the ownership model, not an accident.
+  // archlint:allow(hot-std-function): the simulator's public contract is an
+  // arbitrary callable per event; type erasure happens once at scheduling,
+  // never on dispatch.
   auto shared = std::make_shared<std::function<void()>>(std::move(fn));
   queue_.push(Entry{at, next_seq_++, id, shared});
+  // archlint:allow(hot-node-container): keyed by sparse, monotonically
+  // growing EventId with random-order erase (cancel/reschedule); a flat
+  // slot map would need its own free-list and generation tags for the
+  // same node cost amortized.
   live_.emplace(id, std::move(shared));
   return id;
 }
 
+// keddah:hot(reschedule)
 EventId Simulator::reschedule(EventId id, Time at) {
   const auto it = live_.find(id);
   if (it == live_.end()) return kInvalidEvent;
   if (at < now_) throw std::invalid_argument("sim: reschedule in the past");
   auto fn = std::move(it->second);
+  // archlint:allow(hot-node-container): lazy-deletion bookkeeping; the
+  // erased node's callback is moved into the new entry, so no callback
+  // copy occurs -- only the map node itself churns.
   live_.erase(it);  // the stale heap entry is skimmed lazily
   const EventId nid = next_id_++;
   queue_.push(Entry{at, next_seq_++, nid, fn});
+  // archlint:allow(hot-node-container): see the allow in schedule_at;
+  // same sparse-key lazy-deletion design.
   live_.emplace(nid, std::move(fn));
   return nid;
 }
@@ -52,11 +69,15 @@ void Simulator::audit_clock(Time next) const {
   }
 }
 
+// keddah:hot(dispatch)
 bool Simulator::step() {
   skim_cancelled();
   if (queue_.empty()) return false;
   Entry entry = queue_.top();
   queue_.pop();
+  // archlint:allow(hot-node-container): retiring the dispatched event from
+  // the live set is the lazy-deletion contract; the node free pairs the
+  // node alloc from schedule_at.
   live_.erase(entry.id);
   assert(entry.at >= now_);
   if constexpr (util::kAuditEnabled) audit_clock(entry.at);

@@ -131,6 +131,44 @@ class Parser {
     return Json(std::move(arr));
   }
 
+  /// Reads exactly four hex digits of a \uXXXX escape.
+  unsigned parse_hex4() {
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = take();
+      code <<= 4;
+      if (h >= '0' && h <= '9') {
+        code += static_cast<unsigned>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        code += static_cast<unsigned>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        code += static_cast<unsigned>(h - 'A' + 10);
+      } else {
+        fail("bad \\u escape");
+      }
+    }
+    return code;
+  }
+
+  /// Appends `code` (a Unicode scalar value, <= 0x10ffff) as UTF-8.
+  static void append_utf8(std::string& out, unsigned code) {
+    if (code <= 0x7f) {
+      out += static_cast<char>(code);
+    } else if (code <= 0x7ff) {
+      out += static_cast<char>(0xc0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3f));
+    } else if (code <= 0xffff) {
+      out += static_cast<char>(0xe0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (code & 0x3f));
+    } else {
+      out += static_cast<char>(0xf0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3f));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (code & 0x3f));
+    }
+  }
+
   std::string parse_string() {
     skip_ws();
     expect('"');
@@ -166,22 +204,22 @@ class Parser {
             out += '\t';
             break;
           case 'u': {
-            unsigned code = 0;
-            for (int i = 0; i < 4; ++i) {
-              const char h = take();
-              code <<= 4;
-              if (h >= '0' && h <= '9') {
-                code += static_cast<unsigned>(h - '0');
-              } else if (h >= 'a' && h <= 'f') {
-                code += static_cast<unsigned>(h - 'a' + 10);
-              } else if (h >= 'A' && h <= 'F') {
-                code += static_cast<unsigned>(h - 'A' + 10);
-              } else {
-                fail("bad \\u escape");
+            const unsigned first = parse_hex4();
+            unsigned code = first;
+            if (first >= 0xd800 && first <= 0xdbff) {
+              // High surrogate: RFC 8259 requires an immediately following
+              // \uDC00..\uDFFF low surrogate; together they name one
+              // supplementary-plane code point.
+              if (take() != '\\' || take() != 'u') fail("high surrogate not followed by \\u escape");
+              const unsigned low = parse_hex4();
+              if (low < 0xdc00 || low > 0xdfff) {
+                fail("high surrogate followed by non-low-surrogate \\u escape");
               }
+              code = 0x10000 + ((first - 0xd800) << 10) + (low - 0xdc00);
+            } else if (first >= 0xdc00 && first <= 0xdfff) {
+              fail("lone low surrogate \\u escape");
             }
-            if (code > 0x7f) fail("non-ASCII \\u escape unsupported");
-            out += static_cast<char>(code);
+            append_utf8(out, code);
             break;
           }
           default:

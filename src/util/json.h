@@ -2,8 +2,9 @@
 //
 // Used to persist trained Keddah models so that models built by one binary
 // (e.g. the trainer example) can be replayed by another (e.g. the topology
-// case-study bench). Supports the full JSON grammar except \uXXXX escapes
-// beyond ASCII.
+// case-study bench). Supports the full JSON grammar; \uXXXX escapes —
+// including UTF-16 surrogate pairs — decode to UTF-8, and malformed escapes
+// fail with the byte offset of the defect.
 #pragma once
 
 #include <cstdint>

@@ -9,7 +9,7 @@
 
 #include "capture/trace.h"
 #include "hadoop/cluster.h"
-#include "keddah/sweep.h"
+#include "core/sweep.h"
 #include "util/rng.h"
 #include "workloads/profiles.h"
 

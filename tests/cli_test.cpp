@@ -6,7 +6,7 @@
 #include <fstream>
 #include <sstream>
 
-#include "keddah/cli.h"
+#include "cli/cli.h"
 #include "util/args.h"
 #include "util/strings.h"
 

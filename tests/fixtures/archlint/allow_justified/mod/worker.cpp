@@ -1,0 +1,14 @@
+// expect: clean
+// Fixture: a justified allow comment fully suppresses the hazard.
+#include <vector>
+
+struct Worker {
+  std::vector<int> out_;
+
+  // keddah:hot(fill)
+  void fill(int n) {
+    // archlint:allow(hot-push-back): growth is bounded by n, which the
+    // caller caps at a handful; reserving would pessimize the common case.
+    for (int i = 0; i < n; ++i) out_.push_back(i);
+  }
+};

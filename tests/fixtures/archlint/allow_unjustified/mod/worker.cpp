@@ -1,0 +1,14 @@
+// expect: allow-unjustified
+// Fixture: an allow comment with no justification suppresses the hazard but
+// is itself a finding.
+#include <vector>
+
+struct Worker {
+  std::vector<int> out_;
+
+  // keddah:hot(fill)
+  void fill(int n) {
+    // archlint:allow(hot-push-back)
+    for (int i = 0; i < n; ++i) out_.push_back(i);
+  }
+};

@@ -1,0 +1,5 @@
+// expect: cpp-include
+// Fixture: a header that includes a translation unit.
+#pragma once
+
+#include "util/impl.cpp"

@@ -1,0 +1,2 @@
+// Fixture support file: the .cpp being wrongly included.
+int util_impl() { return 1; }

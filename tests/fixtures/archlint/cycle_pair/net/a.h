@@ -1,0 +1,9 @@
+// expect: layer-cycle
+// expect: layer-upward
+// Fixture: net and sim include each other — a module cycle whose sim->net
+// half is also an upward edge.
+#pragma once
+
+#include "sim/b.h"
+
+inline int net_a() { return sim_b() + 1; }

@@ -1,0 +1,6 @@
+// Fixture support header: the lower half of the cycle.
+#pragma once
+
+#include "net/a.h"
+
+inline int sim_b() { return 0; }

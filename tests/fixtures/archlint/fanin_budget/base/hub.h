@@ -1,0 +1,5 @@
+// expect: fanin-budget
+// Fixture: two includers against a declared max_fanin of 1 (layers.json).
+#pragma once
+
+inline int hub() { return 42; }

@@ -1,0 +1,6 @@
+// Fixture support header: first includer of the hub.
+#pragma once
+
+#include "base/hub.h"
+
+inline int m() { return hub(); }

@@ -1,0 +1,6 @@
+// Fixture support header: second includer of the hub.
+#pragma once
+
+#include "base/hub.h"
+
+inline int t() { return hub() + 1; }

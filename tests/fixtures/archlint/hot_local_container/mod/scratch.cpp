@@ -1,0 +1,13 @@
+// expect: hot-local-container
+// Fixture: a fresh container constructed on every invocation of a hot
+// function instead of a reused member scratch buffer.
+#include <vector>
+
+struct Summer {
+  // keddah:hot(sum)
+  int sum(int n) {
+    std::vector<int> tmp;
+    for (int i = 0; i < n; ++i) tmp.assign(1, i);
+    return static_cast<int>(tmp.size());
+  }
+};

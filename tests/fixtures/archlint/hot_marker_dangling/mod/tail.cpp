@@ -1,0 +1,5 @@
+// expect: hot-marker
+// Fixture: a keddah:hot marker with no braced region after it.
+int tail() { return 7; }
+
+// keddah:hot(nothing-follows)

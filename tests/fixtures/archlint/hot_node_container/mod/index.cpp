@@ -1,0 +1,11 @@
+// expect: hot-node-container
+// Fixture: inserting into a node-based map inside a hot region allocates a
+// node per call.
+#include <map>
+
+struct Index {
+  std::map<int, int> by_key_;
+
+  // keddah:hot(ingest)
+  void ingest(int k, int v) { by_key_.emplace(k, v); }
+};

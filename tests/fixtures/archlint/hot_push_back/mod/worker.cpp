@@ -1,0 +1,13 @@
+// expect: hot-push-back
+// Fixture: push_back in a hot region with no visible reserve anywhere in
+// the stem group.
+#include <vector>
+
+struct Worker {
+  std::vector<int> out_;
+
+  // keddah:hot(fill)
+  void fill(int n) {
+    for (int i = 0; i < n; ++i) out_.push_back(i);
+  }
+};

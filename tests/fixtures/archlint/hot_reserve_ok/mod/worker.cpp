@@ -1,0 +1,14 @@
+// expect: clean
+// Fixture: the same push_back loop is fine once a reserve is visible in
+// the file.
+#include <vector>
+
+struct Worker {
+  std::vector<int> out_;
+
+  // keddah:hot(fill)
+  void fill(int n) {
+    out_.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) out_.push_back(i);
+  }
+};

@@ -1,0 +1,9 @@
+// expect: hot-shared-ptr
+// Fixture: make_shared in a hot region pays a control block + atomic
+// refcounts per call.
+#include <memory>
+
+struct Pool {
+  // keddah:hot(acquire)
+  std::shared_ptr<int> acquire(int v) { return std::make_shared<int>(v); }
+};

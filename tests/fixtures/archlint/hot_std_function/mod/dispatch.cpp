@@ -1,0 +1,13 @@
+// expect: hot-std-function
+// Fixture: constructing a type-erased callable inside a hot region.
+#include <functional>
+
+struct Dispatcher {
+  int fired_ = 0;
+
+  // keddah:hot(dispatch)
+  void dispatch(int code) {
+    std::function<void()> handler = [this, code] { fired_ += code; };
+    handler();
+  }
+};

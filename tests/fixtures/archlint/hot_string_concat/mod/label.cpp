@@ -1,0 +1,10 @@
+// expect: hot-string-concat
+// Fixture: building a label by concatenating with a literal per call.
+#include <string>
+
+struct Labeler {
+  std::string last_;
+
+  // keddah:hot(label)
+  void label(const std::string& name) { last_ = name + ":suffix"; }
+};

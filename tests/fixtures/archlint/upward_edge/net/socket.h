@@ -1,0 +1,4 @@
+// Fixture support header: the higher layer being reached into.
+#pragma once
+
+inline int net_socket_fd() { return 3; }

@@ -1,0 +1,7 @@
+// expect: layer-upward
+// Fixture: util (the bottom layer) reaching up into net.
+#pragma once
+
+#include "net/socket.h"
+
+inline int helper() { return net_socket_fd(); }

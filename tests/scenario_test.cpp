@@ -5,7 +5,7 @@
 #include <fstream>
 #include <sstream>
 
-#include "keddah/cli.h"
+#include "cli/cli.h"
 #include "keddah/scenario.h"
 
 namespace kc = keddah::core;

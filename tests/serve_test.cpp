@@ -15,7 +15,7 @@
 #include <thread>
 #include <vector>
 
-#include "keddah/cli.h"
+#include "cli/cli.h"
 #include "keddah/toolchain.h"
 #include "serve/server.h"
 #include "util/json.h"

@@ -315,6 +315,45 @@ TEST(Json, BadEscapesThrow) {
   EXPECT_EQ(ku::Json::parse(R"("\t\\\"")").as_string(), "\t\\\"");
 }
 
+TEST(Json, UnicodeEscapesDecodeToUtf8) {
+  // One code point per UTF-8 length class.
+  EXPECT_EQ(ku::Json::parse(R"("A")").as_string(), "A");
+  EXPECT_EQ(ku::Json::parse(R"("\u00e9")").as_string(), "\xc3\xa9");      // e-acute
+  EXPECT_EQ(ku::Json::parse(R"("\u20AC")").as_string(), "\xe2\x82\xac");  // euro sign
+  EXPECT_EQ(ku::Json::parse(R"("\ud83d\ude00")").as_string(),
+            "\xf0\x9f\x98\x80");  // U+1F600 via surrogate pair
+  // Escapes mix freely with literal text, and hex digits are case-insensitive.
+  EXPECT_EQ(ku::Json::parse(R"("x\uC3a9y")").as_string(), "x\xec\x8e\xa9y");
+  // \u0000 embeds a real NUL.
+  const std::string nul = ku::Json::parse(R"("a\u0000b")").as_string();
+  ASSERT_EQ(nul.size(), 3u);
+  EXPECT_EQ(nul[1], '\0');
+}
+
+TEST(Json, UnicodeEscapesRoundTripThroughDump) {
+  // The dumper emits decoded UTF-8 bytes verbatim; parsing the dump must
+  // reproduce the same value.
+  for (const char* text : {R"("\u00e9")", R"("\u20ac")", R"("\ud83d\ude00")",
+                           R"({"k\u00fc": [1, "\u2603"]})"}) {
+    const ku::Json doc = ku::Json::parse(text);
+    EXPECT_EQ(ku::Json::parse(doc.dump(-1)).dump(-1), doc.dump(-1)) << "input: " << text;
+  }
+}
+
+TEST(Json, MalformedUnicodeEscapesThrowWithOffset) {
+  // Lone and mismatched surrogates, truncated escapes, and bad hex digits
+  // all fail, and the error names the byte offset.
+  for (const char* text : {R"("\ud800")", R"("\ud800x")", R"("\ud800\n")", R"("\ud800\u0041")",
+                           R"("\ude00")", R"("\uzzzz")", R"("\ud83d)", R"("\ud83d\u)"}) {
+    try {
+      ku::Json::parse(text);
+      FAIL() << "expected parse error for: " << text;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos) << e.what();
+    }
+  }
+}
+
 TEST(Json, DuplicateObjectKeysThrowNamingTheKey) {
   try {
     ku::Json::parse(R"({"dup": 1, "other": 2, "dup": 3})");

@@ -11,15 +11,28 @@
 #      and over the seeded-hazard fixtures in tests/fixtures/detlint
 #      (every one must fail with exactly the rule its `// expect:` header
 #      names; the `expect: clean` fixture must pass).
-#   4. clang-tidy over src/, if clang-tidy is installed (skipped with a
-#      note otherwise; config in .clang-tidy).
-#   5. cppcheck over src/, if cppcheck is installed (skipped with a note
-#      otherwise; suppressions in tools/cppcheck.suppress).
+#   4. keddah-archlint over src/ in --strict-modules mode (the module graph
+#      must match the DESIGN.md layer DAG, and every hot-path allocation
+#      hazard must be fixed or carry a justified allow), and over the
+#      seeded-violation fixture directories in tests/fixtures/archlint
+#      (every declared `// expect:` rule must reproduce; `clean` fixtures
+#      must pass).
+#   5. clang-tidy over src/, if available (config in .clang-tidy).
+#   6. cppcheck over src/, if available (suppressions in
+#      tools/cppcheck.suppress).
 #
-# Stages 1-2 need only the baked-in toolchain and always run; the script
-# fails if any executed stage fails. Builds go into build-static/ so the
-# primary build/ is never disturbed.
+# Stages 1-4 need only the baked-in toolchain and always run; the script
+# fails if any executed stage fails. Stages 5-6 skip with a note when the
+# tool is not installed — unless KEDDAH_STATIC_STRICT=1 (set in CI, where
+# the tools are pinned), which turns a missing tool into a failure so the
+# gate cannot silently thin out. CLANG_TIDY / CPPCHECK override the binary
+# names (e.g. CLANG_TIDY=clang-tidy-18). Builds go into build-static/ so
+# the primary build/ is never disturbed.
 set -euo pipefail
+
+STRICT="${KEDDAH_STATIC_STRICT:-0}"
+CLANG_TIDY="${CLANG_TIDY:-clang-tidy}"
+CPPCHECK="${CPPCHECK:-cppcheck}"
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${ROOT}/build-static"
@@ -79,21 +92,60 @@ for fixture in "${ROOT}"/tests/fixtures/detlint/*.cpp; do
 done
 echo "all $(ls "${ROOT}"/tests/fixtures/detlint/*.cpp | wc -l) fixtures behaved as declared"
 
-if command -v clang-tidy >/dev/null 2>&1; then
-  echo "== stage 4: clang-tidy =="
+ARCHLINT="${BUILD}/tools/keddah-archlint"
+
+echo "== stage 4a: keddah-archlint on src/ (layer DAG + hot-path hazards) =="
+"${ARCHLINT}" --strict-modules "${ROOT}/src"
+
+echo "== stage 4b: keddah-archlint on seeded-violation fixtures =="
+for fixture in "${ROOT}"/tests/fixtures/archlint/*/; do
+  expected="$(grep -rh '^// expect: ' "${fixture}" | sed 's#^// expect: ##' | sort -u)"
+  if [ -z "${expected}" ]; then
+    echo "FAIL: ${fixture} has no '// expect: <rule>' declaration" >&2
+    exit 1
+  fi
+  if [ "${expected}" = "clean" ]; then
+    if ! "${ARCHLINT}" "${fixture}" >/dev/null 2>&1; then
+      echo "FAIL: ${fixture} expects a clean scan but was flagged" >&2
+      exit 1
+    fi
+    continue
+  fi
+  out="$("${ARCHLINT}" "${fixture}" 2>&1)" && {
+    echo "FAIL: ${fixture} scans clean but seeds '${expected}'" >&2
+    exit 1
+  }
+  while IFS= read -r rule; do
+    if ! grep -q "\[${rule}\]" <<<"${out}"; then
+      echo "FAIL: ${fixture} expected rule '${rule}' but got:" >&2
+      echo "${out}" >&2
+      exit 1
+    fi
+  done <<<"${expected}"
+done
+echo "all $(ls -d "${ROOT}"/tests/fixtures/archlint/*/ | wc -l) fixture dirs behaved as declared"
+
+if command -v "${CLANG_TIDY}" >/dev/null 2>&1; then
+  echo "== stage 5: clang-tidy (${CLANG_TIDY}) =="
   find "${ROOT}/src" -name '*.cpp' -print0 |
-    xargs -0 -P "$(nproc)" -n 4 clang-tidy -p "${BUILD}" --quiet
+    xargs -0 -P "$(nproc)" -n 4 "${CLANG_TIDY}" -p "${BUILD}" --quiet
+elif [ "${STRICT}" = "1" ]; then
+  echo "FAIL: ${CLANG_TIDY} not installed but KEDDAH_STATIC_STRICT=1" >&2
+  exit 1
 else
-  echo "== stage 4: clang-tidy not installed, skipped =="
+  echo "== stage 5: ${CLANG_TIDY} not installed, skipped =="
 fi
 
-if command -v cppcheck >/dev/null 2>&1; then
-  echo "== stage 5: cppcheck =="
-  cppcheck --enable=warning,performance,portability --error-exitcode=1 \
+if command -v "${CPPCHECK}" >/dev/null 2>&1; then
+  echo "== stage 6: cppcheck (${CPPCHECK}) =="
+  "${CPPCHECK}" --enable=warning,performance,portability --error-exitcode=1 \
            --inline-suppr --suppressions-list="${ROOT}/tools/cppcheck.suppress" \
            --std=c++20 --quiet -I "${ROOT}/src" "${ROOT}/src"
+elif [ "${STRICT}" = "1" ]; then
+  echo "FAIL: ${CPPCHECK} not installed but KEDDAH_STATIC_STRICT=1" >&2
+  exit 1
 else
-  echo "== stage 5: cppcheck not installed, skipped =="
+  echo "== stage 6: ${CPPCHECK} not installed, skipped =="
 fi
 
 echo "OK: static checks clean"

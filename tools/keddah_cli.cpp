@@ -1,5 +1,5 @@
 // The keddah toolchain binary; all logic lives in src/keddah/cli.cpp so the
 // test suite can exercise subcommands in-process.
-#include "keddah/cli.h"
+#include "cli/cli.h"
 
 int main(int argc, char** argv) { return keddah::cli::run_main(argc, argv); }
