@@ -90,6 +90,50 @@ std::size_t build(const std::string& name, ks::Simulator& sim, kn::Network*& net
       if (dst == src) dst = hosts[(static_cast<std::size_t>(dst) + 1) % hosts.size()];
       start_all(*net, src, dst, std::pow(10.0, rng.uniform(4.0, 7.5)), rng.uniform(0.0, 3.0));
     }
+  } else if (name == "mid-mixed") {
+    // 6x8 rack tree, the same mixed 70% rack-local pattern as medium but
+    // half again as many hosts and double the flows: the lower boundary
+    // shape between medium and large, so a regression class that only
+    // bites at a particular component size cannot hide between the two.
+    keep.push_back(
+        std::make_unique<kn::Network>(sim, kn::make_rack_tree(6, 8, 1e9, 20e9, 0.0), opts));
+    net = keep.back().get();
+    const auto hosts = net->topology().hosts();
+    const std::size_t n = static_cast<std::size_t>(2400 * scale);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto src = hosts[rng.uniform_int(0, static_cast<std::int64_t>(hosts.size()) - 1)];
+      kn::NodeId dst;
+      if (rng.chance(0.7)) {  // rack-local
+        const std::size_t rack = static_cast<std::size_t>(i) % 6;
+        dst = hosts[rack * 8 + static_cast<std::size_t>(rng.uniform_int(0, 7))];
+      } else {
+        dst = hosts[rng.uniform_int(0, static_cast<std::int64_t>(hosts.size()) - 1)];
+      }
+      if (dst == src) dst = hosts[(static_cast<std::size_t>(dst) + 1) % hosts.size()];
+      start_all(*net, src, dst, std::pow(10.0, rng.uniform(4.0, 7.5)), rng.uniform(0.0, 3.0));
+    }
+  } else if (name == "mid-local") {
+    // 8x8 rack tree at large's size but with 85% rack-local mixed traffic
+    // instead of fully rack-confined waves: the upper boundary shape, where
+    // occasional cross-rack flows keep merging components that large's
+    // all-to-all never connects.
+    keep.push_back(
+        std::make_unique<kn::Network>(sim, kn::make_rack_tree(8, 8, 1e9, 40e9, 0.0), opts));
+    net = keep.back().get();
+    const auto hosts = net->topology().hosts();
+    const std::size_t n = static_cast<std::size_t>(3600 * scale);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto src = hosts[rng.uniform_int(0, static_cast<std::int64_t>(hosts.size()) - 1)];
+      kn::NodeId dst;
+      if (rng.chance(0.85)) {  // rack-local
+        const std::size_t rack = static_cast<std::size_t>(i) % 8;
+        dst = hosts[rack * 8 + static_cast<std::size_t>(rng.uniform_int(0, 7))];
+      } else {
+        dst = hosts[rng.uniform_int(0, static_cast<std::int64_t>(hosts.size()) - 1)];
+      }
+      if (dst == src) dst = hosts[(static_cast<std::size_t>(dst) + 1) % hosts.size()];
+      start_all(*net, src, dst, std::pow(10.0, rng.uniform(4.5, 7.2)), rng.uniform(0.0, 3.0));
+    }
   } else {  // large
     // 8x8 rack tree, eight concurrent rack-confined all-to-all shuffles:
     // the decomposable case the incremental scheduler is built for.
@@ -170,7 +214,7 @@ int main(int argc, char** argv) {
     double speedup = 0.0;
   };
   std::vector<ShapeSummary> summaries;
-  for (const std::string shape : {"small", "medium", "large"}) {
+  for (const std::string shape : {"small", "medium", "mid-mixed", "mid-local", "large"}) {
     ModeResult results[2];
     for (const bool reference : {false, true}) {
       auto& r = results[reference ? 1 : 0];

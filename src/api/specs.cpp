@@ -214,6 +214,7 @@ core::ReproduceSpec parse_reproduce_spec(const util::Json& doc, const std::strin
       parse_gen_scenario(object_field(doc, "scenario", file, key), file, join_key(key, "scenario"));
   spec.seed = count_field(doc, "seed", 1, file, key);
   spec.gen_options.normalize_volume = bool_field(doc, "normalize_volume", false, file, key);
+  spec.spill_dir = string_field(doc, "spill_dir", "", file, key);
   return spec;
 }
 
@@ -222,6 +223,9 @@ util::Json reproduce_spec_to_json(const core::ReproduceSpec& spec) {
   doc["scenario"] = gen_scenario_to_json(spec.scenario);
   doc["seed"] = util::Json(spec.seed);
   doc["normalize_volume"] = util::Json(spec.gen_options.normalize_volume);
+  // Only serialized when set, so specs without it round-trip byte-identically
+  // (the serve cache and CLI<->daemon identity tests pin those bytes).
+  if (!spec.spill_dir.empty()) doc["spill_dir"] = util::Json(spec.spill_dir);
   return doc;
 }
 

@@ -1,9 +1,17 @@
 #include "capture/collector.h"
 
+#include <filesystem>
+
 namespace keddah::capture {
 
 FlowCollector::FlowCollector(net::Network& network, CollectorOptions options)
-    : options_(options) {
+    : options_(std::move(options)) {
+  if (!options_.spill_dir.empty()) {
+    std::filesystem::create_directories(options_.spill_dir);
+    const std::string path =
+        (std::filesystem::path(options_.spill_dir) / "capture.kspill").string();
+    spill_ = std::make_unique<SpillWriter>(path);
+  }
   const net::Topology* topo = &network.topology();
   network.add_completion_tap([this, topo](const net::Flow& flow) { on_flow(flow, *topo); });
 }
@@ -12,6 +20,10 @@ Trace FlowCollector::take() {
   Trace out = std::move(trace_);
   trace_ = Trace();
   return out;
+}
+
+void FlowCollector::finalize_spill() {
+  if (spill_) spill_->finalize();
 }
 
 void FlowCollector::on_flow(const net::Flow& flow, const net::Topology& topo) {
@@ -35,6 +47,10 @@ void FlowCollector::on_flow(const net::Flow& flow, const net::Topology& topo) {
   r.end = flow.end_time;
   r.job_id = flow.meta.job_id;
   r.truth = flow.meta.kind;
+  if (spill_) {
+    spill_->add(r);
+    return;
+  }
   trace_.add(std::move(r));
 }
 

@@ -197,13 +197,22 @@ gen::SyntheticTrafficSchedule load_schedule(const std::string& path) {
 int cmd_replay(const util::Args& args, std::ostream& out, std::ostream& err) {
   (void)err;  // kept for subcommand-signature uniformity
   const std::string schedule_path = args.get("schedule", "keddah_schedule.csv");
+  const std::string spill_dir = args.get("spill-dir", "");
   const auto cfg = config_from_args(args);
   args.reject_unknown();
   const auto schedule = load_schedule(schedule_path);
-  const auto result = gen::replay(schedule, cfg.build_topology());
-  out << "replayed " << result.trace.size() << " flows\n";
+  const auto result = gen::replay(schedule, cfg.build_topology(), 40.0e9, spill_dir);
+  const auto replayed =
+      result.spill_path.empty() ? result.trace.size() : result.spilled_records;
+  out << "replayed " << replayed << " flows\n";
+  if (!result.spill_path.empty()) {
+    out << "spilled " << result.spilled_records << " records: " << result.spill_path << "\n";
+  }
   util::TextTable table({"metric", "value"});
-  table.add_row({"bytes", util::human_bytes(result.trace.total_bytes())});
+  // In spill mode the trace lives on disk; byte totals come from the reader.
+  if (result.spill_path.empty()) {
+    table.add_row({"bytes", util::human_bytes(result.trace.total_bytes())});
+  }
   table.add_row({"makespan", util::human_seconds(result.makespan)});
   table.add_row({"mean FCT", util::format("%.3f s", result.mean_fct())});
   table.add_row({"p99 FCT", util::format("%.3f s", result.p99_fct())});
@@ -360,13 +369,18 @@ void print_scenario_outcome(const core::ScenarioOutcome& outcome, std::ostream& 
                    util::human_bytes(static_cast<double>(r.output_bytes))});
   }
   table.print(out);
-  const auto stats = outcome.trace.class_stats();
-  out << "\ncaptured " << outcome.trace.size() << " flows, "
-      << util::human_bytes(outcome.trace.total_bytes()) << " (shuffle "
-      << util::human_bytes(stats[static_cast<std::size_t>(net::FlowKind::kShuffle)].bytes)
-      << ", hdfs_write "
-      << util::human_bytes(stats[static_cast<std::size_t>(net::FlowKind::kHdfsWrite)].bytes)
-      << ")";
+  if (!outcome.spill_path.empty()) {
+    out << "\ncaptured " << outcome.spilled_records << " flows, spilled to "
+        << outcome.spill_path;
+  } else {
+    const auto stats = outcome.trace.class_stats();
+    out << "\ncaptured " << outcome.trace.size() << " flows, "
+        << util::human_bytes(outcome.trace.total_bytes()) << " (shuffle "
+        << util::human_bytes(stats[static_cast<std::size_t>(net::FlowKind::kShuffle)].bytes)
+        << ", hdfs_write "
+        << util::human_bytes(stats[static_cast<std::size_t>(net::FlowKind::kHdfsWrite)].bytes)
+        << ")";
+  }
   if (outcome.rereplications > 0) {
     out << "; " << outcome.rereplications << " re-replication transfers";
   }
@@ -399,6 +413,7 @@ int cmd_run_scenario(const util::Args& args, std::ostream& out, std::ostream& er
   const std::string file = args.get("file", "");
   const std::string trace_path = args.get("trace-out", "");
   const std::string history_path = args.get("history-out", "");
+  const std::string spill_dir = args.get("spill-dir", "");
   // Overrides the scenarios' own "threads" fields for the batch sweep.
   const auto threads = static_cast<std::size_t>(args.get_int("threads", 0));
   // --json prints the Spec-API response document instead of tables; the
@@ -414,6 +429,14 @@ int cmd_run_scenario(const util::Args& args, std::ostream& out, std::ostream& er
   std::vector<core::ScenarioSpec> specs;
   specs.reserve(files.size());
   for (const auto& path : files) specs.push_back(core::load_scenario(path));
+  if (!spill_dir.empty()) {
+    // One spill file per scenario: with several files each gets its own
+    // numbered subdirectory so the captures never clobber each other.
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      specs[i].spill_dir =
+          specs.size() == 1 ? spill_dir : spill_dir + "/" + std::to_string(i);
+    }
+  }
   const auto outcomes = core::run_scenarios(specs, threads);
 
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
@@ -427,8 +450,13 @@ int cmd_run_scenario(const util::Args& args, std::ostream& out, std::ostream& er
   // Artefact outputs keep their single-scenario meaning: with several
   // scenarios the first one's capture is written (one file, one trace).
   if (!trace_path.empty()) {
-    outcomes.front().trace.save(trace_path);
-    out << "trace written: " << trace_path << "\n";
+    if (!outcomes.front().spill_path.empty()) {
+      err << "warning: --trace-out ignored with --spill-dir (capture already on disk: "
+          << outcomes.front().spill_path << ")\n";
+    } else {
+      outcomes.front().trace.save(trace_path);
+      out << "trace written: " << trace_path << "\n";
+    }
   }
   if (!history_path.empty()) {
     outcomes.front().history.save(history_path);
@@ -499,8 +527,10 @@ std::string usage() {
       "  generate   sample a model into a flow schedule\n"
       "             --model FILE --input SIZE [--hosts N] [--maps N]\n"
       "             [--reducers N] [--normalize-volume] [--seed N] [--out FILE]\n"
-      "  replay     replay a schedule on a simulated fabric\n"
-      "             --schedule FILE [cluster flags]\n"
+      "  replay     replay a schedule on a simulated fabric. --spill-dir\n"
+      "             streams the capture to an mmap'd spill file there\n"
+      "             instead of RAM (capture/spill.h).\n"
+      "             --schedule FILE [--spill-dir DIR] [cluster flags]\n"
       "  validate   compare generated traffic against a captured run\n"
       "             --model FILE --run BASENAME [--reps N] [--threads N]\n"
       "             [cluster flags]\n"
@@ -516,8 +546,10 @@ std::string usage() {
       "             order and are identical at any thread count. --json\n"
       "             prints the Spec-API response document (byte-identical\n"
       "             to a `keddah serve` /v1/whatif response).\n"
+      "             --spill-dir streams each capture to an mmap'd spill\n"
+      "             file (numbered subdirectories with several files).\n"
       "             --file FILE[,FILE...] [--threads N] [--json]\n"
-      "             [--trace-out FILE] [--history-out FILE]\n"
+      "             [--trace-out FILE] [--history-out FILE] [--spill-dir DIR]\n"
       "  serve      resident what-if daemon: keeps models hot, answers\n"
       "             Spec-API queries over HTTP (/v1/health /v1/stats\n"
       "             /v1/whatif /v1/reproduce /v1/validate /v1/shutdown),\n"

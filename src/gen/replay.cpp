@@ -7,11 +7,28 @@
 #include <unordered_map>
 
 #include "capture/collector.h"
+#include "capture/spill.h"
 #include "net/network.h"
 #include "sim/simulator.h"
 #include "stats/summary.h"
 
 namespace keddah::gen {
+
+namespace {
+/// Finalizes a spill-mode capture and fills the result's spill fields plus
+/// makespan, streamed off the mmap'd file rather than loaded into RAM.
+void finish_spill(capture::FlowCollector& collector, ReplayResult& result) {
+  collector.finalize_spill();
+  result.spilled_records = collector.spilled();
+  result.spill_path = collector.spill_path();
+  capture::SpillReader reader(result.spill_path);
+  double last_end = 0.0;
+  for (std::uint64_t i = 0; i < reader.size(); ++i) {
+    last_end = std::max(last_end, reader.record(i).end);
+  }
+  result.makespan = last_end;
+}
+}  // namespace
 
 double ReplayResult::mean_fct() const { return stats::mean(flow_completion_times); }
 
@@ -55,7 +72,9 @@ ReplayResult replay_closed_loop(const SyntheticTrafficSchedule& schedule,
   net::NetworkOptions net_options;
   net_options.loopback = util::Rate::bps(options.loopback_bps);
   net::Network network(sim, topology, net_options);
-  capture::FlowCollector collector(network);
+  capture::CollectorOptions capture_options;
+  capture_options.spill_dir = options.spill_dir;
+  capture::FlowCollector collector(network, capture_options);
 
   const auto hosts = network.topology().hosts();
   ReplayResult result;
@@ -108,21 +127,27 @@ ReplayResult replay_closed_loop(const SyntheticTrafficSchedule& schedule,
     });
   }
   sim.run();
-  result.trace = collector.take();
-  result.makespan = result.trace.empty() ? 0.0 : result.trace.last_end();
+  if (collector.spilling()) {
+    finish_spill(collector, result);
+  } else {
+    result.trace = collector.take();
+    result.makespan = result.trace.empty() ? 0.0 : result.trace.last_end();
+  }
   // Break the launch lambda's self-reference so the shared state frees.
   *launch = nullptr;
   return result;
 }
 
 ReplayResult replay(const SyntheticTrafficSchedule& schedule, const net::Topology& topology,
-                    double loopback_bps) {
+                    double loopback_bps, const std::string& spill_dir) {
   sim::Simulator sim;
   net::NetworkOptions options;
   options.loopback = util::Rate::bps(loopback_bps);
   // The topology is borrowed per call; copy it into the engine.
   net::Network network(sim, topology, options);
-  capture::FlowCollector collector(network);
+  capture::CollectorOptions capture_options;
+  capture_options.spill_dir = spill_dir;
+  capture::FlowCollector collector(network, capture_options);
 
   const auto hosts = network.topology().hosts();
   ReplayResult result;
@@ -141,8 +166,12 @@ ReplayResult replay(const SyntheticTrafficSchedule& schedule, const net::Topolog
     });
   }
   sim.run();
-  result.trace = collector.take();
-  result.makespan = result.trace.empty() ? 0.0 : result.trace.last_end();
+  if (collector.spilling()) {
+    finish_spill(collector, result);
+  } else {
+    result.trace = collector.take();
+    result.makespan = result.trace.empty() ? 0.0 : result.trace.last_end();
+  }
   return result;
 }
 

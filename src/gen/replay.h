@@ -3,6 +3,7 @@
 // and captures what actually happened on the wire.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "capture/trace.h"
@@ -20,6 +21,11 @@ struct ReplayResult {
   double makespan = 0.0;
   /// Per-flow completion times (end - start), in completion order.
   std::vector<double> flow_completion_times;
+  /// Spill results when a spill_dir was configured: records written and the
+  /// finalized spill file (trace above is empty in that mode; read it back
+  /// with capture::SpillReader).
+  std::uint64_t spilled_records = 0;
+  std::string spill_path;
 
   double mean_fct() const;
   double p99_fct() const;
@@ -29,8 +35,11 @@ struct ReplayResult {
 /// (modulo host count). Flows are injected at their scheduled start times
 /// and share bandwidth max-min fairly (OPEN-loop replay: arrival times are
 /// fixed regardless of how congested the fabric is).
+/// `spill_dir`, when non-empty, streams the capture to an mmap'd spill file
+/// there instead of accumulating it in ReplayResult::trace (long replays on
+/// big fabrics; see capture/spill.h).
 ReplayResult replay(const SyntheticTrafficSchedule& schedule, const net::Topology& topology,
-                    double loopback_bps = 40.0e9);
+                    double loopback_bps = 40.0e9, const std::string& spill_dir = "");
 
 /// Closed-loop replay options.
 struct ClosedLoopOptions {
@@ -39,6 +48,9 @@ struct ClosedLoopOptions {
   /// frees, exactly like real reducers back off under congestion.
   std::size_t shuffle_fetch_slots = 5;
   double loopback_bps = 40.0e9;
+  /// When non-empty, the capture spills to `<spill_dir>/capture.kspill`
+  /// instead of ReplayResult::trace (see capture/spill.h).
+  std::string spill_dir;
 };
 
 /// CLOSED-loop replay: scheduled start times are treated as earliest-start

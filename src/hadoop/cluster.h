@@ -72,6 +72,10 @@ class HadoopCluster {
   /// next run starts a fresh capture.
   capture::Trace take_trace() { return collector_->take(); }
 
+  /// The collector behind trace()/take_trace(), for spill-mode queries
+  /// (spilling()/spilled()/spill_path()/finalize_spill()).
+  capture::FlowCollector& collector() { return *collector_; }
+
   /// Fails a worker immediately and permanently: the NodeManager's
   /// containers die (tasks rerun elsewhere), its DataNode's replicas are
   /// re-replicated, in-flight flows touching the node are aborted with

@@ -74,7 +74,9 @@ ScenarioSpec load_scenario(const std::string& path) {
 }
 
 ScenarioOutcome run_scenario(const ScenarioSpec& spec) {
-  hadoop::HadoopCluster cluster(spec.cluster, spec.seed);
+  capture::CollectorOptions capture_options;
+  capture_options.spill_dir = spec.spill_dir;
+  hadoop::HadoopCluster cluster(spec.cluster, spec.seed, capture_options);
   ScenarioOutcome outcome;
 
   // Total completions expected = sum of iterations across entries.
@@ -138,6 +140,11 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec) {
   cluster.simulator().run();
   if (done != expected) throw std::logic_error("scenario: not every job completed");
   *submit_round = nullptr;  // break the self-reference cycle
+  if (cluster.collector().spilling()) {
+    cluster.collector().finalize_spill();
+    outcome.spilled_records = cluster.collector().spilled();
+    outcome.spill_path = cluster.collector().spill_path();
+  }
   outcome.trace = cluster.take_trace();
   outcome.history = cluster.history();
   outcome.rereplications = cluster.hdfs().rereplications();

@@ -75,6 +75,13 @@ struct ScenarioSpec {
   /// events). Worker indices are validated against the cluster size at parse
   /// time and again when the plan is scheduled.
   hadoop::FaultPlan faults;
+
+  /// When non-empty, the capture spills to `<spill_dir>/capture.kspill`
+  /// (mmap'd, append-only; see capture/spill.h) instead of accumulating in
+  /// RAM, and ScenarioOutcome::trace comes back empty. Not part of the JSON
+  /// schema: set by hosting code (CLI --spill-dir), so scenario documents
+  /// stay portable across machines.
+  std::string spill_dir;
 };
 
 /// Parses a scenario document; throws std::invalid_argument /
@@ -101,6 +108,10 @@ struct ScenarioOutcome {
   /// Fair-share scheduler perf counters for the run (reshares, links
   /// touched, heap ops; see net::SchedulerStats).
   net::SchedulerStats scheduler;
+  /// Spill results when ScenarioSpec::spill_dir was set: records written
+  /// and the finalized spill file (trace above is empty in that mode).
+  std::uint64_t spilled_records = 0;
+  std::string spill_path;
 };
 
 /// Builds the cluster and runs the whole scenario to completion.

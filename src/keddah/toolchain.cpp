@@ -83,7 +83,7 @@ ReproduceResult generate_and_replay(const model::KeddahModel& model, const Repro
   ReproduceResult result;
   gen::TrafficGenerator generator(model, util::Rng(spec.seed), spec.gen_options);
   result.schedule = generator.generate(spec.scenario);
-  result.replay = gen::replay(result.schedule, topology);
+  result.replay = gen::replay(result.schedule, topology, 40.0e9, spec.spill_dir);
   return result;
 }
 

@@ -65,6 +65,11 @@ struct ReproduceSpec {
   gen::Scenario scenario;
   std::uint64_t seed = 1;
   gen::GeneratorOptions gen_options;
+  /// When non-empty, the replay capture spills to
+  /// `<spill_dir>/capture.kspill` instead of RAM (capture/spill.h). Omitted
+  /// from the serialized JSON when empty, so specs without it round-trip
+  /// byte-identically.
+  std::string spill_dir;
 };
 
 /// REPRODUCE: samples the model for the spec's scenario and replays the

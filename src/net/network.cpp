@@ -109,9 +109,9 @@ void Network::account_aborted(const Flow& flow, util::Bytes shortfall) {
 void Network::audit_conservation() const {
   // In-flight payload of flows currently holding capacity, per class.
   std::array<double, kNumFlowKinds> active_bytes{};
-  for (const ActiveFlow& af : arena_) {
-    if (!af.in_use) continue;
-    active_bytes[static_cast<std::size_t>(af.flow.meta.kind)] += af.flow.bytes.value();
+  for (std::uint32_t slot = 0; slot < slot_id_.size(); ++slot) {
+    if (!slot_in_use_[slot]) continue;
+    active_bytes[static_cast<std::size_t>(slot_meta_[slot].kind)] += slot_bytes_[slot].value();
   }
   double offered = 0.0, resolved = 0.0;
   for (std::size_t k = 0; k < kNumFlowKinds; ++k) {
@@ -143,40 +143,49 @@ void Network::audit_scheduler() const {
   };
 
   std::size_t in_use = 0;
-  for (std::uint32_t slot = 0; slot < arena_.size(); ++slot) {
-    const ActiveFlow& af = arena_[slot];
-    if (!af.in_use) continue;
+  for (std::uint32_t slot = 0; slot < slot_id_.size(); ++slot) {
+    if (!slot_in_use_[slot]) continue;
     ++in_use;
-    const auto it = slot_of_.find(af.flow.id);
-    if (it == slot_of_.end() || it->second != slot) fail("slot_of_ missing an active flow");
-    if (af.member_pos.size() != af.flow.path.size()) fail("member_pos/path size mismatch");
-    for (std::uint32_t i = 0; i < af.flow.path.size(); ++i) {
-      const ArcState& s = arcs_[af.flow.path[i].index()];
-      if (af.member_pos[i] >= s.members.size() ||
-          s.members[af.member_pos[i]] != std::make_pair(slot, i)) {
+    const std::uint32_t* found = slot_index_.find(slot_id_[slot]);
+    if (found == nullptr || *found != slot) fail("slot index missing an active flow");
+    const PathRef& pr = slot_path_[slot];
+    if (pr.len > pr.cap) fail("path segment length exceeds its capacity");
+    if (static_cast<std::size_t>(pr.off) + pr.cap > path_pool_.size()) {
+      fail("path segment out of pool bounds");
+    }
+    for (std::uint32_t i = 0; i < pr.len; ++i) {
+      const ArcState& s = arcs_[path_pool_[pr.off + i].index()];
+      const std::uint32_t pos = member_pos_pool_[pr.off + i];
+      if (pos >= s.members.size() || s.members[pos] != std::make_pair(slot, i)) {
         fail("member back-reference out of sync");
       }
     }
-    if (af.heap_pos == kNotInHeap || static_cast<std::size_t>(af.heap_pos) >= finish_heap_.size() ||
-        finish_heap_[af.heap_pos] != slot) {
+    if (slot_heap_pos_[slot] == kNotInHeap ||
+        static_cast<std::size_t>(slot_heap_pos_[slot]) >= finish_heap_.size() ||
+        finish_heap_[slot_heap_pos_[slot]] != slot) {
       fail("heap_pos out of sync");
     }
   }
-  if (in_use != slot_of_.size()) fail("slot_of_ size != live arena slots");
+  if (in_use != slot_index_.size()) fail("slot index size != live arena slots");
+  if (in_use != live_slots_) fail("live-slot counter != live arena slots");
   if (finish_heap_.size() != in_use) fail("completion heap size != live arena slots");
   for (std::size_t pos = 1; pos < finish_heap_.size(); ++pos) {
     if (finishes_before(finish_heap_[pos], finish_heap_[(pos - 1) / 2])) {
       fail("completion heap order violated");
     }
   }
+  if (member_pos_pool_.size() != path_pool_.size()) {
+    fail("member-position pool size != path pool size");
+  }
   std::size_t dirty_flags = 0;
   for (std::uint32_t ai = 0; ai < arcs_.size(); ++ai) {
     if (arcs_[ai].dirty) ++dirty_flags;
     for (std::uint32_t pos = 0; pos < arcs_[ai].members.size(); ++pos) {
       const auto [slot, pi] = arcs_[ai].members[pos];
-      if (slot >= arena_.size() || !arena_[slot].in_use) fail("member refers to a dead slot");
-      const ActiveFlow& af = arena_[slot];
-      if (pi >= af.flow.path.size() || af.flow.path[pi].index() != ai || af.member_pos[pi] != pos) {
+      if (slot >= slot_id_.size() || !slot_in_use_[slot]) fail("member refers to a dead slot");
+      const PathRef& pr = slot_path_[slot];
+      if (pi >= pr.len || path_pool_[pr.off + pi].index() != ai ||
+          member_pos_pool_[pr.off + pi] != pos) {
         fail("member list entry inconsistent with flow path");
       }
     }
@@ -187,6 +196,17 @@ void Network::audit_scheduler() const {
     ++frontier;
   }
   if (frontier != dirty_flags) fail("dirty flags out of sync with frontier");
+}
+
+ArenaStats Network::arena_stats() const {
+  ArenaStats s;
+  s.slots = slot_id_.size();
+  s.live = live_slots_;
+  s.peak_live = peak_live_slots_;
+  s.path_pool_len = path_pool_.size();
+  s.slot_reuses = slot_reuses_;
+  s.path_pool_compactions = pool_compactions_;
+  return s;
 }
 
 double Network::arc_bytes(Arc arc) const {
@@ -211,27 +231,46 @@ void Network::add_completion_tap(Tap tap) { completion_taps_.push_back(std::move
 
 void Network::add_start_tap(Tap tap) { start_taps_.push_back(std::move(tap)); }
 
+const Flow& Network::fill_view(std::uint32_t slot) const {
+  view_flow_.id = slot_id_[slot];
+  view_flow_.src = slot_src_[slot];
+  view_flow_.dst = slot_dst_[slot];
+  view_flow_.bytes = slot_bytes_[slot];
+  view_flow_.meta = slot_meta_[slot];
+  view_flow_.submit_time = slot_submit_[slot];
+  view_flow_.start_time = slot_start_[slot];
+  view_flow_.end_time = 0.0;
+  view_flow_.rate_bps = slot_rate_[slot];
+  view_flow_.rate_cap_bps = slot_rate_cap_[slot];
+  view_flow_.remaining = slot_remaining_[slot];
+  const PathRef& pr = slot_path_[slot];
+  view_flow_.path.assign(path_pool_.begin() + pr.off, path_pool_.begin() + pr.off + pr.len);
+  view_flow_.done = false;
+  view_flow_.aborted = false;
+  return view_flow_;
+}
+
 const Flow* Network::find_flow(FlowId id) const {
-  const auto it = slot_of_.find(id);
-  return it == slot_of_.end() ? nullptr : &arena_[it->second].flow;
+  const std::uint32_t* slot = slot_index_.find(id);
+  return slot == nullptr ? nullptr : &fill_view(*slot);
 }
 
 void Network::visit_active_flows(const std::function<void(const Flow&)>& fn) const {
   std::vector<std::uint32_t> slots;
-  slots.reserve(slot_of_.size());
-  for (std::uint32_t slot = 0; slot < arena_.size(); ++slot) {
-    if (arena_[slot].in_use) slots.push_back(slot);
+  slots.reserve(slot_index_.size());
+  for (std::uint32_t slot = 0; slot < slot_id_.size(); ++slot) {
+    if (slot_in_use_[slot]) slots.push_back(slot);
   }
   std::sort(slots.begin(), slots.end(), [this](std::uint32_t a, std::uint32_t b) {
-    return arena_[a].flow.id < arena_[b].flow.id;
+    return slot_id_[a] < slot_id_[b];
   });
-  for (const std::uint32_t slot : slots) fn(arena_[slot].flow);
+  for (const std::uint32_t slot : slots) fn(fill_view(slot));
 }
 
 double Network::aggregate_rate_bps() const {
   double total = 0.0;
-  for (const ActiveFlow& af : arena_) {
-    if (af.in_use) total += af.flow.rate_bps;
+  for (std::uint32_t slot = 0; slot < slot_id_.size(); ++slot) {
+    if (slot_in_use_[slot]) total += slot_rate_[slot];
   }
   return total;
 }
@@ -310,23 +349,29 @@ FlowId Network::start_flow(NodeId src, NodeId dst, util::Bytes bytes, FlowMeta m
                      }
                      for (const auto& tap : start_taps_) tap(flow);
                      limbo(flow) -= flow.bytes;  // now held in the active set
+                     const std::uint32_t slot = allocate_slot();
+                     slot_id_[slot] = flow.id;
+                     slot_src_[slot] = flow.src;
+                     slot_dst_[slot] = flow.dst;
+                     slot_bytes_[slot] = flow.bytes;
+                     slot_remaining_[slot] = flow.remaining;
                      // Rate sentinel: solved rates are never negative, so the
                      // first assign_rate after insertion always fires (even a
                      // solved rate of 0.0 must install a projected finish).
-                     flow.rate_bps = -1.0;
-                     const std::uint32_t slot = allocate_slot();
-                     ActiveFlow& af = arena_[slot];
-                     af.flow = std::move(flow);
-                     af.on_complete = std::move(cb);
-                     af.last_update = sim_.now();
-                     af.projected_finish = kInf;
-                     af.member_pos.assign(af.flow.path.size(), 0);
-                     af.heap_pos = kNotInHeap;
-                     af.in_use = true;
-                     // archlint:allow(hot-node-container): the id->slot map
-                     // is the lookup the columnar-arena roadmap item
-                     // replaces; see the archlint JSON inventory.
-                     slot_of_.emplace(af.flow.id, slot);
+                     slot_rate_[slot] = -1.0;
+                     slot_rate_cap_[slot] = flow.rate_cap_bps;
+                     slot_submit_[slot] = flow.submit_time;
+                     slot_start_[slot] = flow.start_time;
+                     slot_last_update_[slot] = sim_.now();
+                     slot_finish_[slot] = kInf;
+                     slot_meta_[slot] = flow.meta;
+                     slot_heap_pos_[slot] = kNotInHeap;
+                     slot_callback_[slot] = std::move(cb);
+                     assign_path(slot, flow.path);
+                     slot_in_use_[slot] = 1;
+                     ++live_slots_;
+                     peak_live_slots_ = std::max(peak_live_slots_, live_slots_);
+                     slot_index_.insert(flow.id, slot);
                      add_membership(slot);
                      heap_insert(slot);
                      reshare();
@@ -338,21 +383,23 @@ FlowId Network::start_flow(NodeId src, NodeId dst, util::Bytes bytes, FlowMeta m
 
 // keddah:hot(materialize)
 void Network::materialize(std::uint32_t slot) {
-  ActiveFlow& af = arena_[slot];
   const sim::Time now = sim_.now();
-  const double dt = now - af.last_update;
-  if (dt > 0.0 && af.flow.rate_bps > 0.0) {
-    const util::Bytes moved =
-        std::min(af.flow.remaining, util::Rate::bps(af.flow.rate_bps) * util::Seconds(dt));
-    af.flow.remaining -= moved;  // audited against NaN/negative under KEDDAH_CHECK
-    for (const Arc arc : af.flow.path) arc_bits_[arc.index()] += moved.bits();
+  const double dt = now - slot_last_update_[slot];
+  if (dt > 0.0 && slot_rate_[slot] > 0.0) {
+    const util::Bytes moved = std::min(
+        slot_remaining_[slot], util::Rate::bps(slot_rate_[slot]) * util::Seconds(dt));
+    slot_remaining_[slot] -= moved;  // audited against NaN/negative under KEDDAH_CHECK
+    const PathRef& pr = slot_path_[slot];
+    for (std::uint32_t i = 0; i < pr.len; ++i) {
+      arc_bits_[path_pool_[pr.off + i].index()] += moved.bits();
+    }
   }
-  af.last_update = now;
+  slot_last_update_[slot] = now;
 }
 
 void Network::sync_progress() {
-  for (std::uint32_t slot = 0; slot < arena_.size(); ++slot) {
-    if (arena_[slot].in_use) materialize(slot);
+  for (std::uint32_t slot = 0; slot < slot_id_.size(); ++slot) {
+    if (slot_in_use_[slot]) materialize(slot);
   }
 }
 
@@ -369,50 +416,147 @@ std::uint32_t Network::allocate_slot() {
   if (!free_slots_.empty()) {
     const std::uint32_t slot = free_slots_.back();
     free_slots_.pop_back();
+    ++slot_reuses_;
+    // The slot's parked pool segment becomes the new occupant's to reuse
+    // (or abandon) in assign_path.
+    path_pool_parked_ -= slot_path_[slot].cap;
     return slot;
   }
-  arena_.emplace_back();
+  // Grow every column in lockstep; the arena height only ever increases.
+  const std::uint32_t slot = static_cast<std::uint32_t>(slot_id_.size());
+  slot_id_.push_back(kInvalidFlow);
+  slot_src_.push_back(NodeId{0});
+  slot_dst_.push_back(NodeId{0});
+  slot_bytes_.emplace_back();
+  slot_remaining_.emplace_back();
+  slot_rate_.push_back(0.0);
+  slot_rate_cap_.push_back(kInf);
+  slot_submit_.push_back(0.0);
+  slot_start_.push_back(0.0);
+  slot_last_update_.push_back(0.0);
+  slot_finish_.push_back(kInf);
+  slot_meta_.emplace_back();
+  slot_heap_pos_.push_back(kNotInHeap);
+  slot_in_use_.push_back(0);
+  slot_path_.emplace_back();
+  slot_callback_.emplace_back();
   slot_visit_.push_back(0);
   slot_local_.push_back(0);
-  return static_cast<std::uint32_t>(arena_.size() - 1);
+  return slot;
+}
+
+void Network::assign_path(std::uint32_t slot, const std::vector<Arc>& path) {
+  PathRef& pr = slot_path_[slot];
+  const std::uint32_t len = static_cast<std::uint32_t>(path.size());
+  if (len <= pr.cap) {
+    // Reuse in place: steady-state churn through same-shaped flows never
+    // grows the pool.
+    pr.len = len;
+    std::copy(path.begin(), path.end(), path_pool_.begin() + pr.off);
+    return;
+  }
+  // Abandon the too-small segment (dead until the next compaction) and
+  // append a fresh one at the tail.
+  path_pool_dead_ += pr.cap;
+  pr = PathRef{};
+  if (path_pool_.size() >= options_.path_pool_compact_min &&
+      2 * (path_pool_dead_ + path_pool_parked_) >= path_pool_.size()) {
+    compact_path_pool();
+  }
+  pr.off = static_cast<std::uint32_t>(path_pool_.size());
+  pr.len = len;
+  pr.cap = len;
+  path_pool_.insert(path_pool_.end(), path.begin(), path.end());
+  member_pos_pool_.resize(path_pool_.size(), 0);
+}
+
+void Network::compact_path_pool() {
+  // Safe point: only ever called from assign_path, before the slot being
+  // assigned holds a segment and never during a solve. Members reference
+  // (slot, path index), not pool offsets, so moving segments is invisible
+  // to the scheduler.
+  std::vector<Arc> new_path;
+  std::vector<std::uint32_t> new_member_pos;
+  std::size_t live = 0;
+  for (std::uint32_t slot = 0; slot < slot_path_.size(); ++slot) {
+    if (slot_in_use_[slot]) live += slot_path_[slot].len;
+  }
+  new_path.reserve(live);
+  new_member_pos.reserve(live);
+  for (std::uint32_t slot = 0; slot < slot_path_.size(); ++slot) {
+    PathRef& pr = slot_path_[slot];
+    if (!slot_in_use_[slot]) {
+      pr = PathRef{};
+      continue;
+    }
+    const std::uint32_t off = static_cast<std::uint32_t>(new_path.size());
+    new_path.insert(new_path.end(), path_pool_.begin() + pr.off,
+                    path_pool_.begin() + pr.off + pr.len);
+    new_member_pos.insert(new_member_pos.end(), member_pos_pool_.begin() + pr.off,
+                          member_pos_pool_.begin() + pr.off + pr.len);
+    pr.off = off;
+    pr.cap = pr.len;
+  }
+  path_pool_ = std::move(new_path);
+  member_pos_pool_ = std::move(new_member_pos);
+  path_pool_dead_ = 0;
+  path_pool_parked_ = 0;
+  ++pool_compactions_;
 }
 
 void Network::add_membership(std::uint32_t slot) {
-  ActiveFlow& af = arena_[slot];
-  for (std::uint32_t i = 0; i < af.flow.path.size(); ++i) {
-    const std::uint32_t ai = af.flow.path[i].index();
+  const PathRef& pr = slot_path_[slot];
+  for (std::uint32_t i = 0; i < pr.len; ++i) {
+    const std::uint32_t ai = path_pool_[pr.off + i].index();
     ArcState& s = arcs_[ai];
-    af.member_pos[i] = static_cast<std::uint32_t>(s.members.size());
+    member_pos_pool_[pr.off + i] = static_cast<std::uint32_t>(s.members.size());
     s.members.emplace_back(slot, i);
     mark_dirty(ai);
   }
 }
 
 void Network::remove_membership(std::uint32_t slot) {
-  ActiveFlow& af = arena_[slot];
-  for (std::uint32_t i = 0; i < af.flow.path.size(); ++i) {
-    const std::uint32_t ai = af.flow.path[i].index();
+  const PathRef& pr = slot_path_[slot];
+  for (std::uint32_t i = 0; i < pr.len; ++i) {
+    const std::uint32_t ai = path_pool_[pr.off + i].index();
     ArcState& s = arcs_[ai];
-    const std::uint32_t pos = af.member_pos[i];
+    const std::uint32_t pos = member_pos_pool_[pr.off + i];
     const auto moved = s.members.back();
     s.members[pos] = moved;
     s.members.pop_back();
-    if (moved.first != slot) arena_[moved.first].member_pos[moved.second] = pos;
+    if (moved.first != slot) {
+      const PathRef& mp = slot_path_[moved.first];
+      member_pos_pool_[mp.off + moved.second] = pos;
+    }
     mark_dirty(ai);
   }
 }
 
 std::pair<Flow, Network::CompletionCallback> Network::detach(std::uint32_t slot) {
-  ActiveFlow& af = arena_[slot];
   remove_membership(slot);
   heap_erase(slot);
-  slot_of_.erase(af.flow.id);
-  af.in_use = false;
-  Flow flow = std::move(af.flow);
-  CompletionCallback cb = std::move(af.on_complete);
-  af.flow = Flow{};
-  af.on_complete = nullptr;
-  af.member_pos.clear();
+  slot_index_.erase(slot_id_[slot]);
+  slot_in_use_[slot] = 0;
+  --live_slots_;
+  // The slot keeps its pool segment parked for its next occupant; only the
+  // length is cleared so audits and compaction see it as empty.
+  path_pool_parked_ += slot_path_[slot].cap;
+  slot_path_[slot].len = 0;
+  Flow flow;
+  flow.id = slot_id_[slot];
+  flow.src = slot_src_[slot];
+  flow.dst = slot_dst_[slot];
+  flow.bytes = slot_bytes_[slot];
+  flow.meta = slot_meta_[slot];
+  flow.submit_time = slot_submit_[slot];
+  flow.start_time = slot_start_[slot];
+  flow.rate_bps = slot_rate_[slot];
+  flow.rate_cap_bps = slot_rate_cap_[slot];
+  flow.remaining = slot_remaining_[slot];
+  // flow.path stays empty: nothing downstream of detach reads it, and
+  // copying it out of the pool would be the hot path's only allocation.
+  CompletionCallback cb = std::move(slot_callback_[slot]);
+  slot_callback_[slot] = nullptr;
   free_slots_.push_back(slot);
   return {std::move(flow), std::move(cb)};
 }
@@ -438,14 +582,13 @@ void Network::compute_max_min_rates_reference() {
 }
 
 void Network::assign_rate(std::uint32_t slot, double rate_bps) {
-  ActiveFlow& af = arena_[slot];
   // Bit-identical rate: nothing moved, the projected finish is still exact.
   // This skip is what keeps the reference scheduler's full sweeps from
   // perturbing flows whose allocation did not change.
-  if (af.flow.rate_bps == rate_bps) return;
+  if (slot_rate_[slot] == rate_bps) return;
   materialize(slot);
-  af.flow.rate_bps = rate_bps;
-  af.projected_finish = sim_.now() + af.flow.remaining.bits() / std::max(rate_bps, 1e-9);
+  slot_rate_[slot] = rate_bps;
+  slot_finish_[slot] = sim_.now() + slot_remaining_[slot].bits() / std::max(rate_bps, 1e-9);
   heap_update(slot);
   ++sched_stats_.flows_rerated;
 }
@@ -487,8 +630,9 @@ void Network::solve_dirty() {
       // archlint:allow(hot-push-back): flow-bounded scratch; capacity
       // persists across solves, so growth amortizes to zero steady-state.
       scratch_flows_.push_back(slot);
-      for (const Arc arc : arena_[slot].flow.path) {
-        const std::uint32_t aj = arc.index();
+      const PathRef& pr = slot_path_[slot];
+      for (std::uint32_t i = 0; i < pr.len; ++i) {
+        const std::uint32_t aj = path_pool_[pr.off + i].index();
         if (arc_visit_[aj] != epoch) {
           arc_visit_[aj] = epoch;
           scratch_arc_stack_.push_back(aj);
@@ -517,7 +661,7 @@ void Network::solve_dirty() {
   // component was discovered — which is what makes incremental and
   // reference allocations bit-identical.
   std::sort(scratch_flows_.begin(), scratch_flows_.end(), [this](std::uint32_t a, std::uint32_t b) {
-    return arena_[a].flow.id < arena_[b].flow.id;
+    return slot_id_[a] < slot_id_[b];
   });
   std::sort(scratch_local_arcs_.begin(), scratch_local_arcs_.end());
 
@@ -538,10 +682,9 @@ void Network::solve_dirty() {
   flow_arc_off.assign(nf + 1, 0);
   std::size_t n_virtual = 0;
   for (std::size_t fi = 0; fi < nf; ++fi) {
-    const Flow& f = arena_[scratch_flows_[fi]].flow;
-    const bool capped = std::isfinite(f.rate_cap_bps);
-    flow_arc_off[fi + 1] =
-        flow_arc_off[fi] + static_cast<std::uint32_t>(f.path.size()) + (capped ? 1u : 0u);
+    const std::uint32_t slot = scratch_flows_[fi];
+    const bool capped = std::isfinite(slot_rate_cap_[slot]);
+    flow_arc_off[fi + 1] = flow_arc_off[fi] + slot_path_[slot].len + (capped ? 1u : 0u);
     if (capped) ++n_virtual;
   }
   const std::size_t n_arcs = n_real + n_virtual;
@@ -559,15 +702,16 @@ void Network::solve_dirty() {
   }
   std::size_t next_virtual = n_real;
   for (std::size_t fi = 0; fi < nf; ++fi) {
-    const Flow& f = arena_[scratch_flows_[fi]].flow;
+    const std::uint32_t slot = scratch_flows_[fi];
+    const PathRef& pr = slot_path_[slot];
     std::uint32_t w = flow_arc_off[fi];
-    for (const Arc arc : f.path) {
-      const std::uint32_t li = arc_local_idx_[arc.index()];
+    for (std::uint32_t i = 0; i < pr.len; ++i) {
+      const std::uint32_t li = arc_local_idx_[path_pool_[pr.off + i].index()];
       flow_arcs[w++] = li;
       ++unfrozen[li];
     }
-    if (std::isfinite(f.rate_cap_bps)) {
-      residual[next_virtual] = f.rate_cap_bps;
+    if (std::isfinite(slot_rate_cap_[slot])) {
+      residual[next_virtual] = slot_rate_cap_[slot];
       unfrozen[next_virtual] = 1;
       virtual_member[next_virtual - n_real] = static_cast<std::uint32_t>(fi);
       flow_arcs[w++] = static_cast<std::uint32_t>(next_virtual);
@@ -637,15 +781,13 @@ void Network::solve_dirty() {
 // --- completion heap -------------------------------------------------------
 
 bool Network::finishes_before(std::uint32_t a, std::uint32_t b) const {
-  const ActiveFlow& fa = arena_[a];
-  const ActiveFlow& fb = arena_[b];
-  if (fa.projected_finish != fb.projected_finish) return fa.projected_finish < fb.projected_finish;
-  return fa.flow.id < fb.flow.id;
+  if (slot_finish_[a] != slot_finish_[b]) return slot_finish_[a] < slot_finish_[b];
+  return slot_id_[a] < slot_id_[b];
 }
 
 void Network::heap_place(std::size_t pos, std::uint32_t slot) {
   finish_heap_[pos] = slot;
-  arena_[slot].heap_pos = static_cast<std::int32_t>(pos);
+  slot_heap_pos_[slot] = static_cast<std::int32_t>(pos);
 }
 
 void Network::heap_sift_up(std::size_t pos) {
@@ -677,34 +819,34 @@ void Network::heap_sift_down(std::size_t pos) {
 
 void Network::heap_insert(std::uint32_t slot) {
   finish_heap_.push_back(slot);
-  arena_[slot].heap_pos = static_cast<std::int32_t>(finish_heap_.size() - 1);
+  slot_heap_pos_[slot] = static_cast<std::int32_t>(finish_heap_.size() - 1);
   heap_sift_up(finish_heap_.size() - 1);
 }
 
 void Network::heap_erase(std::uint32_t slot) {
-  const std::int32_t pos = arena_[slot].heap_pos;
+  const std::int32_t pos = slot_heap_pos_[slot];
   if (pos == kNotInHeap) return;
-  arena_[slot].heap_pos = kNotInHeap;
+  slot_heap_pos_[slot] = kNotInHeap;
   const std::size_t last = finish_heap_.size() - 1;
   if (static_cast<std::size_t>(pos) != last) {
     const std::uint32_t moved = finish_heap_[last];
     finish_heap_.pop_back();
     heap_place(static_cast<std::size_t>(pos), moved);
     heap_sift_down(static_cast<std::size_t>(pos));
-    heap_sift_up(static_cast<std::size_t>(arena_[moved].heap_pos));
+    heap_sift_up(static_cast<std::size_t>(slot_heap_pos_[moved]));
   } else {
     finish_heap_.pop_back();
   }
 }
 
 void Network::heap_update(std::uint32_t slot) {
-  assert(arena_[slot].heap_pos != kNotInHeap);
-  heap_sift_up(static_cast<std::size_t>(arena_[slot].heap_pos));
-  heap_sift_down(static_cast<std::size_t>(arena_[slot].heap_pos));
+  assert(slot_heap_pos_[slot] != kNotInHeap);
+  heap_sift_up(static_cast<std::size_t>(slot_heap_pos_[slot]));
+  heap_sift_down(static_cast<std::size_t>(slot_heap_pos_[slot]));
 }
 
 void Network::rearm_completion() {
-  if (finish_heap_.empty() || !std::isfinite(arena_[finish_heap_.front()].projected_finish)) {
+  if (finish_heap_.empty() || !std::isfinite(slot_finish_[finish_heap_.front()])) {
     if (completion_event_ != sim::kInvalidEvent) {
       sim_.cancel(completion_event_);
       completion_event_ = sim::kInvalidEvent;
@@ -712,7 +854,7 @@ void Network::rearm_completion() {
     armed_time_ = kInf;
     return;
   }
-  const double target = std::max(arena_[finish_heap_.front()].projected_finish, sim_.now());
+  const double target = std::max(slot_finish_[finish_heap_.front()], sim_.now());
   if (completion_event_ != sim::kInvalidEvent) {
     if (target == armed_time_) return;  // already armed at the right time
     completion_event_ = sim_.reschedule(completion_event_, target);
@@ -735,13 +877,13 @@ void Network::on_completion_event() {
   // fresh vector here was a per-event allocation. Callbacks run after the
   // heap drain and never re-enter this handler, so reuse is safe.
   scratch_drained_.clear();
-  while (!finish_heap_.empty() && arena_[finish_heap_.front()].projected_finish <= now) {
+  while (!finish_heap_.empty() && slot_finish_[finish_heap_.front()] <= now) {
     const std::uint32_t slot = finish_heap_.front();
     materialize(slot);
-    KEDDAH_AUDIT(arena_[slot].flow.remaining.bits() <=
-                     kDrainEpsilonBits + 1e-9 * arena_[slot].flow.bytes.bits(),
+    KEDDAH_AUDIT(slot_remaining_[slot].bits() <=
+                     kDrainEpsilonBits + 1e-9 * slot_bytes_[slot].bits(),
                  "completed flow left real payload behind");
-    arena_[slot].flow.remaining = util::Bytes(0.0);
+    slot_remaining_[slot] = util::Bytes(0.0);
     // archlint:allow(hot-push-back): flow-bounded scratch; capacity
     // persists across completion events.
     scratch_drained_.push_back(detach(slot));
@@ -754,9 +896,9 @@ void Network::on_completion_event() {
 }
 
 bool Network::abort_flow(FlowId id) {
-  const auto it = slot_of_.find(id);
-  if (it == slot_of_.end()) return false;
-  const std::uint32_t slot = it->second;
+  const std::uint32_t* found = slot_index_.find(id);
+  if (found == nullptr) return false;
+  const std::uint32_t slot = *found;
   materialize(slot);
   auto [flow, cb] = detach(slot);
   resolve_aborted(std::move(flow), std::move(cb));
@@ -767,17 +909,19 @@ bool Network::abort_flow(FlowId id) {
 
 std::size_t Network::abort_flows_touching(NodeId node) {
   std::vector<FlowId> victims;
-  for (const ActiveFlow& af : arena_) {
-    if (af.in_use && (af.flow.src == node || af.flow.dst == node)) victims.push_back(af.flow.id);
+  for (std::uint32_t slot = 0; slot < slot_id_.size(); ++slot) {
+    if (slot_in_use_[slot] && (slot_src_[slot] == node || slot_dst_[slot] == node)) {
+      victims.push_back(slot_id_[slot]);
+    }
   }
   if (victims.empty()) return 0;
   // Id order keeps abort callbacks deterministic regardless of arena layout.
   std::sort(victims.begin(), victims.end());
   std::size_t aborted = 0;
   for (const FlowId id : victims) {
-    const auto it = slot_of_.find(id);
-    if (it == slot_of_.end()) continue;  // removed by a nested callback
-    const std::uint32_t slot = it->second;
+    const std::uint32_t* found = slot_index_.find(id);
+    if (found == nullptr) continue;  // removed by a nested callback
+    const std::uint32_t slot = *found;
     materialize(slot);
     auto [flow, cb] = detach(slot);
     resolve_aborted(std::move(flow), std::move(cb));

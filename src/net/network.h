@@ -19,12 +19,19 @@
 // it marks every populated arc dirty on every reshare and runs the same
 // solver, which is what tests/net_differential_test.cpp runs side-by-side
 // with the incremental mode.
+//
+// Per-flow state is COLUMNAR (DESIGN.md §10): a struct-of-arrays arena of
+// parallel flat vectors indexed by slot, with free-list slot reuse. Flow
+// paths and the matching member-list back-references live in two shared
+// flat pools addressed by (offset, length, capacity) per slot — no
+// per-flow heap nodes anywhere on the hot path, and the id->slot lookup is
+// an open-addressing flat table rather than std::unordered_map. The public
+// API still speaks `Flow`: lookups materialize a view on demand.
 #pragma once
 
 #include <array>
 #include <functional>
 #include <limits>
-#include <unordered_map>
 #include <vector>
 
 #include "net/flow.h"
@@ -57,6 +64,13 @@ struct NetworkOptions {
   /// (any value other than "0") forces this on regardless of the field, so
   /// whole pipelines can be flipped without code changes.
   bool reference_scheduler = false;
+  /// Compaction floor for the shared columnar path pool: the pool compacts
+  /// (dropping segments abandoned by slot churn) only once it holds at
+  /// least this many entries and at least half of them are dead. Lower it
+  /// to force frequent compactions (the arena property tests do); raising
+  /// it trades memory for fewer O(pool) rebuilds. Compaction is invisible
+  /// to scheduling — it moves bytes, never changes any rate or order.
+  std::size_t path_pool_compact_min = 4096;
 };
 
 /// Per-traffic-class byte ledger kept by the engine. The conservation
@@ -88,6 +102,100 @@ struct SchedulerStats {
   double links_per_reshare() const {
     return reshares > 0 ? static_cast<double>(links_touched) / static_cast<double>(reshares) : 0.0;
   }
+};
+
+/// Occupancy counters for the columnar flow arena (bench/perf_scale emits
+/// them; the arena property tests pin compaction behaviour with them).
+struct ArenaStats {
+  std::size_t slots = 0;          ///< arena height (allocated slot columns)
+  std::size_t live = 0;           ///< slots currently holding an active flow
+  std::size_t peak_live = 0;      ///< high-water mark of live
+  std::size_t path_pool_len = 0;  ///< entries in the shared path pool
+  std::uint64_t slot_reuses = 0;  ///< allocations served from the free list
+  std::uint64_t path_pool_compactions = 0;
+};
+
+/// Open-addressing FlowId -> slot table (linear probing, power-of-two
+/// capacity, backward-shift deletion). Two flat vectors, no per-entry heap
+/// nodes — the columnar-arena replacement for the old std::unordered_map
+/// id lookup. Keys are FlowIds, which are never 0 (kInvalidFlow), so 0 is
+/// the empty sentinel.
+class FlowSlotIndex {
+ public:
+  std::size_t size() const { return size_; }
+
+  void insert(FlowId id, std::uint32_t slot) {
+    if ((size_ + 1) * 4 >= keys_.size() * 3) grow();
+    std::size_t i = probe_start(id);
+    while (keys_[i] != kInvalidFlow) i = next(i);
+    keys_[i] = id;
+    vals_[i] = slot;
+    ++size_;
+  }
+
+  /// Returns nullptr when absent; the pointer is valid until the next
+  /// insert/erase.
+  const std::uint32_t* find(FlowId id) const {
+    if (keys_.empty()) return nullptr;
+    std::size_t i = probe_start(id);
+    while (keys_[i] != kInvalidFlow) {
+      if (keys_[i] == id) return &vals_[i];
+      i = next(i);
+    }
+    return nullptr;
+  }
+
+  bool erase(FlowId id) {
+    if (keys_.empty()) return false;
+    std::size_t i = probe_start(id);
+    while (keys_[i] != id) {
+      if (keys_[i] == kInvalidFlow) return false;
+      i = next(i);
+    }
+    // Backward-shift deletion keeps probe chains contiguous without
+    // tombstones: pull displaced entries back over the hole.
+    std::size_t hole = i;
+    for (std::size_t j = next(i); keys_[j] != kInvalidFlow; j = next(j)) {
+      const std::size_t home = probe_start(keys_[j]);
+      const bool movable = hole <= j ? (home <= hole || home > j) : (home <= hole && home > j);
+      if (movable) {
+        keys_[hole] = keys_[j];
+        vals_[hole] = vals_[j];
+        hole = j;
+      }
+    }
+    keys_[hole] = kInvalidFlow;
+    --size_;
+    return true;
+  }
+
+ private:
+  static std::uint64_t mix(std::uint64_t x) {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+  }
+  std::size_t probe_start(FlowId id) const { return mix(id) & (keys_.size() - 1); }
+  std::size_t next(std::size_t i) const { return (i + 1) & (keys_.size() - 1); }
+
+  void grow() {
+    const std::size_t cap = keys_.empty() ? 16 : keys_.size() * 2;
+    std::vector<FlowId> old_keys = std::move(keys_);
+    std::vector<std::uint32_t> old_vals = std::move(vals_);
+    keys_.assign(cap, kInvalidFlow);
+    vals_.assign(cap, 0);
+    size_ = 0;
+    for (std::size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] != kInvalidFlow) insert(old_keys[i], old_vals[i]);
+    }
+  }
+
+  std::vector<FlowId> keys_;
+  std::vector<std::uint32_t> vals_;
+  std::size_t size_ = 0;
 };
 
 /// The network simulator facade.
@@ -150,7 +258,7 @@ class Network {
   void set_link_capacity(LinkId link, util::Rate capacity);
 
   /// Number of flows currently holding network capacity.
-  std::size_t active_flows() const { return slot_of_.size(); }
+  std::size_t active_flows() const { return slot_index_.size(); }
 
   /// Flows started since construction.
   std::uint64_t total_flows() const { return next_flow_id_ - 1; }
@@ -166,6 +274,9 @@ class Network {
 
   /// Scheduler perf counters (reshares, links touched, heap ops, ...).
   const SchedulerStats& scheduler_stats() const { return sched_stats_; }
+
+  /// Columnar-arena occupancy counters (slots, pool size, compactions).
+  ArenaStats arena_stats() const;
 
   /// True when the reference (full-recompute) scheduler is active.
   bool reference_scheduler() const { return reference_mode_; }
@@ -193,18 +304,22 @@ class Network {
 
   /// Audits the scheduler's internal structures: per-arc member lists and
   /// back-references consistent, completion heap well-formed, dirty flags in
-  /// sync with the frontier. Throws util::AuditError on breach. Cheap enough
-  /// for tests to call after every event; KEDDAH_CHECK builds do not call it
-  /// automatically (it is O(active flows x path)).
+  /// sync with the frontier, columnar path pool segments in bounds. Throws
+  /// util::AuditError on breach. Cheap enough for tests to call after every
+  /// event; KEDDAH_CHECK builds do not call it automatically (it is
+  /// O(active flows x path)).
   void audit_scheduler() const;
 
   /// Looks up an active flow; returns nullptr if finished or unknown. The
   /// returned flow's `remaining` is exact as of its last rate change
-  /// (progress is materialized lazily); `rate_bps` is always current.
+  /// (progress is materialized lazily); `rate_bps` is always current. The
+  /// pointer refers to a view materialized from the columnar arena and is
+  /// valid until the next call into the Network.
   const Flow* find_flow(FlowId id) const;
 
   /// Visits every active flow in flow-id order (tests and audits; not a hot
-  /// path). Progress is as-of the flow's last rate change.
+  /// path). Progress is as-of the flow's last rate change. The Flow& passed
+  /// to `fn` is a per-call view; copy what you need.
   void visit_active_flows(const std::function<void(const Flow&)>& fn) const;
 
   /// Instantaneous aggregate rate over all active flows, bits/second.
@@ -223,21 +338,15 @@ class Network {
   /// Sentinel: slot absent from the completion heap.
   static constexpr std::int32_t kNotInHeap = -1;
 
-  /// An active flow in the arena. Slots are reused via a free list; all hot
-  /// loops address flows by slot index, never through the id map.
-  struct ActiveFlow {
-    Flow flow;
-    CompletionCallback on_complete;
-    /// Progress (flow.remaining, arc byte counters) is exact up to here.
-    sim::Time last_update = 0.0;
-    /// Absolute time the flow drains at its current rate (heap key).
-    double projected_finish = std::numeric_limits<double>::infinity();
-    /// Position of this flow in each path arc's member list (parallel to
-    /// flow.path), maintained through swap-removes.
-    std::vector<std::uint32_t> member_pos;
-    /// Index into finish_heap_, kNotInHeap when inactive.
-    std::int32_t heap_pos = kNotInHeap;
-    bool in_use = false;
+  /// A slot's segment in the shared path/member-position pools. `cap`
+  /// outlives the flow: a freed slot keeps its segment and reuses it in
+  /// place when the next occupant's path fits, so steady-state churn
+  /// allocates nothing. Segments abandoned by a longer path become dead
+  /// bytes reclaimed by compact_path_pool().
+  struct PathRef {
+    std::uint32_t off = 0;
+    std::uint32_t len = 0;
+    std::uint32_t cap = 0;
   };
 
   /// Per-directed-arc scheduler state (indexed by Arc::index()).
@@ -254,7 +363,7 @@ class Network {
 
   // --- lazy progress ------------------------------------------------------
   /// Settles `slot`'s transferred bytes over [last_update, now] at its
-  /// current rate (flow.remaining and per-arc byte counters).
+  /// current rate (remaining payload and per-arc byte counters).
   void materialize(std::uint32_t slot);
   /// Materializes every active flow (utilization queries).
   void sync_progress();
@@ -264,9 +373,19 @@ class Network {
   void add_membership(std::uint32_t slot);
   void remove_membership(std::uint32_t slot);
   std::uint32_t allocate_slot();
+  /// Copies `path` into the slot's pool segment, reusing it in place when
+  /// it fits and appending a fresh segment (after a possible compaction)
+  /// otherwise.
+  void assign_path(std::uint32_t slot, const std::vector<Arc>& path);
+  /// Rebuilds the path/member-position pools with only live segments,
+  /// dropping dead bytes abandoned by slot churn.
+  void compact_path_pool();
   /// Detaches an active flow from every scheduler structure and frees its
-  /// slot; returns the flow + callback for the caller to resolve.
+  /// slot; returns the flow (scalar fields only; the columnar path is not
+  /// copied out) + callback for the caller to resolve.
   std::pair<Flow, CompletionCallback> detach(std::uint32_t slot);
+  /// Materializes a Flow view of `slot` into view_flow_ (path included).
+  const Flow& fill_view(std::uint32_t slot) const;
 
   // --- fair sharing -------------------------------------------------------
   /// Recomputes max-min rates over the component(s) reachable from the
@@ -322,14 +441,49 @@ class Network {
   util::Bytes& limbo(const Flow& flow) {
     return limbo_[static_cast<std::size_t>(flow.meta.kind)];
   }
+  util::Bytes& limbo_kind(FlowKind kind) { return limbo_[static_cast<std::size_t>(kind)]; }
 
-  // --- arena + indexes ----------------------------------------------------
-  std::vector<ActiveFlow> arena_;
+  // --- columnar flow arena ------------------------------------------------
+  // Parallel flat vectors indexed by slot (struct-of-arrays). allocate_slot
+  // appends one element to every column; the free list recycles slots.
+  std::vector<FlowId> slot_id_;
+  std::vector<NodeId> slot_src_;
+  std::vector<NodeId> slot_dst_;
+  std::vector<util::Bytes> slot_bytes_;
+  std::vector<util::Bytes> slot_remaining_;
+  std::vector<double> slot_rate_;          ///< current fair rate, bits/s
+  std::vector<double> slot_rate_cap_;      ///< cap, +inf when uncapped
+  std::vector<double> slot_submit_;
+  std::vector<double> slot_start_;
+  std::vector<double> slot_last_update_;   ///< progress exact up to here
+  std::vector<double> slot_finish_;        ///< projected finish (heap key)
+  std::vector<FlowMeta> slot_meta_;
+  std::vector<std::int32_t> slot_heap_pos_;
+  std::vector<std::uint8_t> slot_in_use_;
+  std::vector<PathRef> slot_path_;
+  std::vector<CompletionCallback> slot_callback_;
+  /// Shared pools addressed by slot_path_: the flow's arcs and, parallel to
+  /// them, the flow's position in each arc's member list (maintained
+  /// through swap-removes).
+  std::vector<Arc> path_pool_;
+  std::vector<std::uint32_t> member_pos_pool_;
+  /// Dead pool entries: segments abandoned when a reused slot needed a
+  /// longer one, plus segments parked on the free list at last compaction.
+  std::size_t path_pool_dead_ = 0;
+  /// Pool entries parked with free-list slots (reusable, not yet dead).
+  std::size_t path_pool_parked_ = 0;
+  std::size_t live_slots_ = 0;
+  std::size_t peak_live_slots_ = 0;
+  std::uint64_t slot_reuses_ = 0;
+  std::uint64_t pool_compactions_ = 0;
+
   std::vector<std::uint32_t> free_slots_;
-  std::unordered_map<FlowId, std::uint32_t> slot_of_;
+  FlowSlotIndex slot_index_;
   std::vector<ArcState> arcs_;
   std::vector<std::uint32_t> dirty_arcs_;
   std::vector<std::uint32_t> finish_heap_;
+  /// Flow view materialized on demand by find_flow/visit_active_flows.
+  mutable Flow view_flow_;
 
   // --- solver scratch (reused across solves; epoch-stamped visit marks) ---
   std::uint64_t visit_epoch_ = 0;

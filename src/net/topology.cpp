@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <deque>
+#include <limits>
 #include <stdexcept>
 
 #include "util/strings.h"
@@ -93,20 +94,23 @@ std::map<int, std::vector<NodeId>> Topology::hosts_by_rack() const {
   return out;
 }
 
-const std::vector<int>& Topology::dist_to(NodeId dst) const {
+const std::vector<std::int16_t>& Topology::dist_to(NodeId dst) const {
   const auto it = dist_cache_.find(dst);
   if (it != dist_cache_.end()) return it->second;
-  std::vector<int> dist(nodes_.size(), -1);
+  std::vector<std::int16_t> dist(nodes_.size(), -1);
   std::deque<NodeId> frontier;
   dist[dst] = 0;
   frontier.push_back(dst);
   while (!frontier.empty()) {
     const NodeId u = frontier.front();
     frontier.pop_front();
+    if (dist[u] == std::numeric_limits<std::int16_t>::max()) {
+      throw std::runtime_error("topology: diameter overflows the int16 distance cache");
+    }
     for (const auto& [v, arc] : adjacency_[u]) {
       (void)arc;
       if (dist[v] < 0) {
-        dist[v] = dist[u] + 1;
+        dist[v] = static_cast<std::int16_t>(dist[u] + 1);
         frontier.push_back(v);
       }
     }
@@ -197,11 +201,19 @@ Topology make_rack_tree(std::size_t racks, std::size_t hosts_per_rack, double ac
   return topo;
 }
 
-Topology make_fat_tree(std::size_t k, double link_bps, double latency_s) {
+Topology make_fat_tree(std::size_t k, double link_bps, double latency_s,
+                       double oversubscription) {
   if (k < 2 || k % 2 != 0) throw std::invalid_argument("fat-tree: k must be even and >= 2");
+  if (!(oversubscription >= 1.0)) {
+    throw std::invalid_argument("fat-tree: oversubscription must be >= 1.0");
+  }
   Topology topo;
   const std::size_t half = k / 2;
   const std::size_t num_core = half * half;
+  // Thinning every uplink tier by the oversubscription ratio keeps the
+  // host access rate at link_bps while shrinking the bisection, which is
+  // how oversubscribed Clos fabrics are actually provisioned.
+  const double uplink_bps = link_bps / oversubscription;
 
   std::vector<NodeId> core(num_core);
   for (std::size_t c = 0; c < num_core; ++c) core[c] = topo.add_switch(util::format("core%zu", c));
@@ -218,12 +230,12 @@ Topology make_fat_tree(std::size_t k, double link_bps, double latency_s) {
     }
     // Edge <-> aggregation full bipartite inside the pod.
     for (std::size_t e = 0; e < half; ++e) {
-      for (std::size_t a = 0; a < half; ++a) topo.add_link(edges[e], aggs[a], util::Rate::bps(link_bps), util::Seconds(latency_s));
+      for (std::size_t a = 0; a < half; ++a) topo.add_link(edges[e], aggs[a], util::Rate::bps(uplink_bps), util::Seconds(latency_s));
     }
     // Aggregation a connects to core switches [a*half, (a+1)*half).
     for (std::size_t a = 0; a < half; ++a) {
       for (std::size_t c = 0; c < half; ++c) {
-        topo.add_link(aggs[a], core[a * half + c], util::Rate::bps(link_bps), util::Seconds(latency_s));
+        topo.add_link(aggs[a], core[a * half + c], util::Rate::bps(uplink_bps), util::Seconds(latency_s));
       }
     }
     // Hosts under each edge switch; rack index = global edge index.

@@ -119,8 +119,12 @@ class Topology {
 
  private:
   /// Distances from every node to `dst` (BFS over the undirected graph);
-  /// memoized per destination.
-  const std::vector<int>& dist_to(NodeId dst) const;
+  /// memoized per destination. Entries are int16_t: at 10k-host fat-tree
+  /// scale the cache holds one row per destination, and halving the element
+  /// width halves a multi-hundred-MB structure. Any real topology's
+  /// diameter fits with five orders of magnitude to spare; BFS throws if a
+  /// distance would overflow.
+  const std::vector<std::int16_t>& dist_to(NodeId dst) const;
 
   NodeId add_node(const std::string& name, int rack, bool is_switch);
 
@@ -129,7 +133,7 @@ class Topology {
   /// adjacency_[n] = list of (neighbor, arc leaving n).
   std::vector<std::vector<std::pair<NodeId, Arc>>> adjacency_;
   std::unordered_map<std::string, NodeId> by_name_;
-  mutable std::unordered_map<NodeId, std::vector<int>> dist_cache_;
+  mutable std::unordered_map<NodeId, std::vector<std::int16_t>> dist_cache_;
 };
 
 /// Topology builders used across tests, examples, and benches. All hosts are
@@ -146,9 +150,14 @@ Topology make_star(std::size_t num_hosts, double access_bps, double latency_s);
 Topology make_rack_tree(std::size_t racks, std::size_t hosts_per_rack, double access_bps,
                         double core_bps, double latency_s);
 
-/// k-ary fat-tree (k even): k pods, (k/2)^2 core switches, k^3/4 hosts, all
-/// links at `link_bps`. Rack index = edge switch index.
-Topology make_fat_tree(std::size_t k, double link_bps, double latency_s);
+/// k-ary fat-tree (k even): k pods, (k/2)^2 core switches, k^3/4 hosts.
+/// Host access links run at `link_bps`; edge->aggregation and
+/// aggregation->core uplinks run at `link_bps / oversubscription`, so 1.0
+/// (the default) is the classic full-bisection fat-tree and e.g. 4.0 models
+/// the 4:1 oversubscribed fabrics common in production clusters. Rack
+/// index = edge switch index.
+Topology make_fat_tree(std::size_t k, double link_bps, double latency_s,
+                       double oversubscription = 1.0);
 
 /// Two hosts groups joined by one bottleneck link; for unit tests.
 Topology make_dumbbell(std::size_t left, std::size_t right, double access_bps,

@@ -1,0 +1,136 @@
+#include "util/mmap_arena.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace keddah::util {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error("mmap_arena: " + what + " " + path + ": " + std::strerror(errno));
+}
+
+std::size_t round_up_page(std::size_t n) {
+  const std::size_t page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return ((n + page - 1) / page) * page;
+}
+
+}  // namespace
+
+MmapArena MmapArena::create(const std::string& path, std::size_t initial_capacity) {
+  MmapArena arena;
+  arena.path_ = path;
+  arena.writable_ = true;
+  arena.fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (arena.fd_ < 0) fail("cannot create", path);
+  arena.capacity_ = round_up_page(initial_capacity == 0 ? 1 : initial_capacity);
+  if (::ftruncate(arena.fd_, static_cast<off_t>(arena.capacity_)) != 0) fail("ftruncate", path);
+  void* map =
+      ::mmap(nullptr, arena.capacity_, PROT_READ | PROT_WRITE, MAP_SHARED, arena.fd_, 0);
+  if (map == MAP_FAILED) fail("mmap", path);
+  arena.data_ = static_cast<std::uint8_t*>(map);
+  return arena;
+}
+
+MmapArena MmapArena::open_readonly(const std::string& path) {
+  MmapArena arena;
+  arena.path_ = path;
+  arena.writable_ = false;
+  arena.fd_ = ::open(path.c_str(), O_RDONLY);
+  if (arena.fd_ < 0) fail("cannot open", path);
+  struct stat st{};
+  if (::fstat(arena.fd_, &st) != 0) fail("fstat", path);
+  arena.size_ = static_cast<std::size_t>(st.st_size);
+  arena.capacity_ = arena.size_;
+  if (arena.size_ == 0) {
+    // mmap(0) is an error; an empty file maps to an empty (but open) arena.
+    // Leave a non-null sentinel so is_open() reports the handle.
+    static std::uint8_t empty = 0;
+    arena.data_ = &empty;
+    return arena;
+  }
+  void* map = ::mmap(nullptr, arena.size_, PROT_READ, MAP_PRIVATE, arena.fd_, 0);
+  if (map == MAP_FAILED) fail("mmap", path);
+  arena.data_ = static_cast<std::uint8_t*>(map);
+  return arena;
+}
+
+MmapArena::~MmapArena() { close(); }
+
+MmapArena::MmapArena(MmapArena&& other) noexcept { *this = std::move(other); }
+
+MmapArena& MmapArena::operator=(MmapArena&& other) noexcept {
+  if (this != &other) {
+    close();
+    path_ = std::move(other.path_);
+    data_ = other.data_;
+    size_ = other.size_;
+    capacity_ = other.capacity_;
+    fd_ = other.fd_;
+    writable_ = other.writable_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.capacity_ = 0;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void MmapArena::close() noexcept {
+  if (data_ != nullptr && capacity_ > 0) ::munmap(data_, capacity_);
+  if (fd_ >= 0) ::close(fd_);
+  data_ = nullptr;
+  size_ = 0;
+  capacity_ = 0;
+  fd_ = -1;
+}
+
+void MmapArena::grow_to(std::size_t min_capacity) {
+  std::size_t next = capacity_ == 0 ? round_up_page(1) : capacity_;
+  while (next < min_capacity) next *= 2;
+  if (next == capacity_) return;
+  if (::ftruncate(fd_, static_cast<off_t>(next)) != 0) fail("ftruncate (grow)", path_);
+  // A plain munmap + mmap keeps this portable; offsets are the stable
+  // addressing scheme, so nothing outside this class holds the old base.
+  if (data_ != nullptr) ::munmap(data_, capacity_);
+  void* map = ::mmap(nullptr, next, PROT_READ | PROT_WRITE, MAP_SHARED, fd_, 0);
+  if (map == MAP_FAILED) fail("mmap (grow)", path_);
+  data_ = static_cast<std::uint8_t*>(map);
+  capacity_ = next;
+}
+
+void MmapArena::append(const void* bytes, std::size_t n) {
+  if (!writable_ || fd_ < 0) throw std::logic_error("mmap_arena: append on a read-only arena");
+  if (n == 0) return;
+  if (size_ + n > capacity_) grow_to(size_ + n);
+  std::memcpy(data_ + size_, bytes, n);
+  size_ += n;
+}
+
+void MmapArena::write_at(std::size_t offset, const void* bytes, std::size_t n) {
+  if (!writable_ || fd_ < 0) throw std::logic_error("mmap_arena: write_at on a read-only arena");
+  if (offset + n > size_) throw std::out_of_range("mmap_arena: write_at past the written tail");
+  std::memcpy(data_ + offset, bytes, n);
+}
+
+void MmapArena::flush() {
+  if (!writable_ || data_ == nullptr || capacity_ == 0) return;
+  if (::msync(data_, capacity_, MS_SYNC) != 0) fail("msync", path_);
+}
+
+void MmapArena::finalize() {
+  if (!writable_ || fd_ < 0) return;
+  flush();
+  if (::ftruncate(fd_, static_cast<off_t>(size_)) != 0) fail("ftruncate (finalize)", path_);
+  close();
+}
+
+}  // namespace keddah::util

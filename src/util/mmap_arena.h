@@ -1,0 +1,79 @@
+// MmapArena: a growable, append-only byte region backed by a memory-mapped
+// file. This is the substrate for the capture spill path (capture/spill.h):
+// flow records stream to disk through the mapping instead of accumulating in
+// RAM, so capture size is bounded by disk, not memory. The idiom follows the
+// memory-mapped columnar layout from ExpressionMatrix2's MemoryMappedVector
+// (see ROADMAP): one flat file, ftruncate-to-capacity, remap on growth.
+//
+// Write mode appends at the tail and doubles the file's capacity (ftruncate
+// + fresh mmap) when full; `finalize()` shrinks the file to the bytes
+// actually written and msyncs. Read mode maps an existing file read-only.
+// The base pointer is stable between appends only until a growth remap, so
+// callers must address the region by offset, never by retained pointer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace keddah::util {
+
+/// A memory-mapped file region. Move-only; the mapping and descriptor are
+/// released on destruction (without shrinking — call finalize() for that).
+class MmapArena {
+ public:
+  /// Creates (or truncates) `path` for writing with `initial_capacity`
+  /// bytes of mapped headroom. Throws std::runtime_error naming the path
+  /// and errno string on any syscall failure.
+  static MmapArena create(const std::string& path, std::size_t initial_capacity = 1u << 20);
+
+  /// Maps an existing file read-only; size() is the file size. Throws
+  /// std::runtime_error naming the path when absent or unmappable.
+  static MmapArena open_readonly(const std::string& path);
+
+  MmapArena() = default;
+  ~MmapArena();
+  MmapArena(MmapArena&& other) noexcept;
+  MmapArena& operator=(MmapArena&& other) noexcept;
+  MmapArena(const MmapArena&) = delete;
+  MmapArena& operator=(const MmapArena&) = delete;
+
+  /// Bytes appended so far (write mode) or the file size (read mode).
+  std::size_t size() const { return size_; }
+  /// Mapped bytes (>= size() in write mode).
+  std::size_t capacity() const { return capacity_; }
+  bool is_open() const { return data_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+  /// Base of the mapping; valid until the next append() that grows.
+  const std::uint8_t* data() const { return data_; }
+
+  /// Appends `n` bytes at the tail, growing (capacity doubling, remap) as
+  /// needed. Write mode only.
+  void append(const void* bytes, std::size_t n);
+
+  /// Overwrites `n` bytes at `offset` (< size()); used to back-patch
+  /// headers after the body is written. Write mode only.
+  void write_at(std::size_t offset, const void* bytes, std::size_t n);
+
+  /// Flushes dirty pages to disk (msync). Write mode only.
+  void flush();
+
+  /// Shrinks the file to size(), flushes, and closes the mapping. The
+  /// arena is closed afterwards. Safe to call once; destruction without
+  /// finalize() leaves the file at its last ftruncate'd capacity.
+  void finalize();
+
+ private:
+  void grow_to(std::size_t min_capacity);
+  void close() noexcept;
+
+  std::string path_;
+  std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+  int fd_ = -1;
+  bool writable_ = false;
+};
+
+}  // namespace keddah::util

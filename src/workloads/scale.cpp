@@ -1,0 +1,123 @@
+#include "workloads/scale.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace keddah::workloads {
+
+std::size_t fat_tree_k_for_hosts(std::size_t hosts) {
+  std::size_t k = 2;
+  while (k * k * k / 4 < hosts) k += 2;
+  return k;
+}
+
+net::Topology make_scale_topology(const ScaleSpec& spec) {
+  const std::size_t k = fat_tree_k_for_hosts(spec.target_hosts);
+  return net::make_fat_tree(k, spec.link_gbps * 1e9, spec.latency_s, spec.oversubscription);
+}
+
+namespace {
+
+/// Sorts all four columns by (start, generation order) through one
+/// permutation — the columnar counterpart of sorting a vector of structs.
+void sort_by_start(ScaleSchedule& s) {
+  std::vector<std::uint32_t> order(s.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) { return s.start[a] < s.start[b]; });
+  ScaleSchedule out;
+  out.src.reserve(s.size());
+  out.dst.reserve(s.size());
+  out.bytes.reserve(s.size());
+  out.start.reserve(s.size());
+  for (const std::uint32_t i : order) {
+    out.src.push_back(s.src[i]);
+    out.dst.push_back(s.dst[i]);
+    out.bytes.push_back(s.bytes[i]);
+    out.start.push_back(s.start[i]);
+  }
+  s = std::move(out);
+}
+
+}  // namespace
+
+ScaleSchedule make_scale_schedule(const net::Topology& topo, const ScaleSpec& spec) {
+  const std::size_t k = fat_tree_k_for_hosts(spec.target_hosts);
+  const std::size_t half = k / 2;
+
+  // Racks in rack-index order; hosts within a rack in creation order.
+  std::vector<std::vector<net::NodeId>> racks;
+  for (auto& [rack, hosts] : topo.hosts_by_rack()) {
+    (void)rack;
+    racks.push_back(std::move(hosts));
+  }
+  if (racks.empty()) throw std::invalid_argument("scale: topology has no hosts");
+  const std::size_t num_pods = std::max<std::size_t>(1, racks.size() / half);
+
+  const double local_mu = std::log(spec.local_flow_median_bytes);
+  const double cross_mu = std::log(spec.cross_flow_median_bytes);
+
+  util::Rng rng(spec.seed);
+  ScaleSchedule sched;
+
+  // Rack-local waves: every host sources flows to uniform rack peers. The
+  // sharing graph of one wave decomposes per rack (no flow leaves its edge
+  // switch), so solver components stay rack-sized no matter how many hosts
+  // the fabric has.
+  for (std::size_t wave = 0; wave < spec.local_waves; ++wave) {
+    const double t0 = static_cast<double>(wave) * spec.wave_spacing_s;
+    for (const auto& rack : racks) {
+      if (rack.size() < 2) continue;
+      for (std::size_t h = 0; h < rack.size(); ++h) {
+        for (std::size_t f = 0; f < spec.flows_per_host_per_wave; ++f) {
+          std::size_t peer =
+              static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(rack.size()) - 2));
+          if (peer >= h) ++peer;  // uniform over rack \ {h}
+          sched.src.push_back(rack[h]);
+          sched.dst.push_back(rack[peer]);
+          sched.bytes.push_back(rng.lognormal(local_mu, spec.flow_sigma));
+          sched.start.push_back(t0 + rng.uniform(0.0, spec.wave_jitter_s));
+        }
+      }
+    }
+  }
+
+  // Cross-pod waves: uniform sources, destinations forced into another pod
+  // so every flow crosses the oversubscribed agg/core tiers. Each wave gets
+  // its own window after the local waves so the giant cross-fabric
+  // component never overlaps the rack-local traffic.
+  std::vector<net::NodeId> all_hosts = topo.hosts();
+  for (std::size_t wave = 0; wave < spec.cross_waves; ++wave) {
+    const double t0 = static_cast<double>(spec.local_waves + wave) * spec.wave_spacing_s;
+    for (std::size_t f = 0; f < spec.cross_flows_per_wave; ++f) {
+      const std::size_t si =
+          static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(all_hosts.size()) - 1));
+      const net::NodeId src = all_hosts[si];
+      const std::size_t src_pod =
+          static_cast<std::size_t>(topo.node(src).rack) / half;
+      net::NodeId dst = src;
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        const std::size_t di = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(all_hosts.size()) - 1));
+        dst = all_hosts[di];
+        if (dst == src) continue;
+        if (num_pods < 2) break;  // degenerate single-pod fabric: any peer
+        if (static_cast<std::size_t>(topo.node(dst).rack) / half != src_pod) break;
+      }
+      if (dst == src) continue;  // pathological tiny topology; skip the flow
+      sched.src.push_back(src);
+      sched.dst.push_back(dst);
+      sched.bytes.push_back(rng.lognormal(cross_mu, spec.flow_sigma));
+      sched.start.push_back(t0 + rng.uniform(0.0, spec.wave_jitter_s));
+    }
+  }
+
+  sort_by_start(sched);
+  return sched;
+}
+
+}  // namespace keddah::workloads

@@ -1,0 +1,73 @@
+// Multi-rack scale scenario generator: a 10k-host oversubscribed fat-tree
+// plus a columnar flow schedule of rack-local shuffle waves and dedicated
+// cross-pod waves. This is the workload behind bench/perf_scale and the
+// scale-smoke CI job: large enough to need the columnar flow arena and the
+// mmap'd capture spill, shaped so the fair-share solver's connected
+// components stay bounded (rack-local waves never merge racks; the cross
+// waves run in their own time windows and stress the oversubscribed core).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.h"
+
+namespace keddah::workloads {
+
+/// Knobs for the scale scenario. Defaults produce a k=36 fat-tree
+/// (11664 hosts) and just over one million flows.
+struct ScaleSpec {
+  /// Minimum host count; rounded up to the next fat-tree size (k^3/4).
+  std::size_t target_hosts = 10000;
+  /// Fat-tree uplink oversubscription (edge->agg and agg->core tiers run at
+  /// access rate / this); 1.0 is full bisection.
+  double oversubscription = 4.0;
+  /// Host access-link rate.
+  double link_gbps = 10.0;
+  /// Per-link one-way latency.
+  double latency_s = 20e-6;
+
+  /// Rack-local all-to-all waves (each host sources flows to rack peers).
+  std::size_t local_waves = 16;
+  std::size_t flows_per_host_per_wave = 5;
+  /// Cross-pod waves exercising the oversubscribed core, each in its own
+  /// time window after the local waves.
+  std::size_t cross_waves = 2;
+  std::size_t cross_flows_per_wave = 35000;
+
+  /// Wave start spacing and per-flow start jitter within a wave.
+  double wave_spacing_s = 0.5;
+  double wave_jitter_s = 0.3;
+
+  /// Flow sizes are lognormal around these medians.
+  double local_flow_median_bytes = 2.0e6;
+  double cross_flow_median_bytes = 1.0e6;
+  double flow_sigma = 0.6;
+
+  std::uint64_t seed = 1;
+};
+
+/// Smallest even k with k^3/4 >= hosts (fat-tree sizing).
+std::size_t fat_tree_k_for_hosts(std::size_t hosts);
+
+/// Builds the spec's oversubscribed fat-tree.
+net::Topology make_scale_topology(const ScaleSpec& spec);
+
+/// The generated schedule, struct-of-arrays like everything else on the
+/// scale path: four parallel columns, one row per flow, sorted by start
+/// time (ties keep generation order, so the schedule is deterministic in
+/// the spec alone).
+struct ScaleSchedule {
+  std::vector<net::NodeId> src;
+  std::vector<net::NodeId> dst;
+  std::vector<double> bytes;
+  std::vector<double> start;
+
+  std::size_t size() const { return src.size(); }
+};
+
+/// Generates the wave schedule for `topo` (which must be the spec's
+/// topology or one shaped like it).
+ScaleSchedule make_scale_schedule(const net::Topology& topo, const ScaleSpec& spec);
+
+}  // namespace keddah::workloads

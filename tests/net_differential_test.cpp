@@ -57,7 +57,7 @@ struct RunResult {
 /// scheduler mode. Both modes must see the byte-for-byte same call sequence,
 /// so every decision here draws from the scenario Rng only — never from
 /// engine state.
-RunResult run_scenario_mode(std::uint64_t seed, bool reference) {
+RunResult run_mode_on(const kn::Topology& topology, std::uint64_t seed, bool reference) {
   // The env switch would override NetworkOptions and silently collapse the
   // differential into reference-vs-reference; these tests pin the mode.
   unsetenv("KEDDAH_REFERENCE_SCHEDULER");
@@ -65,7 +65,7 @@ RunResult run_scenario_mode(std::uint64_t seed, bool reference) {
   kn::NetworkOptions opts;
   opts.model_latency = (seed % 3 != 0);
   opts.reference_scheduler = reference;
-  kn::Network net(sim, make_topology(seed), opts);
+  kn::Network net(sim, topology, opts);
   const auto hosts = net.topology().hosts();
 
   RunResult result;
@@ -148,6 +148,10 @@ RunResult run_scenario_mode(std::uint64_t seed, bool reference) {
   return result;
 }
 
+RunResult run_scenario_mode(std::uint64_t seed, bool reference) {
+  return run_mode_on(make_topology(seed), seed, reference);
+}
+
 void expect_identical(const RunResult& inc, const RunResult& ref, std::uint64_t seed) {
   SCOPED_TRACE("seed " + std::to_string(seed));
   // Bit-exact across the board: EXPECT_EQ on doubles, no tolerance.
@@ -215,6 +219,68 @@ TEST(SchedulerDifferential, IncrementalTouchesFewerLinks) {
   EXPECT_EQ(inc.reshares, ref.reshares);  // same event sequence
   EXPECT_GT(inc.reshares, 0u);
   // Rack-local components: each solve should only visit one rack's arcs.
+  EXPECT_LT(inc.links_per_reshare() * 3.0, ref.links_per_reshare());
+}
+
+// Oversubscribed fat-tree shapes at differential fidelity: k=4 and k=8
+// fabrics with 2:1 and 4:1 thinned uplinks, every seed carrying the full
+// seed-derived fault plan (link degradations with restores, node-down
+// windows with active-flow aborts, targeted aborts). Thinned uplinks shift
+// the bottleneck from access links into the fabric — the regime the scale
+// scenarios run in — and both scheduler modes must still agree bit-exactly.
+TEST(SchedulerDifferential, OversubscribedFatTreesMatchBitExactly) {
+  const struct Shape {
+    std::size_t k;
+    double oversubscription;
+  } shapes[] = {{4, 4.0}, {8, 2.0}, {8, 4.0}};
+  for (const auto& shape : shapes) {
+    SCOPED_TRACE("fat tree k=" + std::to_string(shape.k) + " oversub " +
+                 std::to_string(shape.oversubscription));
+    const auto topology = kn::make_fat_tree(shape.k, 1e9, 1e-4, shape.oversubscription);
+    // Seeds span both latency modes (seed % 3) and all fault kinds.
+    for (const std::uint64_t seed : {101ull, 102ull, 103ull, 110ull, 117ull}) {
+      const RunResult inc = run_mode_on(topology, seed, /*reference=*/false);
+      const RunResult ref = run_mode_on(topology, seed, /*reference=*/true);
+      expect_identical(inc, ref, seed);
+    }
+  }
+}
+
+// Link-visit ratio gate on the oversubscribed fabric: rack-confined traffic
+// forms per-edge-switch sharing components, so the incremental scheduler
+// must visit a small corner of the fat tree per reshare while the reference
+// sweeps all of it. Guards against the columnar arena rewrite silently
+// degrading the frontier into full recomputes.
+TEST(SchedulerDifferential, OversubscribedFatTreeLinkVisitRatio) {
+  unsetenv("KEDDAH_REFERENCE_SCHEDULER");  // pin the mode via NetworkOptions
+  const auto run_mode = [](bool reference) {
+    ks::Simulator sim;
+    kn::NetworkOptions opts;
+    opts.model_latency = false;
+    opts.reference_scheduler = reference;
+    kn::Network net(sim, kn::make_fat_tree(8, 1e9, 1e-4, /*oversubscription=*/4.0), opts);
+    const auto by_rack = net.topology().hosts_by_rack();
+    ku::Rng rng(7);
+    for (const auto& [rack, members] : by_rack) {
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        for (std::size_t j = 0; j < members.size(); ++j) {
+          if (i == j) continue;
+          const double start = rng.uniform(0.0, 1.0);
+          sim.schedule_at(start, [&net, src = members[i], dst = members[j]] {
+            net.start_flow(src, dst, ku::Bytes(4e6), {}, nullptr);
+          });
+        }
+      }
+    }
+    sim.run();
+    return net.scheduler_stats();
+  };
+  const auto inc = run_mode(false);
+  const auto ref = run_mode(true);
+  EXPECT_EQ(inc.reshares, ref.reshares);  // same event sequence
+  EXPECT_GT(inc.reshares, 0u);
+  // A k=8 fat tree has 256 fabric arcs; a rack component touches ~8. Demand
+  // only a 3x margin so the gate stays robust to routing changes.
   EXPECT_LT(inc.links_per_reshare() * 3.0, ref.links_per_reshare());
 }
 

@@ -39,8 +39,8 @@ cmake --build "${BUILD}" \
       --target parallel_test net_network_test fault_injection_test \
                hadoop_faults_test scenario_test invariant_audit_test \
                net_differential_test golden_trace_test net_property_test \
-               api_test serve_test serve_chaos_test keddah \
-               perf_scheduler perf_serve perf_overload -j"$(nproc)"
+               spill_test api_test serve_test serve_chaos_test keddah \
+               perf_scheduler perf_serve perf_scale perf_overload -j"$(nproc)"
 
 # The parallel subsystem, the network layer it drives concurrently, and the
 # fault-injection/recovery machinery (aborts, retries, node churn). The
@@ -50,12 +50,19 @@ cmake --build "${BUILD}" \
 # fast path to the reference recompute, and GoldenTrace pins end-to-end
 # scenario output byte-for-byte — both with the KEDDAH_CHECK audits live.
 ctest --test-dir "${BUILD}" --output-on-failure \
-      -R 'ThreadPool|SweepRunner|ParallelDeterminism|DeriveSeed|ResolvedThreads|Network|NodeFailure|TransientOutage|DegradedLink|SlowNode|FaultPlan|Scenario|InvariantAudit|SchedulerDifferential|GoldenTrace|SpecApi|SpecError|Serve|Chaos'
+      -R 'ThreadPool|SweepRunner|ParallelDeterminism|DeriveSeed|ResolvedThreads|Network|NodeFailure|TransientOutage|DegradedLink|SlowNode|FaultPlan|Scenario|InvariantAudit|SchedulerDifferential|GoldenTrace|SpecApi|SpecError|Serve|Chaos|Spill|ArenaChurn'
 
 # A quick pass of the scheduler benchmark under the sanitizer: exercises
-# the incremental and reference schedulers back to back on all three
+# the incremental and reference schedulers back to back on all the
 # shapes. Results land in the sanitized build dir, not the repo root.
 "${BUILD}/bench/perf_scheduler" --quick --out "${BUILD}/BENCH_scheduler.json"
+
+# Scale smoke under the sanitizer: a shrunken fat-tree (432 hosts) driven
+# through the columnar flow arena and the mmap'd spill path, with the
+# flows/sec and peak-RSS gates live (the RSS gate uses the quick-mode
+# ceiling, which has headroom for sanitizer overhead on the arena columns).
+"${BUILD}/bench/perf_scale" --quick --out "${BUILD}/BENCH_scale.json" \
+      --spill-dir "${BUILD}/perf_scale_spill"
 
 # The serve benchmark doubles as a concurrency smoke for the daemon: eight
 # in-process clients hammer Server::handle() while the response cache and
